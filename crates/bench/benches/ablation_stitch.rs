@@ -1,0 +1,45 @@
+//! Ablation: stitching `//` edges by IdList-ancestor unnesting (the
+//! paper's mechanism, §3.2) vs. the stack-based structural join (§6's
+//! containment-join alternative).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xtwig_bench::{xmark_forest, POOL_PAGES};
+use xtwig_core::engine::{EngineOptions, QueryEngine, Strategy};
+use xtwig_datagen::xmark_queries;
+
+fn bench_stitch_modes(c: &mut Criterion) {
+    let (forest, _) = xmark_forest(0.01);
+    let build = |structural: bool| {
+        QueryEngine::build(
+            &forest,
+            EngineOptions {
+                strategies: vec![Strategy::RootPaths],
+                pool_pages: POOL_PAGES,
+                structural_ad_joins: structural,
+                ..Default::default()
+            },
+        )
+    };
+    let unnest = build(false);
+    let structural = build(true);
+    let queries = xmark_queries();
+    let mut group = c.benchmark_group("ablation_stitch");
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    for id in ["Q12x", "Q14x", "Q15x"] {
+        let q = queries.iter().find(|q| q.id == id).unwrap();
+        let twig = q.twig();
+        group.bench_with_input(BenchmarkId::new("idlist-unnest", id), &twig, |b, twig| {
+            b.iter(|| unnest.answer(twig, Strategy::RootPaths).ids.len())
+        });
+        group.bench_with_input(BenchmarkId::new("structural-join", id), &twig, |b, twig| {
+            b.iter(|| structural.answer(twig, Strategy::RootPaths).ids.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stitch_modes);
+criterion_main!(benches);

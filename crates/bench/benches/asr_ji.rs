@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 13: `//` branch-point twigs against ASR and
+//! Join Indices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xtwig_bench::{engine, xmark_forest};
+use xtwig_core::engine::Strategy;
+use xtwig_datagen::xmark_queries;
+
+fn bench_asr_ji(c: &mut Criterion) {
+    let (forest, _) = xmark_forest(0.01);
+    let strategies =
+        [Strategy::RootPaths, Strategy::DataPaths, Strategy::Asr, Strategy::JoinIndex];
+    let e = engine(&forest, &strategies);
+    let queries = xmark_queries();
+    let mut group = c.benchmark_group("fig13_asr_ji");
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    for id in ["Q12x", "Q13x", "Q14x", "Q15x"] {
+        let q = queries.iter().find(|q| q.id == id).unwrap();
+        let twig = q.twig();
+        for s in strategies {
+            group.bench_with_input(BenchmarkId::new(s.label(), id), &twig, |b, twig| {
+                b.iter(|| e.answer(twig, s).ids.len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_asr_ji);
+criterion_main!(benches);

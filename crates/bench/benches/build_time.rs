@@ -1,0 +1,40 @@
+//! Index construction cost per configuration (context for Fig. 9: the
+//! space/time tradeoff has a build-time dimension too).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::sync::Arc;
+use xtwig_bench::xmark_forest;
+use xtwig_core::asr::AccessSupportRelations;
+use xtwig_core::datapaths::{DataPaths, DataPathsOptions};
+use xtwig_core::edge::EdgeTable;
+use xtwig_core::joinindex::JoinIndices;
+use xtwig_core::rootpaths::{RootPaths, RootPathsOptions};
+use xtwig_storage::BufferPool;
+
+fn bench_builds(c: &mut Criterion) {
+    let (forest, profile) = xmark_forest(0.005);
+    println!("build bench over {} nodes", profile.nodes);
+    let pool = || Arc::new(BufferPool::in_memory(16_384));
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.bench_function("rootpaths", |b| {
+        b.iter(|| RootPaths::build(&forest, pool(), RootPathsOptions::default()).rows())
+    });
+    group.bench_function("datapaths", |b| {
+        b.iter(|| DataPaths::build(&forest, pool(), DataPathsOptions::default()).rows())
+    });
+    group.bench_function("edge", |b| b.iter(|| EdgeTable::build(&forest, pool()).rows()));
+    group.bench_function("asr", |b| {
+        b.iter(|| AccessSupportRelations::build(&forest, pool()).table_count())
+    });
+    group.bench_function("join_indices", |b| {
+        b.iter(|| JoinIndices::build(&forest, pool()).table_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

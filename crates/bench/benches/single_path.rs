@@ -1,0 +1,40 @@
+//! Criterion bench for Fig. 11: single-path queries across strategies at
+//! three selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xtwig_bench::{engine, xmark_forest};
+use xtwig_core::engine::Strategy;
+use xtwig_datagen::xmark_queries;
+
+fn bench_single_path(c: &mut Criterion) {
+    let (forest, _) = xmark_forest(0.01);
+    let strategies = [
+        Strategy::RootPaths,
+        Strategy::DataPaths,
+        Strategy::Edge,
+        Strategy::DataGuideEdge,
+        Strategy::IndexFabricEdge,
+    ];
+    let e = engine(&forest, &strategies);
+    let queries = xmark_queries();
+    let mut group = c.benchmark_group("fig11_single_path");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    for id in ["Q1x", "Q2x", "Q3x"] {
+        let q = queries.iter().find(|q| q.id == id).unwrap();
+        let twig = q.twig();
+        for s in strategies {
+            group.bench_with_input(
+                BenchmarkId::new(s.label(), id),
+                &twig,
+                |b, twig| b.iter(|| e.answer(twig, s).ids.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_path);
+criterion_main!(benches);

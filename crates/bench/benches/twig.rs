@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 12: branching twig queries, all four panels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xtwig_bench::{engine, xmark_forest};
+use xtwig_core::engine::Strategy;
+use xtwig_datagen::xmark_queries;
+
+fn bench_twigs(c: &mut Criterion) {
+    let (forest, _) = xmark_forest(0.01);
+    let strategies = [
+        Strategy::RootPaths,
+        Strategy::DataPaths,
+        Strategy::Edge,
+        Strategy::DataGuideEdge,
+        Strategy::IndexFabricEdge,
+    ];
+    let e = engine(&forest, &strategies);
+    let queries = xmark_queries();
+    let mut group = c.benchmark_group("fig12_twigs");
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    for id in ["Q4x", "Q5x", "Q6x", "Q7x", "Q8x", "Q9x", "Q10x", "Q11x"] {
+        let q = queries.iter().find(|q| q.id == id).unwrap();
+        let twig = q.twig();
+        for s in strategies {
+            // The Edge-family baselines are orders of magnitude slower on
+            // the unselective twigs; keep the bench tractable by skipping
+            // them there (the fig12_twigs binary still measures them).
+            if matches!(s, Strategy::Edge | Strategy::DataGuideEdge | Strategy::IndexFabricEdge)
+                && matches!(id, "Q8x" | "Q9x")
+            {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(s.label(), id), &twig, |b, twig| {
+                b.iter(|| e.answer(twig, s).ids.len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_twigs);
+criterion_main!(benches);

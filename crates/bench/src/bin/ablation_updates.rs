@@ -1,0 +1,91 @@
+//! Extension bench (paper §7): update cost of ROOTPATHS.
+//!
+//! §7 notes the space/time wins come "at the cost of … a higher index
+//! update cost" — inserting one node touches one entry per value plus
+//! one structural entry, and the index is self-locating for deletes.
+//! This bench measures sustained insert/delete throughput into a built
+//! ROOTPATHS index and the per-node entry amplification.
+//!
+//! Run with: `cargo run --release -p xtwig-bench --bin ablation_updates [--scale f]`
+
+use std::sync::Arc;
+use std::time::Instant;
+use xtwig_bench::{scale_from_args, xmark_forest, POOL_PAGES};
+use xtwig_core::rootpaths::{RootPaths, RootPathsOptions};
+use xtwig_storage::BufferPool;
+use xtwig_xml::TagId;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# §7 extension: ROOTPATHS update cost (scale {scale})");
+    let (mut forest, profile) = xmark_forest(scale);
+    let mut rp = RootPaths::build(
+        &forest,
+        Arc::new(BufferPool::in_memory(POOL_PAGES * 4)),
+        RootPathsOptions::default(),
+    );
+    println!("built over {} nodes -> {} index rows", profile.nodes, rp.rows());
+
+    // Insert N fresh persons (4 nodes each: person, name, profile, @income),
+    // the §7 "insert an author with a name" pattern.
+    let n = 2_000u64;
+    let tags: Vec<TagId> = ["site", "people", "person", "name", "profile", "@income"]
+        .iter()
+        .map(|t| forest.dict_mut().intern(t))
+        .collect();
+    let (site, people) = (1u64, 2u64);
+    let base_id = 10_000_000u64;
+    let rows_before = rp.rows();
+    let start = Instant::now();
+    for i in 0..n {
+        let person = base_id + i * 4;
+        rp.insert_path(&[tags[0], tags[1], tags[2]], &[site, people, person], None);
+        rp.insert_path(
+            &[tags[0], tags[1], tags[2], tags[3]],
+            &[site, people, person, person + 1],
+            Some(&format!("New Person {i}")),
+        );
+        rp.insert_path(
+            &[tags[0], tags[1], tags[2], tags[4]],
+            &[site, people, person, person + 2],
+            None,
+        );
+        rp.insert_path(
+            &[tags[0], tags[1], tags[2], tags[4], tags[5]],
+            &[site, people, person, person + 2, person + 3],
+            Some("100.00"),
+        );
+    }
+    let insert_time = start.elapsed();
+    let inserted_rows = rp.rows() - rows_before;
+    println!(
+        "inserted {n} persons ({} nodes) -> {} new index rows ({:.2} rows/node) in {:.2?} ({:.0} nodes/s)",
+        n * 4,
+        inserted_rows,
+        inserted_rows as f64 / (n * 4) as f64,
+        insert_time,
+        (n * 4) as f64 / insert_time.as_secs_f64()
+    );
+
+    // Self-locating deletes (one lookup by (value, reverse path), §7).
+    let start = Instant::now();
+    let mut deleted = 0u64;
+    for i in 0..n {
+        let person = base_id + i * 4;
+        if rp.delete_path(
+            &[tags[0], tags[1], tags[2], tags[3]],
+            &[site, people, person, person + 1],
+            Some(&format!("New Person {i}")),
+        ) {
+            deleted += 1;
+        }
+    }
+    let delete_time = start.elapsed();
+    println!(
+        "deleted {deleted} name entries in {:.2?} ({:.0} deletes/s) — no joins needed",
+        delete_time,
+        deleted as f64 / delete_time.as_secs_f64()
+    );
+    rp.tree().check_invariants();
+    println!("tree invariants hold after the update storm.");
+}

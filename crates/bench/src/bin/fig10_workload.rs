@@ -1,0 +1,63 @@
+//! Figure 10 (plus Figures 7–8): the query workload with measured
+//! per-branch result sizes on the generated datasets.
+//!
+//! For each query this prints the paper's grouping metadata and, for
+//! every PCsubpath of the twig's cover, the measured branch cardinality —
+//! the analogue of Fig. 7/8's "Result Size Per Branch" column.
+//!
+//! Run with: `cargo run --release -p xtwig-bench --bin fig10_workload [--scale f]`
+
+use xtwig_bench::{dblp_forest, scale_from_args, xmark_forest};
+use xtwig_core::decompose::decompose;
+use xtwig_core::paths::PathStats;
+use xtwig_datagen::{dblp_queries, xmark_queries, BenchQuery};
+use xtwig_xml::XmlForest;
+
+fn report(forest: &XmlForest, stats: &PathStats, queries: &[BenchQuery]) {
+    for q in queries {
+        let twig = q.twig();
+        println!("\n{:<5} ({:?}, {} branches, {} recursion(s))", q.id, q.group, q.branches, q.recursions);
+        println!("      {}", q.xpath);
+        match decompose(&twig, forest.dict()) {
+            Err(e) => println!("      [empty result: {e}]"),
+            Ok(compiled) => {
+                for sp in &compiled.subpaths {
+                    let names: Vec<&str> =
+                        sp.q.tags.iter().map(|&t| forest.dict().name(t)).collect();
+                    let card = stats.estimate(&sp.q);
+                    println!(
+                        "      branch {}{}{} -> {} matches",
+                        if sp.q.anchored { "/" } else { "//" },
+                        names.join("/"),
+                        sp.q.value.as_deref().map(|v| format!(" = '{v}'")).unwrap_or_default(),
+                        card
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# Figure 10 workload summary (scale {scale})");
+    println!("\n== XMark queries (Figs. 7-8) ==");
+    let (xforest, xprofile) = xmark_forest(scale);
+    let xstats = PathStats::build(&xforest);
+    println!(
+        "dataset: {} nodes, {} distinct schema paths (paper: 902 root paths at 100MB)",
+        xprofile.nodes,
+        xstats.distinct_schema_paths()
+    );
+    report(&xforest, &xstats, &xmark_queries());
+
+    println!("\n== DBLP queries (Fig. 7) ==");
+    let (dforest, dprofile) = dblp_forest(scale);
+    let dstats = PathStats::build(&dforest);
+    println!(
+        "dataset: {} nodes, {} distinct schema paths (paper: 235 at 50MB)",
+        dprofile.nodes,
+        dstats.distinct_schema_paths()
+    );
+    report(&dforest, &dstats, &dblp_queries());
+}

@@ -1,0 +1,26 @@
+//! Disk-format B+-tree substrate.
+//!
+//! The paper's central implementation claim is that its indexes need
+//! nothing beyond "the access methods of the underlying database system"
+//! — i.e., ordinary B+-trees with prefix lookups (§1, §3). This crate is
+//! that access method: a page-structured B+-tree over the
+//! `xtwig-storage` buffer pool with
+//!
+//! * variable-length byte-string keys and values (composite keys are
+//!   produced by the order-preserving codec in `xtwig-rel`),
+//! * point lookups, inserts, deletes, range scans, and *prefix scans* —
+//!   the operation that makes reversed schema paths answer `//` queries,
+//! * shortest-separator prefix truncation in interior nodes (the analogue
+//!   of the key prefix compression the paper cites in DB2, §3.1), and
+//! * sorted bulk loading, used to build every index in one pass.
+//!
+//! Trees are session-scoped: they are built into a buffer pool and
+//! queried; durable catalog persistence is out of scope (the paper's
+//! experiments also rebuild indexes per configuration).
+
+pub mod builder;
+pub mod node;
+pub mod tree;
+
+pub use builder::bulk_build;
+pub use tree::{BTree, BTreeOptions, BTreeStats, RangeScan};

@@ -1,0 +1,156 @@
+//! Simulated DataGuide (paper §5.1.2, [Goldman/Widom]).
+//!
+//! The DataGuide maps every root-to-leaf **prefix** schema path to the
+//! ids of its final elements — structure only, no values. The paper
+//! simulates it with a regular B+-tree (Patricia tries are not available
+//! in commercial systems); we do the same: keys are forward designator
+//! paths, one entry per instance.
+//!
+//! Because paths are stored forward and values are not indexed, a valued
+//! query needs a separate value-index lookup plus a join (§5.2.1's
+//! DG+Edge strategy), and `//` patterns cannot be answered by the
+//! DataGuide at all (suffix match over forward keys) — those fall back
+//! to the Edge chain in the engine.
+
+use crate::designator;
+use crate::family::{
+    FamilyPosition, IdListSublist, IndexedColumn, PathIndex, SchemaPathSubset,
+};
+use crate::paths::for_each_root_path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_rel::codec::KeyBuf;
+use xtwig_storage::BufferPool;
+use xtwig_xml::{TagId, XmlForest};
+
+/// The simulated DataGuide index.
+pub struct DataGuide {
+    tree: BTree,
+    lookups: AtomicU64,
+}
+
+impl DataGuide {
+    /// Builds the DataGuide from `forest` into `pool`.
+    pub fn build(forest: &XmlForest, pool: Arc<BufferPool>) -> Self {
+        let mut entries = Vec::new();
+        for_each_root_path(forest, |tags, ids, value| {
+            if value.is_some() {
+                return; // structure only
+            }
+            let mut key = KeyBuf::new();
+            let mut path = Vec::with_capacity(tags.len() + 1);
+            designator::push_path(&mut path, tags);
+            path.push(designator::TERMINATOR);
+            key.push_raw(&path);
+            key.push_u64(*ids.last().unwrap());
+            entries.push((key.finish(), Vec::new()));
+        });
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        DataGuide {
+            tree: bulk_build(pool, BTreeOptions::default(), entries),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Ids of the final elements of every instance of the exact
+    /// root-anchored path `tags` — one probe.
+    pub fn path_instances(&self, tags: &[TagId]) -> Vec<u64> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut prefix = Vec::with_capacity(tags.len() + 1);
+        designator::push_path(&mut prefix, tags);
+        prefix.push(designator::TERMINATOR);
+        self.tree
+            .scan_prefix(&prefix)
+            .map(|(k, _)| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&k[k.len() - 8..]);
+                u64::from_be_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Index probes issued since the last call.
+    pub fn take_lookups(&self) -> u64 {
+        self.lookups.swap(0, Ordering::Relaxed)
+    }
+
+    /// Entry count.
+    pub fn rows(&self) -> u64 {
+        self.tree.len()
+    }
+}
+
+impl PathIndex for DataGuide {
+    fn name(&self) -> &'static str {
+        "DataGuide"
+    }
+
+    fn family_position(&self) -> FamilyPosition {
+        FamilyPosition {
+            schema_paths: SchemaPathSubset::RootToLeafPrefixes,
+            idlist: IdListSublist::LastOnly,
+            indexed: vec![IndexedColumn::SchemaPath],
+        }
+    }
+
+    fn space_bytes(&self) -> u64 {
+        self.tree.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_xml::tree::fig1_book_document;
+
+    fn tags(f: &XmlForest, names: &[&str]) -> Vec<TagId> {
+        names.iter().map(|n| f.dict().lookup(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn exact_path_probe_returns_instances() {
+        let f = fig1_book_document();
+        let dg = DataGuide::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        let mut authors = dg.path_instances(&tags(&f, &["book", "allauthors", "author"]));
+        authors.sort_unstable();
+        assert_eq!(authors, vec![6, 21, 41]);
+        assert_eq!(dg.take_lookups(), 1);
+    }
+
+    #[test]
+    fn prefix_paths_are_stored() {
+        let f = fig1_book_document();
+        let dg = DataGuide::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        assert_eq!(dg.path_instances(&tags(&f, &["book"])), vec![1]);
+        assert_eq!(dg.path_instances(&tags(&f, &["book", "allauthors"])), vec![5]);
+    }
+
+    #[test]
+    fn no_value_entries_exist() {
+        let f = fig1_book_document();
+        let dg = DataGuide::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        // One entry per node: structure only.
+        assert_eq!(dg.rows(), (f.node_count() - 1) as u64);
+    }
+
+    #[test]
+    fn wrong_paths_are_empty() {
+        let f = fig1_book_document();
+        let dg = DataGuide::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        // "author" alone is not a root path; the DataGuide is anchored.
+        assert!(dg.path_instances(&tags(&f, &["author"])).is_empty());
+        // An existing path with one wrong step.
+        assert!(dg.path_instances(&tags(&f, &["book", "author"])).is_empty());
+    }
+
+    #[test]
+    fn family_position_is_fig3_row() {
+        let f = fig1_book_document();
+        let dg = DataGuide::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        let pos = dg.family_position();
+        assert_eq!(pos.schema_paths, SchemaPathSubset::RootToLeafPrefixes);
+        assert_eq!(pos.idlist, IdListSublist::LastOnly);
+        assert_eq!(pos.indexed, vec![IndexedColumn::SchemaPath]);
+    }
+}

@@ -1,0 +1,1233 @@
+//! The twig query engine: builds the seven index configurations of §5.1.2
+//! and evaluates query twigs against any of them.
+//!
+//! Each strategy gets its own buffer pool so the harness can attribute
+//! logical/physical I/O per configuration (the paper uses one DB2 buffer
+//! pool but reports per-configuration timings; separate pools give the
+//! same attribution without cross-strategy cache pollution). Shared base
+//! structures follow the paper's setup: the DG+Edge, IF+Edge, and Join
+//! Index strategies use the Edge table's value/link indexes for the parts
+//! their primary structure cannot answer.
+//!
+//! Execution follows §3: decompose the twig into PCsubpaths, evaluate
+//! each with the strategy's probe pattern, and stitch the matches with
+//! joins on ids extracted from IdLists (merge plan) or with BoundIndex
+//! probes (index-nested-loop plan, DATAPATHS only).
+
+use crate::asr::AccessSupportRelations;
+use crate::datapaths::{DataPaths, DataPathsOptions};
+use crate::dataguide::DataGuide;
+use crate::decompose::{decompose, CompiledTwig};
+use crate::edge::EdgeTable;
+use crate::fabric::IndexFabric;
+use crate::family::{
+    value_needs_recheck, BoundIndex, FreeIndex, PathIndex, PathMatch, PcSubpathQuery,
+};
+use crate::paths::PathStats;
+use crate::plan::{choose_plan, JoinHow, PlanKind, ProbeSpec, QueryPlan};
+use crate::rootpaths::{RootPaths, RootPathsOptions};
+use crate::joinindex::JoinIndices;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xtwig_storage::{BufferPool, IoStatsSnapshot};
+use xtwig_xml::{NodeId, TagId, TwigPattern, XmlForest};
+
+/// The seven index configurations of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// ROOTPATHS (RP).
+    RootPaths,
+    /// DATAPATHS (DP).
+    DataPaths,
+    /// Edge table with value/link indexes.
+    Edge,
+    /// Simulated DataGuide + Edge indexes (DG+Edge).
+    DataGuideEdge,
+    /// Simulated Index Fabric + Edge indexes (IF+Edge).
+    IndexFabricEdge,
+    /// Access Support Relations.
+    Asr,
+    /// Join Indices (+ Edge value index for constants).
+    JoinIndex,
+}
+
+impl Strategy {
+    /// All strategies in the paper's reporting order.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::RootPaths,
+        Strategy::DataPaths,
+        Strategy::Edge,
+        Strategy::DataGuideEdge,
+        Strategy::IndexFabricEdge,
+        Strategy::Asr,
+        Strategy::JoinIndex,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::RootPaths => "RP",
+            Strategy::DataPaths => "DP",
+            Strategy::Edge => "Edge",
+            Strategy::DataGuideEdge => "DG+Edge",
+            Strategy::IndexFabricEdge => "IF+Edge",
+            Strategy::Asr => "ASR",
+            Strategy::JoinIndex => "JI",
+        }
+    }
+}
+
+/// Build options for [`QueryEngine`].
+#[derive(Clone)]
+pub struct EngineOptions {
+    /// Which strategies to materialize.
+    pub strategies: Vec<Strategy>,
+    /// Buffer-pool frames per structure pool (default 2048 = 16 MiB; the
+    /// harness uses 5120 = 40 MiB, matching §5.1.1).
+    pub pool_pages: usize,
+    /// ROOTPATHS options.
+    pub rp: RootPathsOptions,
+    /// DATAPATHS options.
+    pub dp: DataPathsOptions,
+    /// §4.3 HeadId pruning: retain only DATAPATHS rows headed at these
+    /// tags (None = keep everything).
+    pub head_filter_tags: Option<HashSet<String>>,
+    /// Stitch `//` edges with the stack-based structural join
+    /// ([`crate::stitch`]) instead of IdList-ancestor unnesting — the §6
+    /// alternative the paper could not run inside DB2.
+    pub structural_ad_joins: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            strategies: Strategy::ALL.to_vec(),
+            pool_pages: 2048,
+            rp: RootPathsOptions::default(),
+            dp: DataPathsOptions::default(),
+            head_filter_tags: None,
+            structural_ad_joins: false,
+        }
+    }
+}
+
+/// Per-query metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryMetrics {
+    /// Index probes issued (every B+-tree lookup counts as one).
+    pub probes: u64,
+    /// Match rows fetched from indexes.
+    pub rows_fetched: u64,
+    /// Buffer-pool page requests during the query.
+    pub logical_reads: u64,
+    /// Pages read from the backend (cold portion).
+    pub physical_reads: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// A query result.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// Distinct ids bound to the twig's output node.
+    pub ids: BTreeSet<u64>,
+    /// The plan kind that ran.
+    pub plan: PlanKind,
+    /// Cost metrics.
+    pub metrics: QueryMetrics,
+}
+
+/// The engine owning all built index configurations for one forest.
+pub struct QueryEngine<'f> {
+    forest: &'f XmlForest,
+    stats: PathStats,
+    rp: Option<(RootPaths, Arc<BufferPool>)>,
+    dp: Option<(DataPaths, Arc<BufferPool>)>,
+    pruned_tags: Option<HashSet<TagId>>,
+    edge: Option<(EdgeTable, Arc<BufferPool>)>,
+    dg: Option<(DataGuide, Arc<BufferPool>)>,
+    fab: Option<(IndexFabric, Arc<BufferPool>)>,
+    asr: Option<(AccessSupportRelations, Arc<BufferPool>)>,
+    ji: Option<(JoinIndices, Arc<BufferPool>)>,
+    structural_ad_joins: bool,
+}
+
+/// A partial result row: per-twig-node bindings plus captured ancestor
+/// lists for segment roots (used by `//` joins).
+#[derive(Debug, Clone)]
+struct Row {
+    bind: Vec<u64>,
+    anc: Vec<(usize, Arc<Vec<u64>>)>,
+}
+
+const UNBOUND: u64 = u64::MAX;
+
+impl Row {
+    fn new(n: usize) -> Self {
+        Row { bind: vec![UNBOUND; n], anc: Vec::new() }
+    }
+
+    fn ancestors_of(&self, node: usize) -> Option<&Arc<Vec<u64>>> {
+        self.anc.iter().find(|(n, _)| *n == node).map(|(_, a)| a)
+    }
+}
+
+impl<'f> QueryEngine<'f> {
+    /// Builds the selected index configurations over `forest`.
+    pub fn build(forest: &'f XmlForest, options: EngineOptions) -> Self {
+        let want = |s: Strategy| options.strategies.contains(&s);
+        let needs_edge = want(Strategy::Edge)
+            || want(Strategy::DataGuideEdge)
+            || want(Strategy::IndexFabricEdge)
+            || want(Strategy::JoinIndex);
+        let pool = || Arc::new(BufferPool::in_memory(options.pool_pages));
+        let stats = PathStats::build(forest);
+        let pruned_tags = options.head_filter_tags.as_ref().map(|names| {
+            names.iter().filter_map(|n| forest.dict().lookup(n)).collect::<HashSet<_>>()
+        });
+        let dp = want(Strategy::DataPaths).then(|| {
+            let p = pool();
+            let dp = match &pruned_tags {
+                None => DataPaths::build(forest, p.clone(), options.dp),
+                Some(tags) => DataPaths::build_filtered(
+                    forest,
+                    p.clone(),
+                    options.dp,
+                    Some(&|_head, path_tags: &[TagId]| tags.contains(&path_tags[0])),
+                ),
+            };
+            (dp, p)
+        });
+        QueryEngine {
+            forest,
+            stats,
+            rp: want(Strategy::RootPaths).then(|| {
+                let p = pool();
+                (RootPaths::build(forest, p.clone(), options.rp), p)
+            }),
+            dp,
+            pruned_tags,
+            edge: needs_edge.then(|| {
+                let p = pool();
+                (EdgeTable::build(forest, p.clone()), p)
+            }),
+            dg: want(Strategy::DataGuideEdge).then(|| {
+                let p = pool();
+                (DataGuide::build(forest, p.clone()), p)
+            }),
+            fab: want(Strategy::IndexFabricEdge).then(|| {
+                let p = pool();
+                (IndexFabric::build(forest, p.clone()), p)
+            }),
+            asr: want(Strategy::Asr).then(|| {
+                let p = pool();
+                (AccessSupportRelations::build(forest, p.clone()), p)
+            }),
+            ji: want(Strategy::JoinIndex).then(|| {
+                let p = pool();
+                (JoinIndices::build(forest, p.clone()), p)
+            }),
+            structural_ad_joins: options.structural_ad_joins,
+        }
+    }
+
+    /// The forest under query.
+    pub fn forest(&self) -> &XmlForest {
+        self.forest
+    }
+
+    /// Path statistics (selectivity estimates).
+    pub fn stats(&self) -> &PathStats {
+        &self.stats
+    }
+
+    /// The built ROOTPATHS index, if any.
+    pub fn rootpaths(&self) -> Option<&RootPaths> {
+        self.rp.as_ref().map(|(i, _)| i)
+    }
+
+    /// The built DATAPATHS index, if any.
+    pub fn datapaths(&self) -> Option<&DataPaths> {
+        self.dp.as_ref().map(|(i, _)| i)
+    }
+
+    /// The built Edge configuration, if any.
+    pub fn edge(&self) -> Option<&EdgeTable> {
+        self.edge.as_ref().map(|(i, _)| i)
+    }
+
+    /// Space used by a strategy (Fig. 9): the primary structure plus any
+    /// Edge structures it relies on.
+    pub fn space_bytes(&self, strategy: Strategy) -> u64 {
+        let edge = self.edge.as_ref().map_or(0, |(e, _)| e.space_bytes());
+        match strategy {
+            Strategy::RootPaths => self.rp.as_ref().map_or(0, |(i, _)| i.space_bytes()),
+            Strategy::DataPaths => self.dp.as_ref().map_or(0, |(i, _)| i.space_bytes()),
+            Strategy::Edge => edge,
+            Strategy::DataGuideEdge => {
+                self.dg.as_ref().map_or(0, |(i, _)| i.space_bytes()) + edge
+            }
+            Strategy::IndexFabricEdge => {
+                self.fab.as_ref().map_or(0, |(i, _)| i.space_bytes()) + edge
+            }
+            Strategy::Asr => self.asr.as_ref().map_or(0, |(i, _)| i.space_bytes()),
+            Strategy::JoinIndex => self.ji.as_ref().map_or(0, |(i, _)| i.space_bytes()) + edge,
+        }
+    }
+
+    fn pools_for(&self, strategy: Strategy) -> Vec<&Arc<BufferPool>> {
+        let mut pools = Vec::new();
+        match strategy {
+            Strategy::RootPaths => {
+                if let Some((_, p)) = &self.rp {
+                    pools.push(p);
+                }
+            }
+            Strategy::DataPaths => {
+                if let Some((_, p)) = &self.dp {
+                    pools.push(p);
+                }
+            }
+            Strategy::Edge => {
+                if let Some((_, p)) = &self.edge {
+                    pools.push(p);
+                }
+            }
+            Strategy::DataGuideEdge => {
+                if let Some((_, p)) = &self.dg {
+                    pools.push(p);
+                }
+                if let Some((_, p)) = &self.edge {
+                    pools.push(p);
+                }
+            }
+            Strategy::IndexFabricEdge => {
+                if let Some((_, p)) = &self.fab {
+                    pools.push(p);
+                }
+                if let Some((_, p)) = &self.edge {
+                    pools.push(p);
+                }
+            }
+            Strategy::Asr => {
+                if let Some((_, p)) = &self.asr {
+                    pools.push(p);
+                }
+            }
+            Strategy::JoinIndex => {
+                if let Some((_, p)) = &self.ji {
+                    pools.push(p);
+                }
+                if let Some((_, p)) = &self.edge {
+                    pools.push(p);
+                }
+            }
+        }
+        pools
+    }
+
+    /// Drops every cached page of the strategy's pools (flushes dirty
+    /// pages first) so the next query runs cold — the paper's omitted
+    /// cold-cache setting, used by the buffer-pool ablation bench.
+    pub fn clear_caches(&self, strategy: Strategy) {
+        for p in self.pools_for(strategy) {
+            p.clear_cache();
+        }
+    }
+
+    fn snapshot(&self, strategy: Strategy) -> IoStatsSnapshot {
+        let mut total = IoStatsSnapshot::default();
+        for p in self.pools_for(strategy) {
+            let s = p.stats().snapshot();
+            total.logical_reads += s.logical_reads;
+            total.physical_reads += s.physical_reads;
+            total.physical_writes += s.physical_writes;
+        }
+        total
+    }
+
+    fn drain_baseline_counters(&self, strategy: Strategy) -> u64 {
+        let mut probes = 0;
+        match strategy {
+            Strategy::Edge => {
+                if let Some((e, _)) = &self.edge {
+                    probes += e.take_lookups();
+                }
+            }
+            Strategy::DataGuideEdge => {
+                if let Some((d, _)) = &self.dg {
+                    probes += d.take_lookups();
+                }
+                if let Some((e, _)) = &self.edge {
+                    probes += e.take_lookups();
+                }
+            }
+            Strategy::IndexFabricEdge => {
+                if let Some((f, _)) = &self.fab {
+                    probes += f.take_lookups();
+                }
+                if let Some((e, _)) = &self.edge {
+                    probes += e.take_lookups();
+                }
+            }
+            Strategy::Asr => {
+                if let Some((a, _)) = &self.asr {
+                    probes += a.take_lookups();
+                }
+            }
+            Strategy::JoinIndex => {
+                if let Some((j, _)) = &self.ji {
+                    probes += j.take_lookups();
+                }
+                if let Some((e, _)) = &self.edge {
+                    probes += e.take_lookups();
+                }
+            }
+            _ => {}
+        }
+        probes
+    }
+
+    /// Compiles and plans a twig (exposed for the harness' plan reports).
+    pub fn plan(&self, twig: &TwigPattern) -> Option<QueryPlan> {
+        let compiled = decompose(twig, self.forest.dict()).ok()?;
+        Some(choose_plan(&compiled, &self.stats, self.forest.dict()))
+    }
+
+    /// Answers `twig` with `strategy`.
+    ///
+    /// # Panics
+    /// Panics if the strategy's structures were not built.
+    pub fn answer(&self, twig: &TwigPattern, strategy: Strategy) -> QueryAnswer {
+        let before = self.snapshot(strategy);
+        self.drain_baseline_counters(strategy);
+        let start = Instant::now();
+        let mut probes = 0u64;
+        let mut rows_fetched = 0u64;
+        let (ids, plan_kind) = match decompose(twig, self.forest.dict()) {
+            Err(_) => (BTreeSet::new(), PlanKind::Merge),
+            Ok(compiled) => {
+                let plan = choose_plan(&compiled, &self.stats, self.forest.dict());
+                let ids =
+                    self.execute(&compiled, &plan, strategy, &mut probes, &mut rows_fetched);
+                (ids, plan.kind)
+            }
+        };
+        let elapsed = start.elapsed();
+        probes += self.drain_baseline_counters(strategy);
+        let after = self.snapshot(strategy);
+        let delta = after.since(&before);
+        QueryAnswer {
+            ids,
+            plan: plan_kind,
+            metrics: QueryMetrics {
+                probes,
+                rows_fetched,
+                logical_reads: delta.logical_reads,
+                physical_reads: delta.physical_reads,
+                elapsed,
+            },
+        }
+    }
+
+    /// Twig nodes whose ids the execution actually consumes: the output
+    /// node, nodes shared between subpaths (join keys), probe anchors,
+    /// and the endpoints of `//` edges. Interior ids outside this set
+    /// need not be materialized — which is what lets the Index Fabric
+    /// answer a fully-specified single-path query in one probe (§5.2.1)
+    /// while still paying the per-step walks on branching queries.
+    fn needed_nodes(&self, compiled: &CompiledTwig, plan: &QueryPlan) -> HashSet<usize> {
+        let mut needed: HashSet<usize> = HashSet::new();
+        needed.insert(compiled.twig.output);
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        for sp in &compiled.subpaths {
+            for &node in &sp.nodes {
+                *seen.entry(node).or_insert(0) += 1;
+            }
+        }
+        needed.extend(seen.iter().filter(|(_, &c)| c > 1).map(|(&n, _)| n));
+        for seg in &compiled.segments {
+            if let Some((upper, _)) = seg.parent {
+                needed.insert(upper);
+                needed.insert(seg.root);
+            }
+        }
+        for step in &plan.steps {
+            if let Some(probe) = &step.probe {
+                needed.insert(probe.anchor);
+            }
+        }
+        needed
+    }
+
+    fn execute(
+        &self,
+        compiled: &CompiledTwig,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        probes: &mut u64,
+        rows_fetched: &mut u64,
+    ) -> BTreeSet<u64> {
+        let n = compiled.twig.len();
+        let use_inlj = plan.kind == PlanKind::IndexNestedLoop
+            && strategy == Strategy::DataPaths
+            && self.dp.is_some();
+        let needed = self.needed_nodes(compiled, plan);
+        let interior_needed = |sp: &crate::decompose::SubpathSpec| {
+            sp.nodes[..sp.nodes.len() - 1].iter().any(|n| needed.contains(n))
+        };
+        let mut rows: Vec<Row> = Vec::new();
+        for (i, step) in plan.steps.iter().enumerate() {
+            let sp = &compiled.subpaths[step.subpath];
+            if i == 0 {
+                let (matches, full) =
+                    self.eval_free(strategy, &sp.q, interior_needed(sp), probes);
+                *rows_fetched += matches.len() as u64;
+                rows = self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, matches, full);
+            } else {
+                if rows.is_empty() {
+                    return BTreeSet::new();
+                }
+                // A branch is a pure existence filter when none of the
+                // bindings it would add are consumed later: run it as a
+                // semi-join (the relational plan for an EXISTS predicate).
+                let (keep, _) = self.keep_after(compiled, plan, i);
+                let join = step.join.as_ref().expect("non-first steps carry joins");
+                let already: HashSet<usize> = match join {
+                    JoinHow::SharedNode { shared, .. } => shared.iter().copied().collect(),
+                    JoinHow::AncestorOf { .. } | JoinHow::DescendantBound { .. } => HashSet::new(),
+                };
+                let semi = sp
+                    .nodes
+                    .iter()
+                    .all(|node| already.contains(node) || !keep.contains(node));
+                let probe_ok = use_inlj
+                    && step.probe.as_ref().is_some_and(|p| self.probe_head_allowed(compiled, p));
+                if probe_ok {
+                    let probe = step.probe.as_ref().unwrap();
+                    rows = self.inlj_extend(compiled, rows, probe, semi, probes, rows_fetched);
+                } else {
+                    let (matches, full) =
+                        self.eval_free(strategy, &sp.q, interior_needed(sp), probes);
+                    *rows_fetched += matches.len() as u64;
+                    let new_rows =
+                        self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, matches, full);
+                    rows = self.join(rows, new_rows, join, semi, probes);
+                }
+            }
+            // Early projection + duplicate elimination: existence
+            // predicates must not enumerate full match tuples (a
+            // relational engine would run these joins as semi-joins).
+            // Keep only bindings that later steps or the output consume.
+            self.project_rows(compiled, plan, i, &mut rows);
+        }
+        let out = compiled.twig.output;
+        rows.into_iter().map(|r| r.bind[out]).filter(|&id| id != UNBOUND).collect()
+    }
+
+    /// Twig nodes consumed by steps after `done`, plus the output node;
+    /// the second set lists segment roots whose ancestor lists later
+    /// `//` joins need.
+    fn keep_after(
+        &self,
+        compiled: &CompiledTwig,
+        plan: &QueryPlan,
+        done: usize,
+    ) -> (HashSet<usize>, HashSet<usize>) {
+        let mut keep: HashSet<usize> = HashSet::new();
+        keep.insert(compiled.twig.output);
+        let mut keep_anc: HashSet<usize> = HashSet::new();
+        for step in &plan.steps[done + 1..] {
+            let sp = &compiled.subpaths[step.subpath];
+            keep.extend(sp.nodes.iter().copied());
+            if let Some(probe) = &step.probe {
+                keep.insert(probe.anchor);
+            }
+            match &step.join {
+                Some(JoinHow::SharedNode { shared, deepest }) => {
+                    keep.insert(*deepest);
+                    keep.extend(shared.iter().copied());
+                }
+                Some(JoinHow::AncestorOf { upper, seg_root }) => {
+                    keep.insert(*upper);
+                    keep.insert(*seg_root);
+                }
+                Some(JoinHow::DescendantBound { upper, seg_root }) => {
+                    keep.insert(*upper);
+                    keep.insert(*seg_root);
+                    keep_anc.insert(*seg_root);
+                }
+                None => {}
+            }
+        }
+        (keep, keep_anc)
+    }
+
+    /// Projects away twig-node bindings no later step consumes, then
+    /// deduplicates rows. `done` is the index of the just-executed step.
+    fn project_rows(
+        &self,
+        compiled: &CompiledTwig,
+        plan: &QueryPlan,
+        done: usize,
+        rows: &mut Vec<Row>,
+    ) {
+        let (keep, keep_anc) = self.keep_after(compiled, plan, done);
+        for row in rows.iter_mut() {
+            for (node, bind) in row.bind.iter_mut().enumerate() {
+                if !keep.contains(&node) {
+                    *bind = UNBOUND;
+                }
+            }
+            row.anc.retain(|(node, _)| keep_anc.contains(node));
+        }
+        // Dedup by bindings; ancestor lists are functionally determined
+        // by the segment-root binding, so keeping the first is safe.
+        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(rows.len());
+        rows.retain(|r| seen.insert(r.bind.clone()));
+    }
+
+    /// §4.3: a pruned DATAPATHS index only supports probes on retained
+    /// head tags.
+    fn probe_head_allowed(&self, compiled: &CompiledTwig, probe: &ProbeSpec) -> bool {
+        match &self.pruned_tags {
+            None => true,
+            Some(tags) => self
+                .forest
+                .dict()
+                .lookup(&compiled.twig.nodes[probe.anchor].tag)
+                .is_some_and(|t| tags.contains(&t)),
+        }
+    }
+
+    /// Evaluates one PCsubpath with the strategy's probe pattern.
+    /// Returns the matches and whether they carry full root IdLists.
+    fn eval_free(
+        &self,
+        strategy: Strategy,
+        q: &PcSubpathQuery,
+        interior: bool,
+        probes: &mut u64,
+    ) -> (Vec<PathMatch>, bool) {
+        match strategy {
+            Strategy::RootPaths => {
+                *probes += 1;
+                (self.rp.as_ref().expect("ROOTPATHS not built").0.lookup_free(q), true)
+            }
+            Strategy::DataPaths => {
+                *probes += 1;
+                (self.dp.as_ref().expect("DATAPATHS not built").0.lookup_free(q), true)
+            }
+            Strategy::Edge => {
+                // The Edge chain must walk every step regardless: interior
+                // tags are only verifiable through backward-link probes.
+                let (e, _) = self.edge.as_ref().expect("Edge not built");
+                (e.eval_pcsubpath(q), false)
+            }
+            Strategy::DataGuideEdge => (self.eval_dataguide_edge(q, interior), false),
+            Strategy::IndexFabricEdge => (self.eval_fabric_edge(q, interior), false),
+            Strategy::Asr => {
+                let (a, _) = self.asr.as_ref().expect("ASR not built");
+                (a.eval_pcsubpath(q), true)
+            }
+            Strategy::JoinIndex => (self.eval_join_index(q, interior), false),
+        }
+    }
+
+    /// DG+Edge (§5.1.2): the DataGuide answers anchored structural paths;
+    /// values come from the Edge value index and are joined on node id;
+    /// interior ids are recovered with backward-link walks; `//` patterns
+    /// fall back to the Edge chain entirely.
+    fn eval_dataguide_edge(&self, q: &PcSubpathQuery, interior: bool) -> Vec<PathMatch> {
+        let (dg, _) = self.dg.as_ref().expect("DataGuide not built");
+        let (edge, _) = self.edge.as_ref().expect("Edge not built");
+        if !q.anchored {
+            return edge.eval_pcsubpath(q);
+        }
+        let path_ids = dg.path_instances(&q.tags);
+        let leaf_ids: Vec<u64> = match &q.value {
+            None => path_ids,
+            Some(v) => {
+                let valued: HashSet<u64> =
+                    edge.nodes_with(*q.tags.last().unwrap(), Some(v)).into_iter().collect();
+                path_ids.into_iter().filter(|id| valued.contains(id)).collect()
+            }
+        };
+        if interior {
+            self.materialize_by_walking(edge, q, leaf_ids)
+        } else {
+            leaf_only_matches(q, leaf_ids)
+        }
+    }
+
+    /// IF+Edge (§5.1.2): the fabric answers valued root-to-leaf paths in
+    /// one probe; everything else falls back to the Edge chain.
+    fn eval_fabric_edge(&self, q: &PcSubpathQuery, interior: bool) -> Vec<PathMatch> {
+        let (fab, _) = self.fab.as_ref().expect("IndexFabric not built");
+        let (edge, _) = self.edge.as_ref().expect("Edge not built");
+        match (&q.value, q.anchored) {
+            (Some(v), true) => {
+                let leaf_ids = fab.leaf_instances(&q.tags, v);
+                if interior {
+                    self.materialize_by_walking(edge, q, leaf_ids)
+                } else {
+                    // The paper's Fig. 11 case: a fully-specified valued
+                    // path is one fabric probe, nothing else.
+                    leaf_only_matches(q, leaf_ids)
+                }
+            }
+            _ => edge.eval_pcsubpath(q),
+        }
+    }
+
+    /// Join Indices (§5.2.6): constants resolve through the Edge value
+    /// index; endpoints and interior positions come from the per-path
+    /// table pairs.
+    fn eval_join_index(&self, q: &PcSubpathQuery, interior: bool) -> Vec<PathMatch> {
+        let (ji, _) = self.ji.as_ref().expect("JoinIndices not built");
+        match &q.value {
+            Some(v) => {
+                let (edge, _) = self.edge.as_ref().expect("Edge not built");
+                let leaves = edge.nodes_with(*q.tags.last().unwrap(), Some(v));
+                if interior {
+                    ji.eval_pcsubpath_with_leaves(q, &leaves)
+                } else {
+                    // Path membership still needs one backward probe per
+                    // candidate per matching expression; interior
+                    // positions are skipped.
+                    let mut out = Vec::new();
+                    for (path, split) in ji.matching_expressions(q) {
+                        for &leaf in &leaves {
+                            if q.tags.len() == 1 || !ji.first_ids(&path, split, leaf).is_empty()
+                            {
+                                out.push(PathMatch {
+                                    head: 0,
+                                    tags: vec![*q.tags.last().unwrap()],
+                                    ids: vec![leaf],
+                                });
+                            }
+                        }
+                    }
+                    out.sort_by(|a, b| a.ids.cmp(&b.ids));
+                    out.dedup_by(|a, b| a.ids == b.ids);
+                    out
+                }
+            }
+            None => ji.eval_pcsubpath_structural(q),
+        }
+    }
+
+    /// Recovers interior step ids for known root-anchored leaf matches by
+    /// backward-link walks (one probe per step per candidate).
+    fn materialize_by_walking(
+        &self,
+        edge: &EdgeTable,
+        q: &PcSubpathQuery,
+        leaf_ids: Vec<u64>,
+    ) -> Vec<PathMatch> {
+        let k = q.tags.len();
+        leaf_ids
+            .into_iter()
+            .filter_map(|leaf| {
+                let mut ids = vec![0u64; k];
+                ids[k - 1] = leaf;
+                let mut cur = leaf;
+                for i in (0..k - 1).rev() {
+                    let (parent, _) = edge.parent_of(cur)?;
+                    ids[i] = parent;
+                    cur = parent;
+                }
+                Some(PathMatch { head: 0, tags: q.tags.clone(), ids })
+            })
+            .collect()
+    }
+
+    /// Converts matches into binding rows; applies long-value rechecks;
+    /// captures ancestor lists for segment roots when available.
+    fn rows_from_matches(
+        &self,
+        n: usize,
+        nodes: &[usize],
+        q: &PcSubpathQuery,
+        matches: Vec<PathMatch>,
+        full_root: bool,
+    ) -> Vec<Row> {
+        let k = nodes.len();
+        let recheck = q.value.as_deref().filter(|v| value_needs_recheck(v));
+        let mut rows = Vec::with_capacity(matches.len());
+        for m in matches {
+            // Leaf-only matches (interior positions skipped) bind just the
+            // final step; full matches bind every step.
+            let bound = m.ids.len().min(k);
+            let tail = &m.ids[m.ids.len() - bound..];
+            let nodes = &nodes[k - bound..];
+            if let Some(v) = recheck {
+                let leaf = NodeId(*tail.last().unwrap());
+                if self.forest.value_str(leaf) != Some(v) {
+                    continue;
+                }
+            }
+            let mut row = Row::new(n);
+            for (&node, &id) in nodes.iter().zip(tail) {
+                row.bind[node] = id;
+            }
+            if full_root && m.ids.len() > bound {
+                row.anc.push((nodes[0], Arc::new(m.ids[..m.ids.len() - bound].to_vec())));
+            } else if full_root {
+                row.anc.push((nodes[0], Arc::new(Vec::new())));
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// Ancestors of `id`, preferring the captured IdList prefix, falling
+    /// back to backward-link walks (Edge-family) or the base tree.
+    fn ancestor_ids(&self, row: &Row, node: usize, probes: &mut u64) -> Arc<Vec<u64>> {
+        if let Some(anc) = row.ancestors_of(node) {
+            return anc.clone();
+        }
+        let id = row.bind[node];
+        debug_assert_ne!(id, UNBOUND);
+        if let Some((edge, _)) = &self.edge {
+            return Arc::new(edge.ancestors_of(id));
+        }
+        // Base-data fallback: one lookup per ancestor step, equivalent in
+        // cost to the backward-link walk.
+        let mut path = self.forest.root_path_ids(NodeId(id));
+        path.pop(); // drop the node itself
+        *probes += path.len() as u64;
+        path.reverse();
+        Arc::new(path.into_iter().map(|n| n.0).collect())
+    }
+
+    fn join(
+        &self,
+        left: Vec<Row>,
+        right: Vec<Row>,
+        how: &JoinHow,
+        semi: bool,
+        probes: &mut u64,
+    ) -> Vec<Row> {
+        match how {
+            JoinHow::SharedNode { deepest, shared } => {
+                if semi {
+                    // Existence filter: keep each left row once if any
+                    // consistent right row exists.
+                    let mut table: HashMap<u64, Vec<&Row>> = HashMap::new();
+                    for r in &right {
+                        table.entry(r.bind[*deepest]).or_default().push(r);
+                    }
+                    return left
+                        .into_iter()
+                        .filter(|r1| {
+                            table.get(&r1.bind[*deepest]).is_some_and(|bucket| {
+                                bucket.iter().any(|r2| {
+                                    shared.iter().all(|&s| {
+                                        r1.bind[s] == UNBOUND
+                                            || r2.bind[s] == UNBOUND
+                                            || r1.bind[s] == r2.bind[s]
+                                    })
+                                })
+                            })
+                        })
+                        .collect();
+                }
+                let mut table: HashMap<u64, Vec<&Row>> = HashMap::new();
+                for r in &left {
+                    table.entry(r.bind[*deepest]).or_default().push(r);
+                }
+                let mut out = Vec::new();
+                for r2 in &right {
+                    let Some(bucket) = table.get(&r2.bind[*deepest]) else { continue };
+                    for r1 in bucket {
+                        if shared.iter().all(|&s| {
+                            r1.bind[s] == UNBOUND
+                                || r2.bind[s] == UNBOUND
+                                || r1.bind[s] == r2.bind[s]
+                        }) {
+                            out.push(merge_rows(r1, r2));
+                        }
+                    }
+                }
+                out
+            }
+            JoinHow::AncestorOf { upper, seg_root } => {
+                if semi {
+                    // Keep left rows whose `upper` binding is an ancestor
+                    // of some right segment root.
+                    let mut anc_union: HashSet<u64> = HashSet::new();
+                    for r2 in &right {
+                        anc_union.extend(self.ancestor_ids(r2, *seg_root, probes).iter());
+                    }
+                    return left.into_iter().filter(|r| anc_union.contains(&r.bind[*upper])).collect();
+                }
+                if self.structural_ad_joins {
+                    return self.structural_join(left, right, *upper, *seg_root);
+                }
+                // left rows bind `upper`; right rows bind the segment
+                // root; unnest right's ancestors and equi-join.
+                let mut table: HashMap<u64, Vec<&Row>> = HashMap::new();
+                for r in &left {
+                    table.entry(r.bind[*upper]).or_default().push(r);
+                }
+                let mut out = Vec::new();
+                for r2 in &right {
+                    let ancs = self.ancestor_ids(r2, *seg_root, probes);
+                    for &a in ancs.iter() {
+                        if let Some(bucket) = table.get(&a) {
+                            for r1 in bucket {
+                                out.push(merge_rows(r1, r2));
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            JoinHow::DescendantBound { upper, seg_root } => {
+                if semi {
+                    // Keep left rows with some right `upper` among their
+                    // segment root's ancestors.
+                    let uppers: HashSet<u64> = right.iter().map(|r| r.bind[*upper]).collect();
+                    return left
+                        .into_iter()
+                        .filter(|r1| {
+                            self.ancestor_ids(r1, *seg_root, probes)
+                                .iter()
+                                .any(|a| uppers.contains(a))
+                        })
+                        .collect();
+                }
+                if self.structural_ad_joins {
+                    return self.structural_join(right, left, *upper, *seg_root);
+                }
+                // left rows bind the lower segment root; right rows bind
+                // `upper`.
+                let mut table: HashMap<u64, Vec<&Row>> = HashMap::new();
+                for r in &right {
+                    table.entry(r.bind[*upper]).or_default().push(r);
+                }
+                let mut out = Vec::new();
+                for r1 in &left {
+                    let ancs = self.ancestor_ids(r1, *seg_root, probes);
+                    for &a in ancs.iter() {
+                        if let Some(bucket) = table.get(&a) {
+                            for r2 in bucket {
+                                out.push(merge_rows(r1, r2));
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Stitches an ancestor-descendant edge with the stack-based
+    /// structural join (§6's alternative): one merge pass over the
+    /// interval-sorted binding sets instead of ancestor unnesting.
+    fn structural_join(
+        &self,
+        upper_rows: Vec<Row>,
+        lower_rows: Vec<Row>,
+        upper: usize,
+        seg_root: usize,
+    ) -> Vec<Row> {
+        let upper_ids: Vec<u64> = upper_rows.iter().map(|r| r.bind[upper]).collect();
+        let lower_ids: Vec<u64> = lower_rows.iter().map(|r| r.bind[seg_root]).collect();
+        let pairs = crate::stitch::containment_join(self.forest, &upper_ids, &lower_ids);
+        let mut by_upper: HashMap<u64, Vec<&Row>> = HashMap::new();
+        for r in &upper_rows {
+            by_upper.entry(r.bind[upper]).or_default().push(r);
+        }
+        let mut by_lower: HashMap<u64, Vec<&Row>> = HashMap::new();
+        for r in &lower_rows {
+            by_lower.entry(r.bind[seg_root]).or_default().push(r);
+        }
+        let mut out = Vec::new();
+        for (a, d) in pairs {
+            if let (Some(us), Some(ls)) = (by_upper.get(&a), by_lower.get(&d)) {
+                for u in us {
+                    for l in ls {
+                        out.push(merge_rows(u, l));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The index-nested-loop extension (§3.3): group rows by the anchor
+    /// binding, issue one BoundIndex probe per distinct head, and fan the
+    /// results back out.
+    fn inlj_extend(
+        &self,
+        compiled: &CompiledTwig,
+        rows: Vec<Row>,
+        probe: &ProbeSpec,
+        semi: bool,
+        probes: &mut u64,
+        rows_fetched: &mut u64,
+    ) -> Vec<Row> {
+        let (dp, _) = self.dp.as_ref().expect("INLJ requires DATAPATHS");
+        let anchor_tag = self
+            .forest
+            .dict()
+            .lookup(&compiled.twig.nodes[probe.anchor].tag)
+            .expect("anchor tag resolved during decompose");
+        let recheck = probe.pattern.value.as_deref().filter(|v| value_needs_recheck(v));
+        let mut by_head: HashMap<u64, Vec<Row>> = HashMap::new();
+        for r in rows {
+            by_head.entry(r.bind[probe.anchor]).or_default().push(r);
+        }
+        let mut out = Vec::new();
+        for (head, group) in by_head {
+            debug_assert_ne!(head, UNBOUND);
+            *probes += 1;
+            let matches = dp.lookup_bound(head, anchor_tag, &probe.pattern);
+            *rows_fetched += matches.len() as u64;
+            if semi {
+                // Existence probe: the head survives if any match passes
+                // the (rare) long-value recheck.
+                let hit = matches.iter().any(|m| match recheck {
+                    None => true,
+                    Some(v) => {
+                        self.forest.value_str(NodeId(*m.ids.last().unwrap())) == Some(v)
+                    }
+                });
+                if hit {
+                    out.extend(group);
+                }
+                continue;
+            }
+            for m in matches {
+                let k = probe.step_nodes.len();
+                let tail = &m.ids[m.ids.len() - k..];
+                if let Some(v) = recheck {
+                    if self.forest.value_str(NodeId(*tail.last().unwrap())) != Some(v) {
+                        continue;
+                    }
+                }
+                for r in &group {
+                    let mut nr = r.clone();
+                    for (&node, &id) in probe.step_nodes.iter().zip(tail) {
+                        nr.bind[node] = id;
+                    }
+                    out.push(nr);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Matches carrying only the final step's id (interior skipped).
+fn leaf_only_matches(q: &PcSubpathQuery, leaf_ids: Vec<u64>) -> Vec<PathMatch> {
+    let leaf_tag = *q.tags.last().unwrap();
+    leaf_ids
+        .into_iter()
+        .map(|id| PathMatch { head: 0, tags: vec![leaf_tag], ids: vec![id] })
+        .collect()
+}
+
+fn merge_rows(r1: &Row, r2: &Row) -> Row {
+    let mut bind = r1.bind.clone();
+    for (i, &v) in r2.bind.iter().enumerate() {
+        if v != UNBOUND {
+            bind[i] = v;
+        }
+    }
+    let mut anc = r1.anc.clone();
+    for (n, a) in &r2.anc {
+        if !anc.iter().any(|(m, _)| m == n) {
+            anc.push((*n, a.clone()));
+        }
+    }
+    Row { bind, anc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse_xpath;
+    use xtwig_xml::naive;
+    use xtwig_xml::tree::fig1_book_document;
+
+    fn engine(forest: &XmlForest) -> QueryEngine<'_> {
+        QueryEngine::build(forest, EngineOptions { pool_pages: 1024, ..Default::default() })
+    }
+
+    fn check_all_strategies(engine: &QueryEngine<'_>, xpath: &str) {
+        let twig = parse_xpath(xpath).unwrap();
+        let expected: BTreeSet<u64> =
+            naive::select(engine.forest(), &twig).into_iter().map(|n| n.0).collect();
+        for s in Strategy::ALL {
+            let got = engine.answer(&twig, s);
+            assert_eq!(
+                got.ids,
+                expected,
+                "strategy {} disagrees with oracle on {xpath}",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn all_strategies_answer_the_intro_query() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        check_all_strategies(&e, "/book[title='XML']//author[fn='jane'][ln='doe']");
+    }
+
+    #[test]
+    fn single_path_queries() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        for q in [
+            "/book/title[. = 'XML']",
+            "/book/allauthors/author/fn[. = 'jane']",
+            "/book/allauthors/author",
+            "/book",
+            "//title",
+            "//author/ln[. = 'doe']",
+            "//section/head",
+        ] {
+            check_all_strategies(&e, q);
+        }
+    }
+
+    #[test]
+    fn branching_queries() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        for q in [
+            "/book[year = '2000']/chapter/title",
+            "//author[fn = 'jane'][ln = 'doe']",
+            "//author[fn = 'jane']/ln",
+            "/book[title = 'XML'][year = '2000']//section/head",
+            "//chapter[title = 'XML']/section/head",
+        ] {
+            check_all_strategies(&e, q);
+        }
+    }
+
+    #[test]
+    fn recursive_edges_inside_twig() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        for q in [
+            "/book//head",
+            "/book//author[fn = 'john']",
+            "/book[title = 'XML']//section[head = 'Origins']",
+            "//allauthors//ln[. = 'doe']",
+            "/book//contact/detail",
+        ] {
+            check_all_strategies(&e, q);
+        }
+    }
+
+    #[test]
+    fn empty_results_are_consistent() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        for q in [
+            "/book/title[. = 'JSON']",
+            "//author[fn = 'jane'][ln = 'poe']/nickname[. = 'nobody']",
+            "/chapter/title", // chapter is not a document root
+            "//unknown_tag_never_seen",
+        ] {
+            check_all_strategies(&e, q);
+        }
+    }
+
+    #[test]
+    fn inlj_and_merge_agree() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        // Low branch point with a selective branch: //author[fn='john']/nickname
+        let twig = parse_xpath("//author[fn = 'john']/nickname").unwrap();
+        let expected: BTreeSet<u64> =
+            naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
+        let dp = e.answer(&twig, Strategy::DataPaths);
+        let rp = e.answer(&twig, Strategy::RootPaths);
+        assert_eq!(dp.ids, expected);
+        assert_eq!(rp.ids, expected);
+    }
+
+    #[test]
+    fn metrics_populate() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        let twig = parse_xpath("//author[fn = 'jane'][ln = 'doe']").unwrap();
+        let a = e.answer(&twig, Strategy::RootPaths);
+        assert!(a.metrics.probes >= 2, "two subpath lookups");
+        assert!(a.metrics.rows_fetched >= 2);
+        assert!(a.metrics.logical_reads > 0);
+        let edge = e.answer(&twig, Strategy::Edge);
+        assert!(
+            edge.metrics.probes > a.metrics.probes,
+            "Edge must probe more than ROOTPATHS ({} vs {})",
+            edge.metrics.probes,
+            a.metrics.probes
+        );
+    }
+
+    #[test]
+    fn space_report_orders_like_fig9() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        let rp = e.space_bytes(Strategy::RootPaths);
+        let dp = e.space_bytes(Strategy::DataPaths);
+        assert!(rp > 0 && dp > 0);
+        assert!(dp >= rp, "DATAPATHS at least as large as ROOTPATHS");
+        let ji = e.space_bytes(Strategy::JoinIndex);
+        let asr = e.space_bytes(Strategy::Asr);
+        assert!(ji > asr, "Fig 9: JI is the largest configuration");
+    }
+
+    #[test]
+    fn pruned_engine_still_answers_off_workload_queries() {
+        let f = fig1_book_document();
+        let workload = vec![parse_xpath("/book[title='XML']//author[fn='jane']").unwrap()];
+        let filter = crate::compress::workload_head_filter(&workload);
+        let e = QueryEngine::build(
+            &f,
+            EngineOptions {
+                strategies: vec![Strategy::DataPaths],
+                pool_pages: 1024,
+                head_filter_tags: Some(filter),
+                ..Default::default()
+            },
+        );
+        // Off-workload branching query must still be answered (merge plan
+        // via the retained FreeIndex rows).
+        let twig = parse_xpath("//chapter[title = 'XML']/section").unwrap();
+        let expected: BTreeSet<u64> =
+            naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
+        let got = e.answer(&twig, Strategy::DataPaths);
+        assert_eq!(got.ids, expected);
+    }
+
+    #[test]
+    fn multi_document_queries() {
+        let mut f = XmlForest::new();
+        for i in 0..5 {
+            let mut b = f.builder();
+            b.open("book");
+            b.leaf("title", if i % 2 == 0 { "XML" } else { "SQL" });
+            b.open("allauthors");
+            b.open("author");
+            b.leaf("fn", "jane");
+            b.leaf("ln", if i == 2 { "doe" } else { "poe" });
+            b.close();
+            b.close();
+            b.close();
+            b.finish();
+        }
+        let e = engine(&f);
+        check_all_strategies(&e, "/book[title='XML']//author[fn='jane'][ln='doe']");
+        check_all_strategies(&e, "/book/title[. = 'SQL']");
+        check_all_strategies(&e, "//author[ln = 'poe']");
+    }
+}

@@ -1,0 +1,155 @@
+//! Simulated Index Fabric (paper §5.1.2, [Cooper et al.]).
+//!
+//! The Index Fabric indexes XML paths **and data values together**, but
+//! only for full root-to-leaf paths, and returns only the leaf (or root)
+//! id. Like the paper, we simulate the Patricia trie with a regular
+//! B+-tree whose keys concatenate the forward schema path and the leaf
+//! value; B+-tree interior prefix truncation plays the role of the
+//! trie's key compression.
+//!
+//! Consequences measured in §5: fully-specified valued path queries are
+//! one probe (Fig. 11's strong IF result), but prefix (non-leaf) paths,
+//! `//` patterns, and branch-point retrieval all fall back to Edge-chain
+//! evaluation (IF+Edge).
+
+use crate::designator;
+use crate::family::{
+    value_key_prefix, FamilyPosition, IdListSublist, IndexedColumn, PathIndex, SchemaPathSubset,
+};
+use crate::paths::for_each_root_path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_rel::codec::KeyBuf;
+use xtwig_storage::BufferPool;
+use xtwig_xml::{TagId, XmlForest};
+
+/// The simulated Index Fabric.
+pub struct IndexFabric {
+    tree: BTree,
+    lookups: AtomicU64,
+}
+
+impl IndexFabric {
+    /// Builds the fabric (valued root-to-leaf paths only) from `forest`.
+    pub fn build(forest: &XmlForest, pool: Arc<BufferPool>) -> Self {
+        let mut entries = Vec::new();
+        for_each_root_path(forest, |tags, ids, value| {
+            let Some(v) = value else { return };
+            let mut key = KeyBuf::new();
+            let mut path = Vec::with_capacity(tags.len() + 1);
+            designator::push_path(&mut path, tags);
+            path.push(designator::TERMINATOR);
+            key.push_raw(&path);
+            key.push_str(value_key_prefix(v));
+            key.push_u64(*ids.last().unwrap());
+            entries.push((key.finish(), Vec::new()));
+        });
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        IndexFabric {
+            tree: bulk_build(pool, BTreeOptions::default(), entries),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Leaf ids of every instance of the exact root-anchored path `tags`
+    /// whose leaf value equals `value` — one probe.
+    pub fn leaf_instances(&self, tags: &[TagId], value: &str) -> Vec<u64> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut key = KeyBuf::new();
+        let mut path = Vec::with_capacity(tags.len() + 1);
+        designator::push_path(&mut path, tags);
+        path.push(designator::TERMINATOR);
+        key.push_raw(&path);
+        key.push_str(value_key_prefix(value));
+        self.tree
+            .scan_prefix(key.as_bytes())
+            .map(|(k, _)| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&k[k.len() - 8..]);
+                u64::from_be_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Index probes issued since the last call.
+    pub fn take_lookups(&self) -> u64 {
+        self.lookups.swap(0, Ordering::Relaxed)
+    }
+
+    /// Entry count.
+    pub fn rows(&self) -> u64 {
+        self.tree.len()
+    }
+}
+
+impl PathIndex for IndexFabric {
+    fn name(&self) -> &'static str {
+        "IndexFabric"
+    }
+
+    fn family_position(&self) -> FamilyPosition {
+        FamilyPosition {
+            schema_paths: SchemaPathSubset::RootToLeaf,
+            idlist: IdListSublist::FirstOrLast,
+            indexed: vec![IndexedColumn::SchemaPath, IndexedColumn::LeafValue],
+        }
+    }
+
+    fn space_bytes(&self) -> u64 {
+        self.tree.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_xml::tree::fig1_book_document;
+
+    fn tags(f: &XmlForest, names: &[&str]) -> Vec<TagId> {
+        names.iter().map(|n| f.dict().lookup(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn valued_root_to_leaf_is_one_probe() {
+        let f = fig1_book_document();
+        let fab = IndexFabric::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        let path = tags(&f, &["book", "allauthors", "author", "fn"]);
+        let mut janes = fab.leaf_instances(&path, "jane");
+        janes.sort_unstable();
+        assert_eq!(janes, vec![7, 42]);
+        assert_eq!(fab.take_lookups(), 1);
+        assert!(fab.leaf_instances(&path, "zoe").is_empty());
+    }
+
+    #[test]
+    fn only_valued_leaves_are_stored() {
+        let f = fig1_book_document();
+        let fab = IndexFabric::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        let valued = f.iter_nodes().filter(|&n| f.value(n).is_some()).count() as u64;
+        assert_eq!(fab.rows(), valued);
+    }
+
+    #[test]
+    fn value_must_match_exactly() {
+        let f = fig1_book_document();
+        let fab = IndexFabric::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        let path = tags(&f, &["book", "title"]);
+        assert_eq!(fab.leaf_instances(&path, "XML"), vec![2]);
+        assert!(fab.leaf_instances(&path, "XM").is_empty());
+        assert!(fab.leaf_instances(&path, "XMLX").is_empty());
+    }
+
+    #[test]
+    fn family_position_is_fig3_row() {
+        let f = fig1_book_document();
+        let fab = IndexFabric::build(&f, Arc::new(BufferPool::in_memory(4096)));
+        let pos = fab.family_position();
+        assert_eq!(pos.schema_paths, SchemaPathSubset::RootToLeaf);
+        assert_eq!(pos.idlist, IdListSublist::FirstOrLast);
+        assert_eq!(
+            pos.indexed,
+            vec![IndexedColumn::SchemaPath, IndexedColumn::LeafValue]
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Join Indices (paper §5.1.2, §5.2.6, [Valduriez]).
+//!
+//! A join index materializes the endpoint pairs of a path expression:
+//! only the **starting and ending node id** of each instance are stored.
+//! To support ad hoc queries we materialize, for every distinct
+//! root-anchored schema path `p` and every split position `j`, the join
+//! index of the path expression `p[j..]` *in the context of* `p` — i.e.,
+//! pairs `(id at step j, leaf id)`.
+//!
+//! Two consequences the paper measures:
+//!
+//! * each materialized expression needs **two** B+-trees (forward on the
+//!   start id, backward on the end id) so intermediate/branch nodes can
+//!   be recovered from either side — which is why Join Indices are the
+//!   largest configuration in Fig. 9;
+//! * a `//` pattern matching *m* distinct schema paths opens *m*
+//!   table pairs (Fig. 13's linear-in-paths cost), and recovering each
+//!   interior position of a pattern costs one backward probe per
+//!   candidate per position.
+
+use crate::family::{
+    FamilyPosition, IdListSublist, IndexedColumn, PathIndex, PathMatch, PcSubpathQuery,
+    SchemaPathSubset,
+};
+use crate::paths::for_each_root_path;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_rel::codec::KeyBuf;
+use xtwig_storage::BufferPool;
+use xtwig_xml::{TagId, XmlForest};
+
+struct JiPair {
+    /// `(first id, last id) → ()`
+    forward: BTree,
+    /// `(last id, first id) → ()`
+    backward: BTree,
+}
+
+/// The full set of join indices.
+pub struct JoinIndices {
+    /// Keyed by (full root path, split position).
+    tables: HashMap<(Vec<TagId>, usize), JiPair>,
+    lookups: AtomicU64,
+}
+
+fn pair_key(a: u64, b: u64) -> Vec<u8> {
+    let mut k = KeyBuf::new();
+    k.push_u64(a);
+    k.push_u64(b);
+    k.finish()
+}
+
+fn trailing_u64(k: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&k[k.len() - 8..]);
+    u64::from_be_bytes(b)
+}
+
+impl JoinIndices {
+    /// Materializes all join indices from `forest`.
+    pub fn build(forest: &XmlForest, pool: Arc<BufferPool>) -> Self {
+        type Entries = (Vec<(Vec<u8>, Vec<u8>)>, Vec<(Vec<u8>, Vec<u8>)>);
+        let mut grouped: HashMap<(Vec<TagId>, usize), Entries> = HashMap::new();
+        for_each_root_path(forest, |tags, ids, value| {
+            if value.is_some() {
+                return; // endpoints only; values live in the base data
+            }
+            let last = *ids.last().unwrap();
+            for (j, &start) in ids.iter().enumerate() {
+                let e = grouped.entry((tags.to_vec(), j)).or_default();
+                e.0.push((pair_key(start, last), Vec::new()));
+                e.1.push((pair_key(last, start), Vec::new()));
+            }
+        });
+        let mut tables = HashMap::with_capacity(grouped.len());
+        let opts = BTreeOptions::default();
+        for (key, (mut fwd, mut bwd)) in grouped {
+            fwd.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            bwd.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            tables.insert(
+                key,
+                JiPair {
+                    forward: bulk_build(pool.clone(), opts, fwd),
+                    backward: bulk_build(pool.clone(), opts, bwd),
+                },
+            );
+        }
+        JoinIndices { tables, lookups: AtomicU64::new(0) }
+    }
+
+    /// Number of materialized path expressions (each holding two trees).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Index probes issued since the last call.
+    pub fn take_lookups(&self) -> u64 {
+        self.lookups.swap(0, Ordering::Relaxed)
+    }
+
+    /// Stored `(path, split)` expressions whose suffix equals the
+    /// pattern (exact root path for anchored patterns).
+    pub fn matching_expressions(&self, q: &PcSubpathQuery) -> Vec<(Vec<TagId>, usize)> {
+        self.tables
+            .keys()
+            .filter(|(p, j)| {
+                if q.anchored {
+                    *j == 0 && p == &q.tags
+                } else {
+                    p.len() - j == q.tags.len() && p[*j..] == q.tags[..]
+                }
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Start ids paired with `last` in expression `(path, split)` — one
+    /// backward probe.
+    pub fn first_ids(&self, path: &[TagId], split: usize, last: u64) -> Vec<u64> {
+        let Some(pair) = self.tables.get(&(path.to_vec(), split)) else { return Vec::new() };
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut prefix = KeyBuf::new();
+        prefix.push_u64(last);
+        pair.backward.scan_prefix(prefix.as_bytes()).map(|(k, _)| trailing_u64(&k)).collect()
+    }
+
+    /// End ids paired with `first` in expression `(path, split)` — one
+    /// forward probe.
+    pub fn last_ids(&self, path: &[TagId], split: usize, first: u64) -> Vec<u64> {
+        let Some(pair) = self.tables.get(&(path.to_vec(), split)) else { return Vec::new() };
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut prefix = KeyBuf::new();
+        prefix.push_u64(first);
+        pair.forward.scan_prefix(prefix.as_bytes()).map(|(k, _)| trailing_u64(&k)).collect()
+    }
+
+    /// All endpoint pairs of an expression (structural scan).
+    pub fn all_pairs(&self, path: &[TagId], split: usize) -> Vec<(u64, u64)> {
+        let Some(pair) = self.tables.get(&(path.to_vec(), split)) else { return Vec::new() };
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        pair.forward
+            .scan_all()
+            .map(|(k, _)| {
+                // key = [u64 first][u64 last], each 9 bytes with tag.
+                let mut f = [0u8; 8];
+                f.copy_from_slice(&k[1..9]);
+                (u64::from_be_bytes(f), trailing_u64(&k))
+            })
+            .collect()
+    }
+
+    /// Evaluates a PCsubpath given the candidate leaf ids (from the Edge
+    /// value index — join indices store no values). Every interior
+    /// position is recovered with one backward probe per candidate per
+    /// matching expression.
+    pub fn eval_pcsubpath_with_leaves(
+        &self,
+        q: &PcSubpathQuery,
+        leaves: &[u64],
+    ) -> Vec<PathMatch> {
+        let k = q.tags.len();
+        let mut out = Vec::new();
+        for (path, split) in self.matching_expressions(q) {
+            for &leaf in leaves {
+                // Position i of the pattern = split + i of the full path.
+                let mut ids = vec![0u64; k];
+                ids[k - 1] = leaf;
+                let mut ok = true;
+                for (i, slot) in ids.iter_mut().take(k - 1).enumerate() {
+                    let firsts = self.first_ids(&path, split + i, leaf);
+                    match firsts.as_slice() {
+                        [one] => *slot = *one,
+                        [] => {
+                            ok = false;
+                            break;
+                        }
+                        many => {
+                            // A leaf has a unique root path; duplicates
+                            // would indicate table corruption.
+                            debug_assert!(false, "ambiguous first ids {many:?}");
+                            *slot = many[0];
+                        }
+                    }
+                }
+                if ok {
+                    out.push(PathMatch { head: 0, tags: q.tags.clone(), ids });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.ids.cmp(&b.ids));
+        out.dedup_by(|a, b| a.ids == b.ids);
+        out
+    }
+
+    /// Structural (no-value) evaluation: scans each matching expression.
+    pub fn eval_pcsubpath_structural(&self, q: &PcSubpathQuery) -> Vec<PathMatch> {
+        let k = q.tags.len();
+        let mut out = Vec::new();
+        for (path, split) in self.matching_expressions(q) {
+            for (first, last) in self.all_pairs(&path, split) {
+                let mut ids = vec![0u64; k];
+                ids[0] = first;
+                ids[k - 1] = last;
+                let mut ok = true;
+                #[allow(clippy::needless_range_loop)] // split + i is also an index
+                for i in 1..k.saturating_sub(1) {
+                    let firsts = self.first_ids(&path, split + i, last);
+                    if let [one] = firsts.as_slice() {
+                        ids[i] = *one;
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    out.push(PathMatch { head: 0, tags: q.tags.clone(), ids });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.ids.cmp(&b.ids));
+        out.dedup_by(|a, b| a.ids == b.ids);
+        out
+    }
+}
+
+impl PathIndex for JoinIndices {
+    fn name(&self) -> &'static str {
+        "JoinIndex"
+    }
+
+    /// Like ASRs, join indices encode schema as relation names; they keep
+    /// only endpoint ids (first-or-last sublist).
+    fn family_position(&self) -> FamilyPosition {
+        FamilyPosition {
+            schema_paths: SchemaPathSubset::AllSubpaths,
+            idlist: IdListSublist::FirstOrLast,
+            indexed: vec![IndexedColumn::HeadId],
+        }
+    }
+
+    fn space_bytes(&self) -> u64 {
+        self.tables.values().map(|p| p.forward.space_bytes() + p.backward.space_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_xml::tree::fig1_book_document;
+
+    fn build(f: &XmlForest) -> JoinIndices {
+        JoinIndices::build(f, Arc::new(BufferPool::in_memory(16384)))
+    }
+
+    fn q(f: &XmlForest, steps: &[&str], anchored: bool, value: Option<&str>) -> PcSubpathQuery {
+        PcSubpathQuery::resolve(f.dict(), steps, anchored, value).unwrap()
+    }
+
+    #[test]
+    fn two_trees_per_expression_and_more_tables_than_asr() {
+        let f = fig1_book_document();
+        let ji = build(&f);
+        let asr = crate::asr::AccessSupportRelations::build(
+            &f,
+            Arc::new(BufferPool::in_memory(8192)),
+        );
+        assert!(ji.table_count() > asr.table_count());
+        // Fig. 9: JI needs more space than ASR.
+        assert!(ji.space_bytes() > asr.space_bytes());
+    }
+
+    #[test]
+    fn backward_probe_recovers_start_ids() {
+        let f = fig1_book_document();
+        let ji = build(&f);
+        let path: Vec<TagId> = ["book", "allauthors", "author", "fn"]
+            .iter()
+            .map(|t| f.dict().lookup(t).unwrap())
+            .collect();
+        // From leaf fn=7 back to the author position (split 2).
+        assert_eq!(ji.first_ids(&path, 2, 7), vec![6]);
+        // Back to allauthors (split 1) and book (split 0).
+        assert_eq!(ji.first_ids(&path, 1, 7), vec![5]);
+        assert_eq!(ji.first_ids(&path, 0, 7), vec![1]);
+        // Forward from author 6: both its leaves... fn only on this path.
+        assert_eq!(ji.last_ids(&path, 2, 6), vec![7]);
+    }
+
+    #[test]
+    fn valued_eval_uses_provided_leaves() {
+        let f = fig1_book_document();
+        let ji = build(&f);
+        // Engine would get [7, 42] from the Edge value index for fn=jane.
+        let ms = ji.eval_pcsubpath_with_leaves(&q(&f, &["author", "fn"], false, None), &[7, 42]);
+        let mut lists: Vec<Vec<u64>> = ms.iter().map(|m| m.ids.clone()).collect();
+        lists.sort();
+        assert_eq!(lists, vec![vec![6, 7], vec![41, 42]]);
+    }
+
+    #[test]
+    fn structural_eval_scans_expressions() {
+        let f = fig1_book_document();
+        let ji = build(&f);
+        let ms = ji.eval_pcsubpath_structural(&q(&f, &["title"], false, None));
+        let mut last: Vec<u64> = ms.iter().map(|m| m.last_id()).collect();
+        last.sort_unstable();
+        assert_eq!(last, vec![2, 48]);
+        // Two distinct schema paths end in title -> 2 expressions scanned.
+        assert_eq!(ji.take_lookups(), 2);
+    }
+
+    #[test]
+    fn recursion_touches_linear_tables() {
+        // //detail matches two schema paths (allauthors/contact/detail
+        // appears under two contact positions? both contacts share the
+        // same schema path) -> exactly 1 expression; //fn -> 1. The
+        // multi-table effect needs distinct paths:
+        let f = fig1_book_document();
+        let ji = build(&f);
+        let exprs = ji.matching_expressions(&q(&f, &["title"], false, None));
+        assert_eq!(exprs.len(), 2); // book/title and book/chapter/title
+        let anchored = ji.matching_expressions(&q(&f, &["book", "title"], true, None));
+        assert_eq!(anchored.len(), 1);
+    }
+
+    #[test]
+    fn missing_pattern_is_empty() {
+        let f = fig1_book_document();
+        let ji = build(&f);
+        assert!(ji.eval_pcsubpath_structural(&q(&f, &["chapter", "fn"], false, None)).is_empty());
+    }
+}

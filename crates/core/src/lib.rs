@@ -1,0 +1,51 @@
+//! ROOTPATHS and DATAPATHS: relational twig-pattern indexing for XML.
+//!
+//! This crate is the primary contribution of Chen, Gehrke, Korn, Koudas,
+//! Shanmugasundaram and Srivastava, *"Index Structures for Matching XML
+//! Twigs Using Relational Query Processors"* (ICDE 2005), rebuilt as a
+//! Rust library over the substrates in `xtwig-storage`/`xtwig-btree`/
+//! `xtwig-rel`:
+//!
+//! * [`paths`] — the 4-ary relational representation of XML data paths
+//!   `(HeadId, SchemaPath, LeafValue, IdList)` (paper Fig. 2), enumerated
+//!   from an [`xtwig_xml::XmlForest`].
+//! * [`family`] — the unified framework: every index is a point in the
+//!   (SchemaPath subset, IdList sublist, indexed columns) space
+//!   (paper Fig. 3), plus the `FreeIndex`/`BoundIndex` problem traits
+//!   (paper §2.3).
+//! * [`rootpaths`] / [`datapaths`] — the two novel indexes (paper §3.2,
+//!   §3.3).
+//! * [`edge`], [`dataguide`], [`fabric`], [`asr`], [`joinindex`] — the
+//!   comparison systems of §5: Edge-table with Lore-style value/link
+//!   indexes, simulated DataGuide, simulated Index Fabric, Access Support
+//!   Relations, and Join Indices.
+//! * [`compress`] — the §4 space optimizations: differential IdList
+//!   encoding, SchemaPath dictionary compression, HeadId pruning.
+//! * [`xpath`] — the XPath-subset parser producing query twigs.
+//! * [`decompose`] — covering a twig with PCsubpaths (paper §2.2).
+//! * [`plan`] / [`engine`] — plan selection (merge vs. index-nested-loop)
+//!   and execution for all seven strategies.
+//! * [`stitch`] — the stack-based structural join of the containment-join
+//!   literature the paper cites in §6, as an alternative way to stitch
+//!   subpath matches across `//` edges.
+
+pub mod asr;
+pub mod compress;
+pub mod datapaths;
+pub mod dataguide;
+pub mod decompose;
+pub mod designator;
+pub mod edge;
+pub mod engine;
+pub mod fabric;
+pub mod family;
+pub mod joinindex;
+pub mod paths;
+pub mod plan;
+pub mod rootpaths;
+pub mod stitch;
+pub mod xpath;
+
+pub use engine::{QueryAnswer, QueryEngine, Strategy};
+pub use family::{BoundIndex, FamilyPosition, FreeIndex, PathIndex, PathMatch, PcSubpathQuery};
+pub use xpath::parse_xpath;

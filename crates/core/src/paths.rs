@@ -1,0 +1,287 @@
+//! Enumeration of the 4-ary relational representation (paper Fig. 2).
+//!
+//! A data path is a schema path plus an optional leaf value, associated
+//! with the node the path starts at (`HeadId`) and the ids along it
+//! (`IdList`). This module walks the forest once in document order and
+//! streams rows to index builders:
+//!
+//! * [`for_each_root_path`] — one row per node: the root-to-node path
+//!   (plus a second, valued row when the node has a leaf value). These
+//!   are the ROOTPATHS rows (Fig. 4) and the `HeadId = virtual root` rows
+//!   of DATAPATHS (Fig. 5, footnote 4).
+//! * [`for_each_subpath`] — for every node, one row per path *suffix
+//!   start*: all subpaths of root-to-leaf paths (the remaining DATAPATHS
+//!   rows).
+//!
+//! It also builds [`PathStats`], the statistics the planner uses to rank
+//! branch selectivities (paper §5.1.1 collects DB2 statistics the same
+//! way).
+
+use std::collections::HashMap;
+use xtwig_xml::{TagId, XmlForest};
+
+/// Streams `(tags, ids, value)` for the root-to-node path of every node.
+///
+/// The callback runs once per node with `value = None`, and — when the
+/// node carries a leaf value — a second time with `value = Some(..)`,
+/// mirroring the paired `null` / valued rows of Fig. 2.
+pub fn for_each_root_path<F>(forest: &XmlForest, mut f: F)
+where
+    F: FnMut(&[TagId], &[u64], Option<&str>),
+{
+    let mut tags: Vec<TagId> = Vec::with_capacity(32);
+    let mut ids: Vec<u64> = Vec::with_capacity(32);
+    for node in forest.iter_nodes() {
+        let depth = forest.depth(node);
+        tags.truncate(depth - 1);
+        ids.truncate(depth - 1);
+        tags.push(forest.tag(node));
+        ids.push(node.0);
+        f(&tags, &ids, None);
+        if let Some(v) = forest.value_str(node) {
+            f(&tags, &ids, Some(v));
+        }
+    }
+}
+
+/// Streams every subpath row: for each node and each suffix of its root
+/// path, `(head_id, tags_from_head, ids_from_head, value)`. `tags[0]` is
+/// the head's own tag and `ids[0]` its id, matching Fig. 5 (where the
+/// stored IdList excludes the head — builders drop `ids[0]` at encode
+/// time).
+pub fn for_each_subpath<F>(forest: &XmlForest, mut f: F)
+where
+    F: FnMut(u64, &[TagId], &[u64], Option<&str>),
+{
+    let mut tags: Vec<TagId> = Vec::with_capacity(32);
+    let mut ids: Vec<u64> = Vec::with_capacity(32);
+    for node in forest.iter_nodes() {
+        let depth = forest.depth(node);
+        tags.truncate(depth - 1);
+        ids.truncate(depth - 1);
+        tags.push(forest.tag(node));
+        ids.push(node.0);
+        let value = forest.value_str(node);
+        for start in 0..tags.len() {
+            f(ids[start], &tags[start..], &ids[start..], None);
+            if let Some(v) = value {
+                f(ids[start], &tags[start..], &ids[start..], Some(v));
+            }
+        }
+    }
+}
+
+/// Per-path and per-value statistics collected in one forest pass.
+#[derive(Debug, Default)]
+pub struct PathStats {
+    /// Instances per distinct root-anchored schema path.
+    path_counts: HashMap<Vec<TagId>, u64>,
+    /// Instances per `(leaf tag, value)`.
+    tag_value_counts: HashMap<(TagId, String), u64>,
+    /// Instances per tag.
+    tag_counts: HashMap<TagId, u64>,
+    /// Total element/attribute nodes.
+    nodes: u64,
+}
+
+impl PathStats {
+    /// Collects statistics from `forest`.
+    pub fn build(forest: &XmlForest) -> Self {
+        let mut stats = PathStats::default();
+        for_each_root_path(forest, |tags, _ids, value| match value {
+            None => {
+                *stats.path_counts.entry(tags.to_vec()).or_insert(0) += 1;
+                *stats.tag_counts.entry(*tags.last().unwrap()).or_insert(0) += 1;
+                stats.nodes += 1;
+            }
+            Some(v) => {
+                *stats
+                    .tag_value_counts
+                    .entry((*tags.last().unwrap(), v.to_owned()))
+                    .or_insert(0) += 1;
+            }
+        });
+        stats
+    }
+
+    /// Number of distinct root-anchored schema paths (the paper reports
+    /// 235 for DBLP and 902 for XMark, §4.2).
+    pub fn distinct_schema_paths(&self) -> usize {
+        self.path_counts.len()
+    }
+
+    /// Total element/attribute nodes.
+    pub fn node_count(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Instances of an exact root-anchored schema path.
+    pub fn path_count(&self, tags: &[TagId]) -> u64 {
+        self.path_counts.get(tags).copied().unwrap_or(0)
+    }
+
+    /// Instances of nodes with `tag`.
+    pub fn tag_count(&self, tag: TagId) -> u64 {
+        self.tag_counts.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Instances of `(leaf tag, value)`.
+    pub fn tag_value_count(&self, tag: TagId, value: &str) -> u64 {
+        self.tag_value_counts.get(&(tag, value.to_owned())).copied().unwrap_or(0)
+    }
+
+    /// Iterates distinct root paths with their instance counts.
+    pub fn iter_paths(&self) -> impl Iterator<Item = (&[TagId], u64)> {
+        self.path_counts.iter().map(|(k, &v)| (k.as_slice(), v))
+    }
+
+    /// Estimated matches of a PCsubpath pattern.
+    pub fn estimate(&self, q: &crate::family::PcSubpathQuery) -> u64 {
+        let last = *q.tags.last().expect("empty pattern");
+        let structural = if q.anchored {
+            self.path_count(&q.tags)
+        } else {
+            // Sum instances over distinct paths ending with the pattern.
+            self.path_counts
+                .iter()
+                .filter(|(path, _)| path.ends_with(&q.tags))
+                .map(|(_, &c)| c)
+                .sum()
+        };
+        match &q.value {
+            None => structural,
+            Some(v) => structural.min(self.tag_value_count(last, v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::PcSubpathQuery;
+    use xtwig_xml::tree::fig1_book_document;
+
+    #[test]
+    fn root_path_rows_count() {
+        let f = fig1_book_document();
+        let mut structural = 0u64;
+        let mut valued = 0u64;
+        for_each_root_path(&f, |_t, _i, v| {
+            if v.is_none() {
+                structural += 1;
+            } else {
+                valued += 1;
+            }
+        });
+        assert_eq!(structural, (f.node_count() - 1) as u64); // per node, minus virtual root
+        let with_values = f.iter_nodes().filter(|&n| f.value(n).is_some()).count() as u64;
+        assert_eq!(valued, with_values);
+    }
+
+    #[test]
+    fn root_path_rows_match_fig4_shape() {
+        let f = fig1_book_document();
+        #[allow(clippy::type_complexity)]
+        let mut rows: Vec<(Vec<String>, Vec<u64>, Option<String>)> = Vec::new();
+        for_each_root_path(&f, |t, i, v| {
+            rows.push((
+                t.iter().map(|&t| f.dict().name(t).to_owned()).collect(),
+                i.to_vec(),
+                v.map(str::to_owned),
+            ));
+        });
+        // Fig. 4 row: FAUB jane [1,5,6,7] (forward path book/allauthors/author/fn).
+        let jane = rows
+            .iter()
+            .find(|(t, _, v)| {
+                t == &["book", "allauthors", "author", "fn"] && v.as_deref() == Some("jane")
+            })
+            .expect("jane row");
+        assert_eq!(jane.1, vec![1, 5, 6, 7]);
+        // Fig. 4 row: B null [1].
+        let book = rows.iter().find(|(t, _, v)| t == &["book"] && v.is_none()).unwrap();
+        assert_eq!(book.1, vec![1]);
+    }
+
+    #[test]
+    fn subpath_rows_match_fig5_shape() {
+        let f = fig1_book_document();
+        #[allow(clippy::type_complexity)]
+        let mut rows: Vec<(u64, Vec<String>, Vec<u64>, Option<String>)> = Vec::new();
+        for_each_subpath(&f, |h, t, i, v| {
+            rows.push((
+                h,
+                t.iter().map(|&t| f.dict().name(t).to_owned()).collect(),
+                i.to_vec(),
+                v.map(str::to_owned),
+            ));
+        });
+        // Fig. 5: head=5 (allauthors), path UAF, idlist-from-head [5,6,7].
+        let row = rows
+            .iter()
+            .find(|(h, t, _, v)| {
+                *h == 5 && t == &["allauthors", "author", "fn"] && v.as_deref() == Some("jane")
+            })
+            .expect("UAF jane row under head 5");
+        assert_eq!(row.2, vec![5, 6, 7]);
+        // Fig. 5: head=1, path "B", single-node path.
+        assert!(rows.iter().any(|(h, t, i, v)| *h == 1
+            && t == &["book"]
+            && i == &vec![1]
+            && v.is_none()));
+    }
+
+    #[test]
+    fn subpath_row_count_is_sum_of_depths() {
+        let f = fig1_book_document();
+        let mut structural = 0u64;
+        for_each_subpath(&f, |_h, _t, _i, v| {
+            if v.is_none() {
+                structural += 1;
+            }
+        });
+        let expected: u64 = f.iter_nodes().map(|n| f.depth(n) as u64).sum();
+        assert_eq!(structural, expected);
+    }
+
+    #[test]
+    fn stats_counts() {
+        let f = fig1_book_document();
+        let s = PathStats::build(&f);
+        assert_eq!(s.node_count(), (f.node_count() - 1) as u64);
+        let dict = f.dict();
+        let author = dict.lookup("author").unwrap();
+        assert_eq!(s.tag_count(author), 3);
+        let fn_tag = dict.lookup("fn").unwrap();
+        assert_eq!(s.tag_value_count(fn_tag, "jane"), 2);
+        assert_eq!(s.tag_value_count(fn_tag, "john"), 1);
+        assert_eq!(s.tag_value_count(fn_tag, "nobody"), 0);
+        let path: Vec<TagId> = ["book", "allauthors", "author"]
+            .iter()
+            .map(|t| dict.lookup(t).unwrap())
+            .collect();
+        assert_eq!(s.path_count(&path), 3);
+        assert!(s.distinct_schema_paths() >= 10);
+    }
+
+    #[test]
+    fn estimates_track_selectivity() {
+        let f = fig1_book_document();
+        let s = PathStats::build(&f);
+        let dict = f.dict();
+        let q_all_fn =
+            PcSubpathQuery::resolve(dict, &["author", "fn"], false, None).unwrap();
+        let q_jane =
+            PcSubpathQuery::resolve(dict, &["author", "fn"], false, Some("jane")).unwrap();
+        let q_anchored =
+            PcSubpathQuery::resolve(dict, &["book", "allauthors", "author", "fn"], true, Some("jane"))
+                .unwrap();
+        assert_eq!(s.estimate(&q_all_fn), 3);
+        assert_eq!(s.estimate(&q_jane), 2);
+        assert_eq!(s.estimate(&q_anchored), 2);
+        let q_title_xml =
+            PcSubpathQuery::resolve(dict, &["book", "title"], true, Some("XML")).unwrap();
+        // Two XML titles exist (book + chapter) but only one /book/title.
+        assert_eq!(s.estimate(&q_title_xml), 1);
+    }
+}

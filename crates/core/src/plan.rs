@@ -1,0 +1,335 @@
+//! Plan selection: merge joins over FreeIndex lookups vs. the
+//! index-nested-loop strategy over BoundIndex probes (paper §2.3, §5.2.3).
+//!
+//! The paper lets DB2's optimizer pick join strategies from collected
+//! statistics; this module plays that role for the twig engine. The
+//! qualitative rule it reproduces (§5.2.3): INLJ wins when (a) one branch
+//! is very selective, (b) the others are unselective, and (c) each
+//! selective match meets few unselective matches — i.e., when the branch
+//! point is *low* (many instances of the branch tag). When branch
+//! selectivities are comparable, or the branch point is the root (one
+//! instance), sort-merge over FreeIndex lookups is as good or better.
+
+use crate::decompose::CompiledTwig;
+use crate::family::PcSubpathQuery;
+use crate::paths::PathStats;
+use xtwig_xml::TagDict;
+
+/// Cost charged per BoundIndex probe (B+-tree descent), in row units.
+const PROBE_COST: u64 = 3;
+
+/// How a subpath's matches connect to the rows accumulated so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinHow {
+    /// Equi-join on a twig node bound by both sides; `shared` lists every
+    /// common node for consistency checking, `deepest` is the join key.
+    SharedNode {
+        /// Join-key twig node.
+        deepest: usize,
+        /// All shared twig nodes.
+        shared: Vec<usize>,
+    },
+    /// The subpath's segment hangs below `upper` via a `//` edge: join on
+    /// `row[upper]` being an ancestor of the match's segment root.
+    AncestorOf {
+        /// Upper twig node (bound by earlier steps).
+        upper: usize,
+        /// Segment root twig node bound by this subpath.
+        seg_root: usize,
+    },
+    /// Reverse direction: this subpath binds `upper`, while earlier rows
+    /// bound the lower segment root.
+    DescendantBound {
+        /// Upper twig node (bound by this subpath).
+        upper: usize,
+        /// Lower segment-root twig node (bound by earlier steps).
+        seg_root: usize,
+    },
+}
+
+/// A BoundIndex probe that can replace a free lookup for this subpath.
+#[derive(Debug, Clone)]
+pub struct ProbeSpec {
+    /// Twig node whose binding becomes the probe head.
+    pub anchor: usize,
+    /// The residue pattern probed under the head.
+    pub pattern: PcSubpathQuery,
+    /// Twig node bound by each pattern step.
+    pub step_nodes: Vec<usize>,
+}
+
+/// One evaluation step.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// Index into `CompiledTwig::subpaths`.
+    pub subpath: usize,
+    /// Join method (None for the first step).
+    pub join: Option<JoinHow>,
+    /// Available BoundIndex probe, when the plan is INLJ-eligible here.
+    pub probe: Option<ProbeSpec>,
+    /// Estimated match cardinality.
+    pub estimate: u64,
+}
+
+/// Overall plan kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// FreeIndex lookups stitched with hash/merge joins (paper §3.2).
+    Merge,
+    /// Selective driver + BoundIndex probes (paper §3.3).
+    IndexNestedLoop,
+}
+
+/// A complete plan.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Chosen strategy.
+    pub kind: PlanKind,
+    /// Steps in evaluation order (driver first).
+    pub steps: Vec<PlanStep>,
+    /// Estimated cost of the merge alternative.
+    pub merge_cost: u64,
+    /// Estimated cost of the INLJ alternative.
+    pub inlj_cost: u64,
+}
+
+/// Builds a plan for `compiled` using `stats`.
+pub fn choose_plan(compiled: &CompiledTwig, stats: &PathStats, dict: &TagDict) -> QueryPlan {
+    let n = compiled.subpaths.len();
+    let estimates: Vec<u64> =
+        compiled.subpaths.iter().map(|sp| stats.estimate(&sp.q)).collect();
+
+    // Driver: the most selective subpath.
+    let driver = (0..n).min_by_key(|&i| estimates[i]).expect("twig has at least one subpath");
+
+    // Greedy connected order starting at the driver.
+    let mut order: Vec<usize> = vec![driver];
+    let mut bound: Vec<usize> = compiled.subpaths[driver].nodes.clone();
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != driver).collect();
+    let mut steps: Vec<PlanStep> =
+        vec![PlanStep { subpath: driver, join: None, probe: None, estimate: estimates[driver] }];
+
+    while !remaining.is_empty() {
+        // Prefer: (1) connected by a shared node, (2) connected by an AD
+        // edge in either direction; among eligible, the most selective.
+        let mut best: Option<(usize, JoinHow)> = None;
+        let mut best_est = u64::MAX;
+        for &cand in &remaining {
+            let sp = &compiled.subpaths[cand];
+            // Three ways a subpath can connect to the bound set, tried in
+            // order: a shared twig node; its segment's `//` parent bound
+            // above it; or a bound child segment hanging below one of its
+            // nodes.
+            let shared_join = sp.nodes.iter().rev().find(|n| bound.contains(n)).map(|&deepest| {
+                let shared: Vec<usize> =
+                    sp.nodes.iter().filter(|n| bound.contains(n)).copied().collect();
+                JoinHow::SharedNode { deepest, shared }
+            });
+            let ancestor_join = || {
+                compiled.segments[sp.segment]
+                    .parent
+                    .filter(|(upper, _)| bound.contains(upper))
+                    .map(|(upper, _)| JoinHow::AncestorOf { upper, seg_root: sp.nodes[0] })
+            };
+            let descendant_join = || {
+                compiled
+                    .segments
+                    .iter()
+                    .filter_map(|seg| seg.parent.map(|(u, _)| (u, seg.root)))
+                    .find(|&(u, root)| sp.nodes.contains(&u) && bound.contains(&root))
+                    .map(|(u, root)| JoinHow::DescendantBound { upper: u, seg_root: root })
+            };
+            let join = shared_join.or_else(ancestor_join).or_else(descendant_join);
+            if let Some(j) = join {
+                if estimates[cand] < best_est {
+                    best_est = estimates[cand];
+                    best = Some((cand, j));
+                }
+            }
+        }
+        let (next, join) = best.expect("twig is connected; some subpath must be joinable");
+        remaining.retain(|&i| i != next);
+        order.push(next);
+        let probe = probe_spec(compiled, dict, next, &bound);
+        bound.extend(compiled.subpaths[next].nodes.iter().copied());
+        bound.sort_unstable();
+        bound.dedup();
+        steps.push(PlanStep { subpath: next, join: Some(join), probe, estimate: estimates[next] });
+    }
+
+    // Cost the two alternatives.
+    let merge_cost: u64 = estimates.iter().sum();
+    let mut inlj_cost = estimates[driver];
+    let mut any_probe = false;
+    for step in &steps[1..] {
+        match &step.probe {
+            Some(p) => {
+                any_probe = true;
+                let anchor_tag = dict.lookup(&compiled.twig.nodes[p.anchor].tag);
+                let n_anchor = anchor_tag.map(|t| stats.tag_count(t)).unwrap_or(1).max(1);
+                let heads = estimates[driver].min(n_anchor).max(1);
+                inlj_cost = inlj_cost
+                    .saturating_add(heads * PROBE_COST)
+                    .saturating_add((heads * step.estimate) / n_anchor);
+            }
+            None => inlj_cost = inlj_cost.saturating_add(step.estimate),
+        }
+    }
+    let kind = if any_probe && inlj_cost < merge_cost {
+        PlanKind::IndexNestedLoop
+    } else {
+        PlanKind::Merge
+    };
+    QueryPlan { kind, steps, merge_cost, inlj_cost }
+}
+
+/// Computes the BoundIndex probe for `subpath`, anchored at a node the
+/// earlier steps have bound. Same-segment: the residue below the deepest
+/// shared node, as an anchored (child) pattern. Cross-segment: the whole
+/// subpath under the AD-edge's upper node, as a `//` pattern.
+fn probe_spec(
+    compiled: &CompiledTwig,
+    dict: &TagDict,
+    subpath: usize,
+    bound: &[usize],
+) -> Option<ProbeSpec> {
+    let sp = &compiled.subpaths[subpath];
+    if let Some(pos) = sp.nodes.iter().rposition(|n| bound.contains(n)) {
+        // Shared node: probe the residue below it.
+        if pos + 1 >= sp.nodes.len() {
+            return None; // nothing below the shared node (value-only subpath)
+        }
+        let anchor = sp.nodes[pos];
+        let step_nodes: Vec<usize> = sp.nodes[pos + 1..].to_vec();
+        let tags = step_nodes
+            .iter()
+            .map(|&n| dict.lookup(&compiled.twig.nodes[n].tag))
+            .collect::<Option<Vec<_>>>()?;
+        Some(ProbeSpec {
+            anchor,
+            pattern: PcSubpathQuery { tags, anchored: true, value: sp.q.value.clone() },
+            step_nodes,
+        })
+    } else {
+        let (upper, _) = compiled.segments[sp.segment].parent?;
+        if !bound.contains(&upper) {
+            return None;
+        }
+        Some(ProbeSpec {
+            anchor: upper,
+            pattern: PcSubpathQuery {
+                tags: sp.q.tags.clone(),
+                anchored: false,
+                value: sp.q.value.clone(),
+            },
+            step_nodes: sp.nodes.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use crate::paths::PathStats;
+    use crate::xpath::parse_xpath;
+    use xtwig_xml::tree::fig1_book_document;
+
+    fn setup(xpath: &str) -> (CompiledTwig, PathStats, TagDict) {
+        let f = fig1_book_document();
+        let twig = parse_xpath(xpath).unwrap();
+        let c = decompose(&twig, f.dict()).unwrap();
+        let stats = PathStats::build(&f);
+        (c, stats, f.dict().clone())
+    }
+
+    #[test]
+    fn single_path_plan_is_one_step_merge() {
+        let (c, stats, dict) = setup("/book/title[. = 'XML']");
+        let plan = choose_plan(&c, &stats, &dict);
+        assert_eq!(plan.kind, PlanKind::Merge);
+        assert_eq!(plan.steps.len(), 1);
+        assert!(plan.steps[0].join.is_none());
+    }
+
+    #[test]
+    fn intro_twig_plan_is_connected() {
+        let (c, stats, dict) = setup("/book[title='XML']//author[fn='jane'][ln='doe']");
+        let plan = choose_plan(&c, &stats, &dict);
+        assert_eq!(plan.steps.len(), 3);
+        // Every non-driver step has a join method.
+        assert!(plan.steps[1..].iter().all(|s| s.join.is_some()));
+        // The two author subpaths join on the shared author node.
+        let shared_joins = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s.join, Some(JoinHow::SharedNode { .. })))
+            .count();
+        let ad_joins = plan
+            .steps
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.join,
+                    Some(JoinHow::AncestorOf { .. }) | Some(JoinHow::DescendantBound { .. })
+                )
+            })
+            .count();
+        assert_eq!(shared_joins + ad_joins, 2);
+        assert!(ad_joins >= 1, "book//author edge needs an ancestor join");
+    }
+
+    #[test]
+    fn probe_specs_cover_same_segment_residues() {
+        // /book[year='2000']/chapter/title : branch at book; the chapter
+        // subpath's probe hangs below book as an anchored pattern.
+        let (c, stats, dict) = setup("/book[year = '2000']/chapter/title");
+        let plan = choose_plan(&c, &stats, &dict);
+        assert_eq!(plan.steps.len(), 2);
+        let second = &plan.steps[1];
+        let probe = second.probe.as_ref().expect("probe for same-segment branch");
+        assert_eq!(c.twig.nodes[probe.anchor].tag, "book");
+        assert!(probe.pattern.anchored);
+        assert_eq!(probe.pattern.tags.len(), probe.step_nodes.len());
+    }
+
+    #[test]
+    fn cross_segment_probe_is_descendant_pattern() {
+        let (c, stats, dict) = setup("/book[title='XML']//author[fn='jane'][ln='doe']");
+        let plan = choose_plan(&c, &stats, &dict);
+        // At least one step probes under the book anchor with a //
+        // pattern (when the driver is the title subpath) or an anchored
+        // author residue (when the driver is an author subpath).
+        let has_probe = plan.steps[1..].iter().any(|s| s.probe.is_some());
+        assert!(has_probe);
+    }
+
+    #[test]
+    fn inlj_wins_with_low_branch_point_and_skew() {
+        // Emulate the Fig. 12(d) shape on the book data: driver fn=john
+        // (1 match) under author (3 instances), other branch nickname
+        // (3 matches).
+        let (c, stats, dict) = setup("//author[fn = 'john']/nickname");
+        let plan = choose_plan(&c, &stats, &dict);
+        assert!(plan.inlj_cost <= plan.merge_cost + 1, "inlj {} merge {}", plan.inlj_cost, plan.merge_cost);
+    }
+
+    #[test]
+    fn merge_wins_when_branch_point_is_root_like() {
+        // Branch at book (single instance): probing buys nothing.
+        let (c, stats, dict) = setup("/book[title = 'XML']/year");
+        let plan = choose_plan(&c, &stats, &dict);
+        assert_eq!(plan.kind, PlanKind::Merge);
+    }
+
+    #[test]
+    fn estimates_are_attached_to_steps() {
+        let (c, stats, dict) = setup("//author[fn = 'jane']/ln");
+        let plan = choose_plan(&c, &stats, &dict);
+        let driver = &plan.steps[0];
+        assert_eq!(driver.estimate, 2); // two jane fns
+        assert!(plan.steps[1].estimate >= 3); // all ln instances
+        // Driver is the most selective subpath.
+        assert!(plan.steps[1..].iter().all(|s| s.estimate >= driver.estimate));
+    }
+}

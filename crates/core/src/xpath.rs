@@ -1,0 +1,370 @@
+//! XPath-subset parser producing query twig patterns.
+//!
+//! Covers the fragment the paper evaluates (Figs. 7–8): absolute paths
+//! with `/` and `//` axes, attribute steps (`@name`), and nested
+//! predicate paths with string-equality value conditions:
+//!
+//! ```text
+//! /site/regions/namerica/item/quantity[. = '5']
+//! /site[people/person/profile/@income = '9876.00']
+//!      /open_auctions/open_auction[@increase = '75.00']
+//! /site//item[incategory/category = 'category440']/mailbox/mail/date
+//! ```
+//!
+//! Literals may be single- or double-quoted, or bare tokens (numbers,
+//! identifiers). Only equality on string values is supported (paper
+//! §2.1).
+
+use std::fmt;
+use xtwig_xml::{Axis, TwigPattern};
+
+/// Parse failure with position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Parses an absolute XPath expression into a twig pattern.
+pub fn parse_xpath(input: &str) -> Result<TwigPattern, XPathError> {
+    let mut p = Parser { bytes: input.trim().as_bytes(), pos: 0 };
+    let root_axis = p.parse_axis()?.ok_or_else(|| p.err("expected '/' or '//'".into()))?;
+    let (name, _) = p.parse_step_name()?;
+    let mut twig = TwigPattern::single(root_axis, &name, None);
+    p.parse_predicates(&mut twig, 0)?;
+    let mut cur = 0usize;
+    while let Some(axis) = p.parse_axis()? {
+        let (name, _) = p.parse_step_name()?;
+        cur = twig.add_child(cur, axis, &name, None);
+        p.parse_predicates(&mut twig, cur)?;
+    }
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err(format!(
+            "trailing input: {:?}",
+            String::from_utf8_lossy(&p.bytes[p.pos..])
+        )));
+    }
+    twig.output = cur;
+    Ok(twig)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: String) -> XPathError {
+        XPathError { offset: self.pos, message }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parses `/` or `//`; returns `None` when the next token is not an
+    /// axis (end of a path).
+    fn parse_axis(&mut self) -> Result<Option<Axis>, XPathError> {
+        self.skip_ws();
+        if self.peek() != Some(b'/') {
+            return Ok(None);
+        }
+        self.pos += 1;
+        if self.peek() == Some(b'/') {
+            self.pos += 1;
+            Ok(Some(Axis::Descendant))
+        } else {
+            Ok(Some(Axis::Child))
+        }
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b >= 0x80
+    }
+
+    /// Parses a step name; `@name` becomes `"@name"`. Returns the name
+    /// and whether it was an attribute.
+    fn parse_step_name(&mut self) -> Result<(String, bool), XPathError> {
+        self.skip_ws();
+        let is_attr = if self.peek() == Some(b'@') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err(format!(
+                "expected step name, found {:?}",
+                self.peek().map(|c| c as char)
+            )));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("name is not valid UTF-8".into()))?;
+        let name = if is_attr { format!("@{raw}") } else { raw.to_owned() };
+        Ok((name, is_attr))
+    }
+
+    fn parse_predicates(
+        &mut self,
+        twig: &mut TwigPattern,
+        node: usize,
+    ) -> Result<(), XPathError> {
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'[') {
+                return Ok(());
+            }
+            self.pos += 1;
+            self.parse_predicate_body(twig, node)?;
+            self.skip_ws();
+            if self.peek() != Some(b']') {
+                return Err(self.err("expected ']'".into()));
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn parse_predicate_body(
+        &mut self,
+        twig: &mut TwigPattern,
+        node: usize,
+    ) -> Result<(), XPathError> {
+        self.skip_ws();
+        if self.peek() == Some(b'.') {
+            // [. = literal] — value condition on the current step.
+            self.pos += 1;
+            self.expect_eq()?;
+            let lit = self.parse_literal()?;
+            twig.nodes[node].value = Some(lit);
+            return Ok(());
+        }
+        // Relative path, optionally with a leading '//' and a trailing
+        // '= literal'.
+        let first_axis = {
+            self.skip_ws();
+            if self.peek() == Some(b'/') {
+                self.pos += 1;
+                if self.peek() == Some(b'/') {
+                    self.pos += 1;
+                    Axis::Descendant
+                } else {
+                    return Err(self.err("predicate paths are relative ('//x' or 'x')".into()));
+                }
+            } else {
+                Axis::Child
+            }
+        };
+        let (name, _) = self.parse_step_name()?;
+        let mut cur = twig.add_child(node, first_axis, &name, None);
+        self.parse_predicates(twig, cur)?;
+        while let Some(axis) = {
+            self.skip_ws();
+            // Stop before ']' or '='.
+            match self.peek() {
+                Some(b'/') => self.parse_axis()?,
+                _ => None,
+            }
+        } {
+            let (name, _) = self.parse_step_name()?;
+            cur = twig.add_child(cur, axis, &name, None);
+            self.parse_predicates(twig, cur)?;
+        }
+        self.skip_ws();
+        if self.peek() == Some(b'=') {
+            self.pos += 1;
+            let lit = self.parse_literal()?;
+            twig.nodes[cur].value = Some(lit);
+        }
+        Ok(())
+    }
+
+    fn expect_eq(&mut self) -> Result<(), XPathError> {
+        self.skip_ws();
+        if self.peek() != Some(b'=') {
+            return Err(self.err("expected '='".into()));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_literal(&mut self) -> Result<String, XPathError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(q @ (b'\'' | b'"')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek() != Some(q) {
+                    if self.at_end() {
+                        return Err(self.err("unterminated string literal".into()));
+                    }
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("literal is not valid UTF-8".into()))?
+                    .to_owned();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => {
+                // Bare token: run of chars legal in the paper's unquoted
+                // constants (numbers like 75.00, ids like person22082).
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+                {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(self.err("expected literal".into()));
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_valued_path() {
+        let t = parse_xpath("/site/regions/namerica/item/quantity[. = '5']").unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.root_axis, Axis::Child);
+        assert_eq!(t.nodes[4].tag, "quantity");
+        assert_eq!(t.nodes[4].value.as_deref(), Some("5"));
+        assert_eq!(t.output, 4);
+        assert!(t.is_pc_path());
+    }
+
+    #[test]
+    fn bare_literals() {
+        let t = parse_xpath("/a/b[. = 5]").unwrap();
+        assert_eq!(t.nodes[1].value.as_deref(), Some("5"));
+        let t = parse_xpath("/a[b = 75.00]").unwrap();
+        assert_eq!(t.nodes[1].value.as_deref(), Some("75.00"));
+    }
+
+    #[test]
+    fn paper_intro_query() {
+        let t = parse_xpath("/book[title='XML']//author[fn='jane' ]\
+                             [ln='doe']")
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.nodes[0].tag, "book");
+        assert_eq!(t.nodes[1].tag, "title");
+        assert_eq!(t.nodes[1].value.as_deref(), Some("XML"));
+        assert_eq!(t.nodes[2].tag, "author");
+        let (axis, parent) = t.parent_of(2).unwrap();
+        assert_eq!(axis, Axis::Descendant);
+        assert_eq!(parent, 0);
+        assert_eq!(t.output, 2, "output is the author step");
+        assert_eq!(t.nodes[3].value.as_deref(), Some("jane"));
+        assert_eq!(t.nodes[4].value.as_deref(), Some("doe"));
+    }
+
+    #[test]
+    fn attribute_steps_and_predicates() {
+        let t = parse_xpath(
+            "/site[people/person/profile/@income = 46814.17]\
+             /open_auctions/open_auction[@increase = 75.00]",
+        )
+        .unwrap();
+        // site, people, person, profile, @income, open_auctions,
+        // open_auction, @increase
+        assert_eq!(t.len(), 8);
+        let income = t.nodes.iter().position(|n| n.tag == "@income").unwrap();
+        assert_eq!(t.nodes[income].value.as_deref(), Some("46814.17"));
+        let auction = t.nodes.iter().position(|n| n.tag == "open_auction").unwrap();
+        assert_eq!(t.output, auction);
+        let increase = t.nodes.iter().position(|n| n.tag == "@increase").unwrap();
+        let (axis, parent) = t.parent_of(increase).unwrap();
+        assert_eq!(axis, Axis::Child);
+        assert_eq!(parent, auction);
+    }
+
+    #[test]
+    fn leading_descendant_and_inner_recursion() {
+        let t = parse_xpath("//item/mailbox/mail/date").unwrap();
+        assert_eq!(t.root_axis, Axis::Descendant);
+        let t = parse_xpath("/site//item[quantity = 2]/mailbox").unwrap();
+        let item = t.nodes.iter().position(|n| n.tag == "item").unwrap();
+        let (axis, _) = t.parent_of(item).unwrap();
+        assert_eq!(axis, Axis::Descendant);
+        assert_eq!(t.nodes[t.output].tag, "mailbox");
+    }
+
+    #[test]
+    fn descendant_inside_predicate() {
+        let t = parse_xpath("/site[//person/name = 'X']/regions").unwrap();
+        let person = t.nodes.iter().position(|n| n.tag == "person").unwrap();
+        let (axis, parent) = t.parent_of(person).unwrap();
+        assert_eq!(axis, Axis::Descendant);
+        assert_eq!(parent, 0);
+    }
+
+    #[test]
+    fn multi_branch_counts() {
+        let t = parse_xpath(
+            "/site[people/person/profile/@income = 9876.00]\
+             [regions/namerica/item/location = 'united states']\
+             /open_auctions/open_auction[@increase = 3.00]",
+        )
+        .unwrap();
+        assert_eq!(t.branch_count(), 3);
+        assert!(t.branch_points().contains(&0));
+    }
+
+    #[test]
+    fn structural_predicate_without_value() {
+        let t = parse_xpath("/site/open_auctions/open_auction[bidder]/seller").unwrap();
+        let bidder = t.nodes.iter().position(|n| n.tag == "bidder").unwrap();
+        assert_eq!(t.nodes[bidder].value, None);
+        assert_eq!(t.nodes[t.output].tag, "seller");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_xpath("site/x").is_err(), "must be absolute");
+        assert!(parse_xpath("/a[b = ").is_err());
+        assert!(parse_xpath("/a[b").is_err());
+        assert!(parse_xpath("/a/b]").is_err());
+        assert!(parse_xpath("/a['unterminated]").is_err());
+        assert!(parse_xpath("/").is_err());
+        assert!(parse_xpath("/a[/b = 'x']").is_err(), "predicate paths are relative");
+    }
+
+    #[test]
+    fn display_of_parsed_twig_mentions_all_parts() {
+        let t = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+        let s = t.to_string();
+        for frag in ["book", "title", "XML", "author", "jane", "doe"] {
+            assert!(s.contains(frag), "{s} missing {frag}");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The paper's query workload (Figs. 7, 8, 10).
+//!
+//! All 15 XMark queries and 3 DBLP queries, with the grouping metadata of
+//! Fig. 10 (branch count, selectivity class, branch-point depth,
+//! recursion count). One deviation is recorded here once: the paper
+//! writes `incategory/category = 'category440'` in Q12x/Q13x, but XMark's
+//! `category` is an *attribute* of `incategory`; we query
+//! `incategory/@category`, which is what the paper's own dataset
+//! contained.
+
+use xtwig_xml::TwigPattern;
+
+/// Which dataset a query targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// The XMark-like auction site.
+    Xmark,
+    /// The DBLP-like bibliography.
+    Dblp,
+}
+
+/// The experiment group a query belongs to (Fig. 10 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryGroup {
+    /// Q1–Q3: single fully-specified path, selectivity sweep (Fig. 11).
+    SinglePath,
+    /// Q4x–Q5x: twigs, all branches selective, high branch point (12a).
+    TwigSelective,
+    /// Q6x–Q7x: selective + unselective branches, high branch point (12b).
+    TwigMixed,
+    /// Q8x–Q9x: all branches unselective, high branch point (12c).
+    TwigUnselective,
+    /// Q10x–Q11x: low branch points (12d, the INLJ case).
+    TwigLowBranch,
+    /// Q12x–Q15x: a `//` branch point matching six schema paths (Fig 13).
+    RecursiveTwig,
+}
+
+/// One workload query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Paper identifier (`Q1x` … `Q15x`, `Q1d` … `Q3d`).
+    pub id: &'static str,
+    /// XPath text.
+    pub xpath: &'static str,
+    /// Branch count (Fig. 10).
+    pub branches: usize,
+    /// Leading/internal `//` count (Fig. 10).
+    pub recursions: usize,
+    /// Target dataset.
+    pub dataset: Dataset,
+    /// Fig. 10 group.
+    pub group: QueryGroup,
+}
+
+impl BenchQuery {
+    /// Parses the XPath into a twig.
+    ///
+    /// # Panics
+    /// Panics if the workload text is malformed (covered by tests).
+    pub fn twig(&self) -> TwigPattern {
+        xtwig_core::parse_xpath(self.xpath).expect("workload query parses")
+    }
+}
+
+/// Q1x–Q15x (Figs. 7 and 8).
+pub fn xmark_queries() -> Vec<BenchQuery> {
+    use Dataset::Xmark;
+    use QueryGroup::*;
+    vec![
+        BenchQuery {
+            id: "Q1x",
+            xpath: "/site/regions/namerica/item/quantity[. = '5']",
+            branches: 1,
+            recursions: 0,
+            dataset: Xmark,
+            group: SinglePath,
+        },
+        BenchQuery {
+            id: "Q2x",
+            xpath: "/site/regions/namerica/item/quantity[. = '2']",
+            branches: 1,
+            recursions: 0,
+            dataset: Xmark,
+            group: SinglePath,
+        },
+        BenchQuery {
+            id: "Q3x",
+            xpath: "/site/regions/namerica/item/quantity[. = '1']",
+            branches: 1,
+            recursions: 0,
+            dataset: Xmark,
+            group: SinglePath,
+        },
+        BenchQuery {
+            id: "Q4x",
+            xpath: "/site[people/person/profile/@income = '46814.17']\
+                    /open_auctions/open_auction[@increase = '75.00']",
+            branches: 2,
+            recursions: 0,
+            dataset: Xmark,
+            group: TwigSelective,
+        },
+        BenchQuery {
+            id: "Q5x",
+            xpath: "/site[people/person/profile/@income = '46814.17']\
+                    [people/person/name = 'Hagen Artosi']\
+                    /open_auctions/open_auction[@increase = '75.00']",
+            branches: 3,
+            recursions: 0,
+            dataset: Xmark,
+            group: TwigSelective,
+        },
+        BenchQuery {
+            id: "Q6x",
+            xpath: "/site[people/person/profile/@income = '9876.00']\
+                    /open_auctions/open_auction[@increase = '75.00']",
+            branches: 2,
+            recursions: 0,
+            dataset: Xmark,
+            group: TwigMixed,
+        },
+        BenchQuery {
+            id: "Q7x",
+            xpath: "/site[people/person/profile/@income = '9876.00']\
+                    [regions/namerica/item/location = 'united states']\
+                    /open_auctions/open_auction[@increase = '75.00']",
+            branches: 3,
+            recursions: 0,
+            dataset: Xmark,
+            group: TwigMixed,
+        },
+        BenchQuery {
+            id: "Q8x",
+            xpath: "/site[people/person/profile/@income = '9876.00']\
+                    /open_auctions/open_auction[@increase = '3.00']",
+            branches: 2,
+            recursions: 0,
+            dataset: Xmark,
+            group: TwigUnselective,
+        },
+        BenchQuery {
+            id: "Q9x",
+            xpath: "/site[people/person/profile/@income = '9876.00']\
+                    [regions/namerica/item/location = 'united states']\
+                    /open_auctions/open_auction[@increase = '3.00']",
+            branches: 3,
+            recursions: 0,
+            dataset: Xmark,
+            group: TwigUnselective,
+        },
+        BenchQuery {
+            id: "Q10x",
+            xpath: "/site/open_auctions/open_auction\
+                    [annotation/author/@person = 'person22082']/time",
+            branches: 2,
+            recursions: 0,
+            dataset: Xmark,
+            group: TwigLowBranch,
+        },
+        BenchQuery {
+            id: "Q11x",
+            xpath: "/site/open_auctions/open_auction\
+                    [annotation/author/@person = 'person22082']\
+                    [bidder/@increase = '3.00']/time",
+            branches: 3,
+            recursions: 0,
+            dataset: Xmark,
+            group: TwigLowBranch,
+        },
+        BenchQuery {
+            id: "Q12x",
+            xpath: "/site//item[incategory/@category = 'category440']\
+                    /mailbox/mail/date",
+            branches: 2,
+            recursions: 1,
+            dataset: Xmark,
+            group: RecursiveTwig,
+        },
+        BenchQuery {
+            id: "Q13x",
+            xpath: "/site//item[incategory/@category = 'category440']\
+                    [mailbox/mail/date]/mailbox/mail/to",
+            branches: 3,
+            recursions: 1,
+            dataset: Xmark,
+            group: RecursiveTwig,
+        },
+        BenchQuery {
+            id: "Q14x",
+            xpath: "/site//item[quantity = '2'][location = 'united states']",
+            branches: 2,
+            recursions: 1,
+            dataset: Xmark,
+            group: RecursiveTwig,
+        },
+        BenchQuery {
+            id: "Q15x",
+            xpath: "/site//item[quantity = '2'][location = 'united states']\
+                    /mailbox/mail/to",
+            branches: 3,
+            recursions: 1,
+            dataset: Xmark,
+            group: RecursiveTwig,
+        },
+    ]
+}
+
+/// Q1d–Q3d (Fig. 7).
+pub fn dblp_queries() -> Vec<BenchQuery> {
+    use Dataset::Dblp;
+    vec![
+        BenchQuery {
+            id: "Q1d",
+            xpath: "/dblp/inproceedings/year[. = '1950']",
+            branches: 1,
+            recursions: 0,
+            dataset: Dblp,
+            group: QueryGroup::SinglePath,
+        },
+        BenchQuery {
+            id: "Q2d",
+            xpath: "/dblp/inproceedings/year[. = '1979']",
+            branches: 1,
+            recursions: 0,
+            dataset: Dblp,
+            group: QueryGroup::SinglePath,
+        },
+        BenchQuery {
+            id: "Q3d",
+            xpath: "/dblp/inproceedings/year[. = '1998']",
+            branches: 1,
+            recursions: 0,
+            dataset: Dblp,
+            group: QueryGroup::SinglePath,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse() {
+        for q in xmark_queries().iter().chain(dblp_queries().iter()) {
+            let twig = q.twig();
+            assert!(!twig.is_empty(), "{} produced an empty twig", q.id);
+        }
+    }
+
+    #[test]
+    fn workload_counts_match_fig10() {
+        let xq = xmark_queries();
+        assert_eq!(xq.len(), 15);
+        assert_eq!(dblp_queries().len(), 3);
+        // Fig. 10 row structure.
+        assert_eq!(
+            xq.iter().filter(|q| q.group == QueryGroup::SinglePath).count(),
+            3
+        );
+        assert_eq!(
+            xq.iter().filter(|q| q.group == QueryGroup::RecursiveTwig).count(),
+            4
+        );
+        assert!(xq
+            .iter()
+            .filter(|q| q.group == QueryGroup::RecursiveTwig)
+            .all(|q| q.recursions == 1));
+        assert!(xq
+            .iter()
+            .filter(|q| q.group != QueryGroup::RecursiveTwig)
+            .all(|q| q.recursions == 0));
+    }
+
+    #[test]
+    fn branch_counts_match_twig_shape() {
+        for q in xmark_queries() {
+            let twig = q.twig();
+            assert_eq!(
+                twig.branch_count(),
+                q.branches,
+                "{}: {} vs twig {}",
+                q.id,
+                q.branches,
+                twig.branch_count()
+            );
+        }
+    }
+
+    #[test]
+    fn recursion_flags_match_twig_shape() {
+        for q in xmark_queries().iter().chain(dblp_queries().iter()) {
+            let twig = q.twig();
+            assert_eq!(
+                twig.has_recursion(),
+                q.recursions > 0,
+                "{} recursion flag mismatch",
+                q.id
+            );
+        }
+    }
+}

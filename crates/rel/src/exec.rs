@@ -1,0 +1,503 @@
+//! Pull-based relational operators.
+//!
+//! The paper's plans are compositions of index lookups with the three
+//! classic joins: sort-merge and hash joins over branch-point ids
+//! extracted from IdLists (§3.2), and index-nested-loop joins driven by
+//! BoundIndex probes (§3.3, §5.2.3). These operators are the runtime for
+//! those plans (and for the Edge/DataGuide/IndexFabric baselines, whose
+//! multi-join chains the paper's §5.2.2 experiments measure).
+
+#![allow(clippy::new_ret_no_self)] // constructors intentionally return boxed operators
+
+use crate::value::{Tuple, Value};
+use std::collections::HashMap;
+
+/// A pull-based operator.
+pub trait Executor {
+    /// Produces the next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Option<Tuple>;
+
+    /// Drains the operator into a vector.
+    fn collect_all(&mut self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next() {
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Boxed operator with a scoped lifetime (operators usually borrow heap
+/// files, B+-trees, or the buffer pool).
+pub type BoxExec<'a> = Box<dyn Executor + 'a>;
+
+/// A join-key extractor.
+pub type KeyFn<'a> = Box<dyn Fn(&Tuple) -> Vec<Value> + 'a>;
+
+/// An index-probe function for INLJ.
+pub type ProbeFn<'a> = Box<dyn FnMut(&Tuple) -> Vec<Tuple> + 'a>;
+
+/// Wraps any tuple iterator as an operator (sequential scans, index range
+/// scans, literal row sets).
+pub struct FromIter<I>(pub I);
+
+impl<I: Iterator<Item = Tuple>> Executor for FromIter<I> {
+    fn next(&mut self) -> Option<Tuple> {
+        self.0.next()
+    }
+}
+
+/// Creates an operator from an iterator.
+pub fn from_iter<'a, I>(iter: I) -> BoxExec<'a>
+where
+    I: IntoIterator<Item = Tuple>,
+    I::IntoIter: 'a,
+{
+    Box::new(FromIter(iter.into_iter()))
+}
+
+/// Filter (selection).
+pub struct Filter<'a> {
+    input: BoxExec<'a>,
+    pred: Box<dyn FnMut(&Tuple) -> bool + 'a>,
+}
+
+impl<'a> Filter<'a> {
+    /// Keeps tuples where `pred` holds.
+    pub fn new(input: BoxExec<'a>, pred: impl FnMut(&Tuple) -> bool + 'a) -> BoxExec<'a> {
+        Box::new(Filter { input, pred: Box::new(pred) })
+    }
+}
+
+impl Executor for Filter<'_> {
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            let t = self.input.next()?;
+            if (self.pred)(&t) {
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Projection / mapping.
+pub struct Project<'a> {
+    input: BoxExec<'a>,
+    f: Box<dyn FnMut(Tuple) -> Tuple + 'a>,
+}
+
+impl<'a> Project<'a> {
+    /// Rewrites each tuple with `f`.
+    pub fn new(input: BoxExec<'a>, f: impl FnMut(Tuple) -> Tuple + 'a) -> BoxExec<'a> {
+        Box::new(Project { input, f: Box::new(f) })
+    }
+}
+
+impl Executor for Project<'_> {
+    fn next(&mut self) -> Option<Tuple> {
+        self.input.next().map(&mut self.f)
+    }
+}
+
+/// Blocking sort by an extracted key.
+pub struct Sort {
+    sorted: std::vec::IntoIter<Tuple>,
+}
+
+impl Sort {
+    /// Sorts the entire input by `key`.
+    pub fn new<'a>(input: BoxExec<'a>, key: impl Fn(&Tuple) -> Vec<Value> + 'a) -> BoxExec<'a>
+    where
+        Self: 'a,
+    {
+        let mut rows = { input }.collect_all();
+        rows.sort_by_key(|t| key(t));
+        Box::new(Sort { sorted: rows.into_iter() })
+    }
+}
+
+impl Executor for Sort {
+    fn next(&mut self) -> Option<Tuple> {
+        self.sorted.next()
+    }
+}
+
+/// Sort-merge equi-join. Inputs **must already be sorted** on their keys
+/// (wrap with [`Sort`] otherwise). Handles duplicate keys on both sides
+/// (cross product within a key group). Output = left tuple ++ right tuple.
+pub struct MergeJoin<'a> {
+    left: std::iter::Peekable<TupleIter<'a>>,
+    right: std::iter::Peekable<TupleIter<'a>>,
+    left_key: KeyFn<'a>,
+    right_key: KeyFn<'a>,
+    pending: Vec<Tuple>,
+    pending_pos: usize,
+}
+
+struct TupleIter<'a>(BoxExec<'a>);
+
+impl Iterator for TupleIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        self.0.next()
+    }
+}
+
+impl<'a> MergeJoin<'a> {
+    /// Creates a merge join over sorted inputs.
+    pub fn new(
+        left: BoxExec<'a>,
+        right: BoxExec<'a>,
+        left_key: impl Fn(&Tuple) -> Vec<Value> + 'a,
+        right_key: impl Fn(&Tuple) -> Vec<Value> + 'a,
+    ) -> BoxExec<'a> {
+        Box::new(MergeJoin {
+            left: TupleIter(left).peekable(),
+            right: TupleIter(right).peekable(),
+            left_key: Box::new(left_key),
+            right_key: Box::new(right_key),
+            pending: Vec::new(),
+            pending_pos: 0,
+        })
+    }
+
+    fn refill(&mut self) -> bool {
+        loop {
+            let lk = match self.left.peek() {
+                Some(t) => (self.left_key)(t),
+                None => return false,
+            };
+            let rk = match self.right.peek() {
+                Some(t) => (self.right_key)(t),
+                None => return false,
+            };
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => {
+                    self.left.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    self.right.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    // Gather both key groups and emit their product.
+                    let mut lgroup = Vec::new();
+                    while let Some(t) = self.left.peek() {
+                        if (self.left_key)(t) == lk {
+                            lgroup.push(self.left.next().unwrap());
+                        } else {
+                            break;
+                        }
+                    }
+                    let mut rgroup = Vec::new();
+                    while let Some(t) = self.right.peek() {
+                        if (self.right_key)(t) == rk {
+                            rgroup.push(self.right.next().unwrap());
+                        } else {
+                            break;
+                        }
+                    }
+                    self.pending.clear();
+                    self.pending_pos = 0;
+                    for l in &lgroup {
+                        for r in &rgroup {
+                            let mut t = l.clone();
+                            t.extend(r.iter().cloned());
+                            self.pending.push(t);
+                        }
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+impl Executor for MergeJoin<'_> {
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if self.pending_pos < self.pending.len() {
+                let t = self.pending[self.pending_pos].clone();
+                self.pending_pos += 1;
+                return Some(t);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Hash equi-join (build on right, probe with left). Output = left ++
+/// right.
+pub struct HashJoin<'a> {
+    left: BoxExec<'a>,
+    left_key: KeyFn<'a>,
+    table: HashMap<Vec<Value>, Vec<Tuple>>,
+    pending: Vec<Tuple>,
+    pending_pos: usize,
+}
+
+impl<'a> HashJoin<'a> {
+    /// Builds the hash table from `right` eagerly.
+    pub fn new(
+        left: BoxExec<'a>,
+        right: BoxExec<'a>,
+        left_key: impl Fn(&Tuple) -> Vec<Value> + 'a,
+        right_key: impl Fn(&Tuple) -> Vec<Value> + 'a,
+    ) -> BoxExec<'a> {
+        let mut table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        let mut right = right;
+        while let Some(t) = right.next() {
+            table.entry(right_key(&t)).or_default().push(t);
+        }
+        Box::new(HashJoin {
+            left,
+            left_key: Box::new(left_key),
+            table,
+            pending: Vec::new(),
+            pending_pos: 0,
+        })
+    }
+}
+
+impl Executor for HashJoin<'_> {
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if self.pending_pos < self.pending.len() {
+                let t = self.pending[self.pending_pos].clone();
+                self.pending_pos += 1;
+                return Some(t);
+            }
+            let l = self.left.next()?;
+            if let Some(matches) = self.table.get(&(self.left_key)(&l)) {
+                self.pending.clear();
+                self.pending_pos = 0;
+                for r in matches {
+                    let mut t = l.clone();
+                    t.extend(r.iter().cloned());
+                    self.pending.push(t);
+                }
+            }
+        }
+    }
+}
+
+/// Index-nested-loop join: for each outer tuple, `probe` fetches the
+/// matching inner tuples (typically a B+-tree prefix probe — the paper's
+/// BoundIndex pattern, §2.3). Output = outer ++ inner.
+pub struct IndexNestedLoopJoin<'a> {
+    outer: BoxExec<'a>,
+    probe: ProbeFn<'a>,
+    pending: Vec<Tuple>,
+    pending_pos: usize,
+}
+
+impl<'a> IndexNestedLoopJoin<'a> {
+    /// Creates an INLJ with the given probe function.
+    pub fn new(outer: BoxExec<'a>, probe: impl FnMut(&Tuple) -> Vec<Tuple> + 'a) -> BoxExec<'a> {
+        Box::new(IndexNestedLoopJoin {
+            outer,
+            probe: Box::new(probe),
+            pending: Vec::new(),
+            pending_pos: 0,
+        })
+    }
+}
+
+impl Executor for IndexNestedLoopJoin<'_> {
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if self.pending_pos < self.pending.len() {
+                let t = self.pending[self.pending_pos].clone();
+                self.pending_pos += 1;
+                return Some(t);
+            }
+            let o = self.outer.next()?;
+            let inner = (self.probe)(&o);
+            self.pending.clear();
+            self.pending_pos = 0;
+            for i in inner {
+                let mut t = o.clone();
+                t.extend(i);
+                self.pending.push(t);
+            }
+        }
+    }
+}
+
+/// Hash-based duplicate elimination over whole tuples.
+pub struct Distinct<'a> {
+    input: BoxExec<'a>,
+    seen: std::collections::HashSet<Tuple>,
+}
+
+impl<'a> Distinct<'a> {
+    /// Creates a DISTINCT operator.
+    pub fn new(input: BoxExec<'a>) -> BoxExec<'a> {
+        Box::new(Distinct { input, seen: std::collections::HashSet::new() })
+    }
+}
+
+impl Executor for Distinct<'_> {
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            let t = self.input.next()?;
+            if self.seen.insert(t.clone()) {
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// LIMIT.
+pub struct Limit<'a> {
+    input: BoxExec<'a>,
+    remaining: usize,
+}
+
+impl<'a> Limit<'a> {
+    /// Passes through at most `n` tuples.
+    pub fn new(input: BoxExec<'a>, n: usize) -> BoxExec<'a> {
+        Box::new(Limit { input, remaining: n })
+    }
+}
+
+impl Executor for Limit<'_> {
+    fn next(&mut self) -> Option<Tuple> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.input.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(ids: &[(i64, &str)]) -> Vec<Tuple> {
+        ids.iter().map(|(i, s)| vec![Value::Int(*i), Value::Str((*s).into())]).collect()
+    }
+
+    fn key0(t: &Tuple) -> Vec<Value> {
+        vec![t[0].clone()]
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let input = from_iter(rows(&[(1, "a"), (2, "b"), (3, "c"), (4, "d")]));
+        let even = Filter::new(input, |t| t[0].as_int().unwrap() % 2 == 0);
+        let mut doubled = Project::new(even, |mut t| {
+            t[0] = Value::Int(t[0].as_int().unwrap() * 10);
+            t
+        });
+        let out = doubled.collect_all();
+        assert_eq!(out, rows(&[(20, "b"), (40, "d")]));
+    }
+
+    #[test]
+    fn sort_orders_by_key() {
+        let input = from_iter(rows(&[(3, "c"), (1, "a"), (2, "b")]));
+        let mut sorted = Sort::new(input, key0);
+        assert_eq!(sorted.collect_all(), rows(&[(1, "a"), (2, "b"), (3, "c")]));
+    }
+
+    #[test]
+    fn merge_join_basic() {
+        let l = from_iter(rows(&[(1, "l1"), (2, "l2"), (4, "l4")]));
+        let r = from_iter(rows(&[(2, "r2"), (3, "r3"), (4, "r4")]));
+        let mut j = MergeJoin::new(l, r, key0, key0);
+        let out = j.collect_all();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][1], Value::Str("l2".into()));
+        assert_eq!(out[0][3], Value::Str("r2".into()));
+        assert_eq!(out[1][1], Value::Str("l4".into()));
+    }
+
+    #[test]
+    fn merge_join_duplicate_groups() {
+        let l = from_iter(rows(&[(1, "a"), (2, "b1"), (2, "b2"), (3, "c")]));
+        let r = from_iter(rows(&[(2, "x1"), (2, "x2"), (2, "x3"), (5, "z")]));
+        let mut j = MergeJoin::new(l, r, key0, key0);
+        assert_eq!(j.collect_all().len(), 6); // 2x3 cross within key 2
+    }
+
+    #[test]
+    fn hash_join_matches_merge_join() {
+        let data_l = rows(&[(1, "a"), (2, "b"), (2, "b2"), (7, "g")]);
+        let data_r = rows(&[(2, "x"), (7, "y"), (7, "y2"), (9, "q")]);
+        let mut mj = MergeJoin::new(
+            from_iter(data_l.clone()),
+            from_iter(data_r.clone()),
+            key0,
+            key0,
+        );
+        let mut hj = HashJoin::new(from_iter(data_l), from_iter(data_r), key0, key0);
+        let mut a = mj.collect_all();
+        let mut b = hj.collect_all();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4); // key 2: 2x1, key 7: 1x2
+    }
+
+    #[test]
+    fn inlj_probes_per_outer_row() {
+        let outer = from_iter(rows(&[(1, "a"), (2, "b"), (3, "c")]));
+        let mut probes = 0usize;
+        let mut j = IndexNestedLoopJoin::new(outer, |t| {
+            probes += 1;
+            let id = t[0].as_int().unwrap();
+            if id == 2 {
+                vec![]
+            } else {
+                vec![vec![Value::Int(id * 100)], vec![Value::Int(id * 100 + 1)]]
+            }
+        });
+        let out = j.collect_all();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], vec![Value::Int(1), Value::Str("a".into()), Value::Int(100)]);
+        drop(j);
+        assert_eq!(probes, 3);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let input = from_iter(rows(&[(1, "a"), (1, "a"), (2, "b"), (1, "a"), (3, "c")]));
+        let mut d = Distinct::new(input);
+        assert_eq!(d.collect_all().len(), 3);
+        let input = from_iter(rows(&[(1, "a"), (2, "b"), (3, "c")]));
+        let mut l = Limit::new(input, 2);
+        assert_eq!(l.collect_all().len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = || from_iter(Vec::<Tuple>::new());
+        assert_eq!(MergeJoin::new(empty(), empty(), key0, key0).collect_all().len(), 0);
+        assert_eq!(
+            HashJoin::new(empty(), from_iter(rows(&[(1, "x")])), key0, key0)
+                .collect_all()
+                .len(),
+            0
+        );
+        assert_eq!(IndexNestedLoopJoin::new(empty(), |_| vec![]).collect_all().len(), 0);
+    }
+
+    #[test]
+    fn three_way_join_composition() {
+        // (A join B on id) join C on id — the shape of a twig with three
+        // branches joined on a branch-point id.
+        let a = from_iter(rows(&[(1, "a1"), (2, "a2"), (3, "a3")]));
+        let b = from_iter(rows(&[(2, "b2"), (3, "b3")]));
+        let c = from_iter(rows(&[(3, "c3"), (4, "c4")]));
+        let ab = MergeJoin::new(a, b, key0, key0);
+        let mut abc = MergeJoin::new(ab, c, key0, key0);
+        let out = abc.collect_all();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::Int(3));
+        assert_eq!(out[0].len(), 6);
+    }
+}

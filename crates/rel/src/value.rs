@@ -1,0 +1,221 @@
+//! Typed values, tuples, and row serialization.
+
+use std::fmt;
+
+/// Column types used by the reproduction's relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    /// 64-bit integer (node ids, dictionary ids).
+    Int,
+    /// UTF-8 string (tag names, leaf values).
+    Str,
+    /// A list of node ids — the paper's `IdList` attribute.
+    IdList,
+}
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// SQL NULL (e.g. `LeafValue` of a structural path row).
+    Null,
+    /// Integer.
+    Int(i64),
+    /// String.
+    Str(String),
+    /// Node-id list (the paper's 4-ary relation column).
+    IdList(Vec<u64>),
+}
+
+impl Value {
+    /// Shorthand constructor from a node id.
+    pub fn id(v: u64) -> Value {
+        Value::Int(v as i64)
+    }
+
+    /// The integer, if this is `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The integer as a node id, if this is a non-negative `Int`.
+    pub fn as_id(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The id list, if this is `IdList`.
+    pub fn as_id_list(&self) -> Option<&[u64]> {
+        match self {
+            Value::IdList(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::IdList(l) => {
+                write!(f, "[")?;
+                for (i, id) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{id}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// A row.
+pub type Tuple = Vec<Value>;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_IDLIST: u8 = 3;
+
+/// Serializes a tuple to bytes (heap-file row format; *not*
+/// order-preserving — see [`crate::codec`] for index keys).
+pub fn serialize_tuple(tuple: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * tuple.len());
+    out.extend_from_slice(&(u16::try_from(tuple.len()).expect("tuple too wide")).to_le_bytes());
+    for v in tuple {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(u32::try_from(s.len()).expect("string too long")).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::IdList(l) => {
+                out.push(TAG_IDLIST);
+                out.extend_from_slice(&(u32::try_from(l.len()).expect("idlist too long")).to_le_bytes());
+                for id in l {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes a tuple from [`serialize_tuple`] bytes.
+///
+/// # Panics
+/// Panics on malformed input (heap rows are trusted).
+pub fn deserialize_tuple(bytes: &[u8]) -> Tuple {
+    let n = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 2usize;
+    for _ in 0..n {
+        let tag = bytes[pos];
+        pos += 1;
+        match tag {
+            TAG_NULL => out.push(Value::Null),
+            TAG_INT => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&bytes[pos..pos + 8]);
+                out.push(Value::Int(i64::from_le_bytes(b)));
+                pos += 8;
+            }
+            TAG_STR => {
+                let mut lb = [0u8; 4];
+                lb.copy_from_slice(&bytes[pos..pos + 4]);
+                let len = u32::from_le_bytes(lb) as usize;
+                pos += 4;
+                let s = std::str::from_utf8(&bytes[pos..pos + len]).expect("corrupt row: utf8");
+                out.push(Value::Str(s.to_owned()));
+                pos += len;
+            }
+            TAG_IDLIST => {
+                let mut lb = [0u8; 4];
+                lb.copy_from_slice(&bytes[pos..pos + 4]);
+                let len = u32::from_le_bytes(lb) as usize;
+                pos += 4;
+                let mut l = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&bytes[pos..pos + 8]);
+                    l.push(u64::from_le_bytes(b));
+                    pos += 8;
+                }
+                out.push(Value::IdList(l));
+            }
+            other => panic!("corrupt row: unknown tag {other}"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let tuples: Vec<Tuple> = vec![
+            vec![],
+            vec![Value::Null],
+            vec![Value::Int(0), Value::Int(-1), Value::Int(i64::MAX), Value::Int(i64::MIN)],
+            vec![Value::Str(String::new()), Value::Str("jane".into()), Value::Str("ünïcødé 中文".into())],
+            vec![Value::IdList(vec![]), Value::IdList(vec![1, 5, 6, 7])],
+            vec![
+                Value::Int(1),
+                Value::Str("BUAF".into()),
+                Value::Str("jane".into()),
+                Value::IdList(vec![5, 6, 7]),
+            ],
+        ];
+        for t in tuples {
+            assert_eq!(deserialize_tuple(&serialize_tuple(&t)), t);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_id(), Some(5));
+        assert_eq!(Value::Int(-5).as_id(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::IdList(vec![1]).as_id_list(), Some(&[1u64][..]));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::id(9), Value::Int(9));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Str("XML".into()).to_string(), "'XML'");
+        assert_eq!(Value::IdList(vec![1, 5, 6]).to_string(), "[1,5,6]");
+    }
+}

@@ -1,0 +1,456 @@
+//! Buffer pool with LRU eviction, pin counts, and dirty-page write-back.
+//!
+//! Mirrors the role of the paper's 40 MB DB2 buffer pool (§5.1.1): all
+//! page access from the B+-tree and heap-file layers goes through
+//! [`BufferPool::fetch`] / [`BufferPool::fetch_mut`], so logical and
+//! physical I/O are observable per experiment.
+//!
+//! Concurrency: the page table and replacement state sit behind one
+//! mutex; page contents sit behind per-frame `RwLock`s. Pins are counted
+//! so a resident, in-use page is never evicted. Eviction picks the
+//! least-recently-used unpinned frame (timestamp scan — O(frames), which
+//! is fine at the pool sizes used here).
+
+use crate::disk::DiskManager;
+use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use crate::stats::IoStats;
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Frame {
+    data: Arc<RwLock<PageBuf>>,
+    pin: AtomicUsize,
+    dirty: AtomicBool,
+    last_used: AtomicU64,
+}
+
+struct PoolInner {
+    /// page id -> frame index
+    table: HashMap<PageId, usize>,
+    /// frame index -> resident page id (INVALID when free)
+    resident: Vec<PageId>,
+    free: Vec<usize>,
+}
+
+/// A fixed-capacity page cache over a [`DiskManager`].
+pub struct BufferPool {
+    disk: DiskManager,
+    frames: Vec<Frame>,
+    inner: Mutex<PoolInner>,
+    clock: AtomicU64,
+    stats: Arc<IoStats>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames over `disk`.
+    pub fn new(disk: DiskManager, capacity: usize) -> Self {
+        assert!(capacity >= 2, "buffer pool needs at least 2 frames");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                data: Arc::new(RwLock::new(PageBuf::zeroed())),
+                pin: AtomicUsize::new(0),
+                dirty: AtomicBool::new(false),
+                last_used: AtomicU64::new(0),
+            })
+            .collect();
+        BufferPool {
+            disk,
+            frames,
+            inner: Mutex::new(PoolInner {
+                table: HashMap::new(),
+                resident: vec![PageId::INVALID; capacity],
+                free: (0..capacity).rev().collect(),
+            }),
+            clock: AtomicU64::new(1),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// Convenience: in-memory pool with `capacity` frames.
+    pub fn in_memory(capacity: usize) -> Self {
+        BufferPool::new(DiskManager::in_memory(), capacity)
+    }
+
+    /// Pool sized to hold `bytes` of pages (rounded up), like "a 40 MB
+    /// buffer pool".
+    pub fn with_bytes(disk: DiskManager, bytes: u64) -> Self {
+        let frames = usize::try_from(bytes.div_ceil(PAGE_SIZE as u64)).unwrap().max(2);
+        BufferPool::new(disk, frames)
+    }
+
+    /// The shared I/O statistics.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pages allocated in the underlying disk manager.
+    pub fn num_pages(&self) -> u32 {
+        self.disk.num_pages()
+    }
+
+    /// Bytes allocated in the underlying disk manager.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.disk.allocated_bytes()
+    }
+
+    /// Allocates a fresh zeroed page and returns it pinned for writing.
+    pub fn allocate(&self) -> (PageId, PageWriteGuard<'_>) {
+        let pid = self.disk.allocate();
+        self.stats.record_allocation();
+        let frame_idx = self.install(pid, false);
+        let frame = &self.frames[frame_idx];
+        frame.dirty.store(true, Ordering::Relaxed);
+        let guard = frame.data.write_arc();
+        (
+            pid,
+            PageWriteGuard { guard, _pin: PinToken { pool: self, frame_idx }, pool: self, frame_idx },
+        )
+    }
+
+    /// Fetches page `pid` for reading.
+    pub fn fetch(&self, pid: PageId) -> PageReadGuard<'_> {
+        self.stats.record_logical();
+        let frame_idx = self.lookup_or_load(pid);
+        let guard = self.frames[frame_idx].data.read_arc();
+        PageReadGuard { guard, _pin: PinToken { pool: self, frame_idx } }
+    }
+
+    /// Fetches page `pid` for writing; marks it dirty.
+    pub fn fetch_mut(&self, pid: PageId) -> PageWriteGuard<'_> {
+        self.stats.record_logical();
+        let frame_idx = self.lookup_or_load(pid);
+        let frame = &self.frames[frame_idx];
+        frame.dirty.store(true, Ordering::Relaxed);
+        let guard = frame.data.write_arc();
+        PageWriteGuard { guard, _pin: PinToken { pool: self, frame_idx }, pool: self, frame_idx }
+    }
+
+    /// Writes all dirty resident pages back to disk.
+    pub fn flush_all(&self) {
+        let inner = self.inner.lock();
+        for (idx, &pid) in inner.resident.iter().enumerate() {
+            if !pid.is_valid() {
+                continue;
+            }
+            let frame = &self.frames[idx];
+            if frame.dirty.swap(false, Ordering::Relaxed) {
+                let data = frame.data.read();
+                self.disk.write_page(pid, data.bytes());
+                self.stats.record_physical_write();
+            }
+        }
+    }
+
+    /// Drops every clean resident page so the next access is a physical
+    /// read — the "cold cache" setting of the paper's omitted experiment.
+    /// Dirty pages are flushed first. Panics if any page is pinned.
+    pub fn clear_cache(&self) {
+        self.flush_all();
+        let mut inner = self.inner.lock();
+        let mut freed = Vec::new();
+        for (idx, pid) in inner.resident.iter_mut().enumerate() {
+            if !pid.is_valid() {
+                continue;
+            }
+            assert_eq!(
+                self.frames[idx].pin.load(Ordering::SeqCst),
+                0,
+                "clear_cache with pinned pages"
+            );
+            freed.push((idx, *pid));
+            *pid = PageId::INVALID;
+        }
+        for (idx, pid) in freed {
+            inner.table.remove(&pid);
+            inner.free.push(idx);
+        }
+    }
+
+    fn touch(&self, frame_idx: usize) {
+        let t = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.frames[frame_idx].last_used.store(t, Ordering::Relaxed);
+    }
+
+    /// Finds `pid`'s frame, loading it from disk (with eviction) if absent.
+    /// The returned frame has its pin count already incremented.
+    fn lookup_or_load(&self, pid: PageId) -> usize {
+        {
+            let inner = self.inner.lock();
+            if let Some(&idx) = inner.table.get(&pid) {
+                self.frames[idx].pin.fetch_add(1, Ordering::SeqCst);
+                self.touch(idx);
+                return idx;
+            }
+        }
+        self.stats.record_physical_read();
+        self.install(pid, true)
+    }
+
+    /// Installs `pid` into a frame (evicting if needed), optionally
+    /// loading its content from disk. Returns the pinned frame index.
+    fn install(&self, pid: PageId, load: bool) -> usize {
+        let mut inner = self.inner.lock();
+        // Re-check: another thread may have installed it concurrently.
+        if let Some(&idx) = inner.table.get(&pid) {
+            self.frames[idx].pin.fetch_add(1, Ordering::SeqCst);
+            self.touch(idx);
+            return idx;
+        }
+        let idx = if let Some(idx) = inner.free.pop() {
+            idx
+        } else {
+            let victim = self.pick_victim(&inner);
+            let old = inner.resident[victim];
+            let frame = &self.frames[victim];
+            if frame.dirty.swap(false, Ordering::Relaxed) {
+                let data = frame.data.read();
+                self.disk.write_page(old, data.bytes());
+                self.stats.record_physical_write();
+            }
+            inner.table.remove(&old);
+            self.stats.record_eviction();
+            victim
+        };
+        let frame = &self.frames[idx];
+        frame.pin.store(1, Ordering::SeqCst);
+        {
+            let mut data = frame.data.write();
+            if load {
+                self.disk.read_page(pid, data.bytes_mut());
+            } else {
+                data.bytes_mut().fill(0);
+            }
+        }
+        inner.table.insert(pid, idx);
+        inner.resident[idx] = pid;
+        self.touch(idx);
+        idx
+    }
+
+    fn pick_victim(&self, inner: &PoolInner) -> usize {
+        let mut best: Option<(u64, usize)> = None;
+        for (idx, &pid) in inner.resident.iter().enumerate() {
+            if !pid.is_valid() {
+                continue;
+            }
+            let frame = &self.frames[idx];
+            if frame.pin.load(Ordering::SeqCst) != 0 {
+                continue;
+            }
+            let t = frame.last_used.load(Ordering::Relaxed);
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, idx));
+            }
+        }
+        best.map(|(_, idx)| idx)
+            .expect("buffer pool exhausted: every frame is pinned (pool too small for working set)")
+    }
+}
+
+/// Decrements the frame pin count on drop. Declared *after* the page
+/// guard inside [`PageReadGuard`]/[`PageWriteGuard`] so the data lock is
+/// released before the pin drops (eviction then never waits on a lock).
+struct PinToken<'a> {
+    pool: &'a BufferPool,
+    frame_idx: usize,
+}
+
+impl Drop for PinToken<'_> {
+    fn drop(&mut self) {
+        self.pool.frames[self.frame_idx].pin.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Shared read access to a pinned page.
+pub struct PageReadGuard<'a> {
+    guard: ArcRwLockReadGuard<RawRwLock, PageBuf>,
+    _pin: PinToken<'a>,
+}
+
+impl Deref for PageReadGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.guard.bytes()
+    }
+}
+
+/// Exclusive write access to a pinned, dirty page.
+pub struct PageWriteGuard<'a> {
+    guard: ArcRwLockWriteGuard<RawRwLock, PageBuf>,
+    _pin: PinToken<'a>,
+    pool: &'a BufferPool,
+    frame_idx: usize,
+}
+
+impl Deref for PageWriteGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.guard.bytes()
+    }
+}
+
+impl DerefMut for PageWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.guard.bytes_mut()
+    }
+}
+
+impl PageWriteGuard<'_> {
+    /// The pool this page belongs to (used by tests).
+    pub fn pool_capacity(&self) -> usize {
+        let _ = self.frame_idx;
+        self.pool.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::put_u64;
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let pool = BufferPool::in_memory(4);
+        let (pid, mut g) = pool.allocate();
+        put_u64(&mut g, 0, 42);
+        drop(g);
+        let g = pool.fetch(pid);
+        assert_eq!(crate::page::get_u64(&g, 0), 42);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let pool = BufferPool::in_memory(2);
+        let mut pids = Vec::new();
+        for i in 0..10u64 {
+            let (pid, mut g) = pool.allocate();
+            put_u64(&mut g, 0, i);
+            pids.push(pid);
+        }
+        // Everything must still be readable after heavy eviction.
+        for (i, &pid) in pids.iter().enumerate() {
+            let g = pool.fetch(pid);
+            assert_eq!(crate::page::get_u64(&g, 0), i as u64);
+        }
+        let snap = pool.stats().snapshot();
+        assert!(snap.evictions > 0);
+        assert!(snap.physical_writes > 0);
+    }
+
+    #[test]
+    fn warm_cache_has_no_physical_reads() {
+        let pool = BufferPool::in_memory(8);
+        let (pid, mut g) = pool.allocate();
+        put_u64(&mut g, 0, 7);
+        drop(g);
+        pool.stats().reset();
+        for _ in 0..5 {
+            let g = pool.fetch(pid);
+            assert_eq!(crate::page::get_u64(&g, 0), 7);
+        }
+        let snap = pool.stats().snapshot();
+        assert_eq!(snap.logical_reads, 5);
+        assert_eq!(snap.physical_reads, 0);
+        assert_eq!(snap.hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn clear_cache_forces_cold_reads() {
+        let pool = BufferPool::in_memory(8);
+        let (pid, mut g) = pool.allocate();
+        put_u64(&mut g, 0, 9);
+        drop(g);
+        pool.clear_cache();
+        pool.stats().reset();
+        let g = pool.fetch(pid);
+        assert_eq!(crate::page::get_u64(&g, 0), 9);
+        assert_eq!(pool.stats().snapshot().physical_reads, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let pool = BufferPool::in_memory(2);
+        let (p0, g) = pool.allocate();
+        drop(g);
+        let (p1, g) = pool.allocate();
+        drop(g);
+        // Touch p0 so p1 is LRU.
+        drop(pool.fetch(p0));
+        let (_p2, g) = pool.allocate(); // must evict p1
+        drop(g);
+        pool.stats().reset();
+        drop(pool.fetch(p0)); // still resident
+        assert_eq!(pool.stats().snapshot().physical_reads, 0);
+        drop(pool.fetch(p1)); // was evicted
+        assert_eq!(pool.stats().snapshot().physical_reads, 1);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let pool = BufferPool::in_memory(3);
+        let (p0, mut g0) = pool.allocate();
+        put_u64(&mut g0, 0, 123);
+        // Keep g0 pinned while cycling many pages through the pool.
+        for _ in 0..20 {
+            let (_, g) = pool.allocate();
+            drop(g);
+        }
+        assert_eq!(crate::page::get_u64(&g0, 0), 123);
+        drop(g0);
+        let g = pool.fetch(p0);
+        assert_eq!(crate::page::get_u64(&g, 0), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "every frame is pinned")]
+    fn exhausted_pool_panics() {
+        let pool = BufferPool::in_memory(2);
+        let (_, _g1) = pool.allocate();
+        let (_, _g2) = pool.allocate();
+        let (_, _g3) = pool.allocate();
+    }
+
+    #[test]
+    fn concurrent_readers_share_pages() {
+        let pool = std::sync::Arc::new(BufferPool::in_memory(16));
+        let mut pids = Vec::new();
+        for i in 0..8u64 {
+            let (pid, mut g) = pool.allocate();
+            put_u64(&mut g, 0, i * 11);
+            pids.push(pid);
+        }
+        pool.flush_all();
+        let pids = std::sync::Arc::new(pids);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = pool.clone();
+            let pids = pids.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200 {
+                    let pid = pids[round % pids.len()];
+                    let g = pool.fetch(pid);
+                    assert_eq!(crate::page::get_u64(&g, 0), (round % pids.len()) as u64 * 11);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn with_bytes_sizes_pool() {
+        let pool = BufferPool::with_bytes(DiskManager::in_memory(), 40 * 1024 * 1024);
+        assert_eq!(pool.capacity(), 40 * 1024 * 1024 / PAGE_SIZE);
+    }
+}

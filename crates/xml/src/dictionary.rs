@@ -1,0 +1,263 @@
+//! Tag and attribute-name dictionary.
+//!
+//! Schema paths are "dictionary-encoded using special characters (whose
+//! lengths depend on the dictionary size) as designators for the schema
+//! components" (paper §3.1). This module owns the mapping between textual
+//! tag/attribute names and compact numeric [`TagId`]s; the byte-level
+//! designator encoding used inside B+-tree keys lives in `xtwig-core`.
+//!
+//! Attribute names are stored with a leading `'@'` so that an element
+//! `income` and an attribute `@income` are distinct schema components, as
+//! they are in the paper's queries (e.g. `profile/@income`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Compact identifier for a tag or attribute name.
+///
+/// `TagId(0)` is reserved for the virtual root that parents all documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// The reserved tag of the virtual root node.
+    pub const VIRTUAL_ROOT: TagId = TagId(0);
+
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Interning dictionary from tag/attribute names to [`TagId`]s.
+///
+/// The dictionary is append-only: ids are stable for the lifetime of the
+/// forest, which is what allows them to be persisted inside index keys.
+#[derive(Debug, Clone)]
+pub struct TagDict {
+    names: Vec<String>,
+    map: HashMap<String, TagId>,
+}
+
+impl Default for TagDict {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagDict {
+    /// Creates a dictionary containing only the reserved virtual-root tag.
+    pub fn new() -> Self {
+        let mut dict = TagDict { names: Vec::new(), map: HashMap::new() };
+        let id = dict.intern("<virtual-root>");
+        debug_assert_eq!(id, TagId::VIRTUAL_ROOT);
+        dict
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = TagId(u32::try_from(self.names.len()).expect("tag dictionary overflow"));
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<TagId> {
+        self.map.get(name).copied()
+    }
+
+    /// Returns the name for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned names, including the reserved virtual-root tag.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when only the reserved virtual-root tag is present.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Iterates `(TagId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (TagId(i as u32), n.as_str()))
+    }
+
+    /// Approximate heap footprint in bytes, used when sizing the
+    /// tag-translation table (the paper assumes it "can fit in a single
+    /// page"; this lets tests check that assumption at bench scales).
+    pub fn approx_bytes(&self) -> usize {
+        self.names.iter().map(|n| n.len() + 8).sum::<usize>() * 2
+    }
+}
+
+/// Interning dictionary for leaf values.
+///
+/// Leaf values are strings (paper §2.1: "we assume all values are strings
+/// and only equality matches on the values are allowed"). Interning keeps
+/// the in-memory forest compact when values repeat heavily, as they do in
+/// both XMark (e.g. `united states`) and DBLP (years).
+#[derive(Debug, Clone, Default)]
+pub struct ValueInterner {
+    values: Vec<String>,
+    map: HashMap<String, SymbolId>,
+}
+
+/// Compact identifier for an interned leaf value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ValueInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `value`, returning its symbol.
+    pub fn intern(&mut self, value: &str) -> SymbolId {
+        if let Some(&id) = self.map.get(value) {
+            return id;
+        }
+        let id = SymbolId(u32::try_from(self.values.len()).expect("value interner overflow"));
+        self.values.push(value.to_owned());
+        self.map.insert(value.to_owned(), id);
+        id
+    }
+
+    /// Looks up a value without interning it.
+    pub fn lookup(&self, value: &str) -> Option<SymbolId> {
+        self.map.get(value).copied()
+    }
+
+    /// Returns the string for `sym`.
+    pub fn value(&self, sym: SymbolId) -> &str {
+        &self.values[sym.index()]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_dict_reserves_virtual_root() {
+        let dict = TagDict::new();
+        assert_eq!(dict.len(), 1);
+        assert!(dict.is_empty());
+        assert_eq!(dict.name(TagId::VIRTUAL_ROOT), "<virtual-root>");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut dict = TagDict::new();
+        let a = dict.intern("book");
+        let b = dict.intern("title");
+        let a2 = dict.intern("book");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(dict.name(a), "book");
+        assert_eq!(dict.name(b), "title");
+        assert_eq!(dict.len(), 3);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut dict = TagDict::new();
+        assert_eq!(dict.lookup("book"), None);
+        let id = dict.intern("book");
+        assert_eq!(dict.lookup("book"), Some(id));
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn attribute_names_are_distinct_components() {
+        let mut dict = TagDict::new();
+        let elem = dict.intern("income");
+        let attr = dict.intern("@income");
+        assert_ne!(elem, attr);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut dict = TagDict::new();
+        dict.intern("a");
+        dict.intern("b");
+        let collected: Vec<_> = dict.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (0, "<virtual-root>".to_owned()),
+                (1, "a".to_owned()),
+                (2, "b".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn value_interner_roundtrip() {
+        let mut vi = ValueInterner::new();
+        let jane = vi.intern("jane");
+        let doe = vi.intern("doe");
+        assert_eq!(vi.intern("jane"), jane);
+        assert_eq!(vi.value(jane), "jane");
+        assert_eq!(vi.value(doe), "doe");
+        assert_eq!(vi.lookup("poe"), None);
+        assert_eq!(vi.len(), 2);
+    }
+
+    #[test]
+    fn value_interner_distinguishes_case_and_whitespace() {
+        let mut vi = ValueInterner::new();
+        let a = vi.intern("United States");
+        let b = vi.intern("united states");
+        let c = vi.intern("united states ");
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn dict_size_fits_in_a_page_at_paper_scales() {
+        // Paper §5.1.1: "the translation table can fit in a single page".
+        // XMark has well under 100 distinct tags.
+        let mut dict = TagDict::new();
+        for i in 0..90 {
+            dict.intern(&format!("tag_name_{i}"));
+        }
+        assert!(dict.approx_bytes() < 8192);
+    }
+}

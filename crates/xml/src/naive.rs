@@ -1,0 +1,385 @@
+//! Direct in-memory twig matching — the correctness oracle.
+//!
+//! Implements the match semantics of paper §2.1 by brute force over the
+//! forest: a match is a mapping from twig nodes to data nodes preserving
+//! tags/values and the parent-child / ancestor-descendant edges. Every
+//! index strategy in `xtwig-core` is property-tested against this module.
+//!
+//! Two evaluation styles are provided:
+//!
+//! * [`satisfying_sets`] / [`select`] — for each twig node, the set of data
+//!   nodes that participate in at least one full match ("filter"
+//!   semantics). Linear-ish passes; safe on large generated datasets.
+//! * [`enumerate_matches`] — all full match tuples. Output can be
+//!   exponential; intended for small inputs in tests.
+
+use crate::tree::{NodeId, XmlForest};
+use crate::twig::{Axis, TwigPattern};
+use std::collections::{BTreeSet, HashSet};
+
+/// For each twig node index, the set of data nodes bound to it in at least
+/// one full match of the pattern.
+pub fn satisfying_sets(forest: &XmlForest, twig: &TwigPattern) -> Vec<BTreeSet<NodeId>> {
+    let n = twig.len();
+    // 1. Label candidates.
+    let mut cand: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (qi, qnode) in twig.nodes.iter().enumerate() {
+        let Some(tag) = forest.dict().lookup(&qnode.tag) else { continue };
+        let want_value = match &qnode.value {
+            None => None,
+            Some(v) => match forest.values().lookup(v) {
+                Some(sym) => Some(sym),
+                None => {
+                    cand[qi] = Vec::new();
+                    continue;
+                }
+            },
+        };
+        cand[qi] = forest
+            .iter_nodes()
+            .filter(|&d| forest.tag(d) == tag)
+            .filter(|&d| match want_value {
+                None => true,
+                Some(sym) => forest.value(d) == Some(sym),
+            })
+            .collect();
+    }
+
+    // 2. Bottom-up: down[qi] = candidates whose subtree satisfies the
+    //    sub-twig rooted at qi.
+    let mut down: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let order = twig.preorder();
+    for &qi in order.iter().rev() {
+        let edges = twig.nodes[qi].children.clone();
+        if edges.is_empty() {
+            down[qi] = cand[qi].clone();
+            continue;
+        }
+        let child_sets: Vec<(Axis, HashSet<NodeId>, Vec<NodeId>)> = edges
+            .iter()
+            .map(|&(axis, qc)| {
+                (axis, down[qc].iter().copied().collect(), down[qc].clone())
+            })
+            .collect();
+        down[qi] = cand[qi]
+            .iter()
+            .copied()
+            .filter(|&v| {
+                child_sets.iter().all(|(axis, set, sorted)| match axis {
+                    Axis::Child => forest.children(v).any(|c| set.contains(&c)),
+                    Axis::Descendant => has_in_subtree(forest, v, sorted),
+                })
+            })
+            .collect();
+    }
+
+    // 3. Top-down: up[qi] = members of down[qi] with a valid context above.
+    let mut up: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    up[0] = match twig.root_axis {
+        Axis::Child => down[0]
+            .iter()
+            .copied()
+            .filter(|&v| forest.parent(v) == Some(NodeId::VIRTUAL_ROOT))
+            .collect(),
+        // Every element/attribute node is a proper descendant of the
+        // virtual root.
+        Axis::Descendant => down[0].clone(),
+    };
+    for &qi in &order {
+        let parents: HashSet<NodeId> = up[qi].iter().copied().collect();
+        for &(axis, qc) in twig.nodes[qi].children.clone().iter() {
+            up[qc] = down[qc]
+                .iter()
+                .copied()
+                .filter(|&u| match axis {
+                    Axis::Child => forest.parent(u).is_some_and(|p| parents.contains(&p)),
+                    Axis::Descendant => {
+                        let mut a = forest.parent(u);
+                        while let Some(p) = a {
+                            if p == NodeId::VIRTUAL_ROOT {
+                                break;
+                            }
+                            if parents.contains(&p) {
+                                return true;
+                            }
+                            a = forest.parent(p);
+                        }
+                        false
+                    }
+                })
+                .collect();
+        }
+    }
+
+    up.into_iter().map(|v| v.into_iter().collect()).collect()
+}
+
+/// True if `sorted` (ascending) contains a node strictly inside `v`'s
+/// subtree.
+fn has_in_subtree(forest: &XmlForest, v: NodeId, sorted: &[NodeId]) -> bool {
+    let lo = NodeId(v.0 + 1);
+    let hi = forest.subtree_end(v);
+    let i = sorted.partition_point(|&x| x < lo);
+    i < sorted.len() && sorted[i] <= hi
+}
+
+/// The ids bound to the twig's output node across all matches.
+pub fn select(forest: &XmlForest, twig: &TwigPattern) -> BTreeSet<NodeId> {
+    satisfying_sets(forest, twig).swap_remove(twig.output)
+}
+
+/// All full match tuples; `tuple[i]` is the binding of twig node `i`.
+///
+/// The result size can be exponential in the twig size — use on small
+/// inputs (tests, examples) only.
+pub fn enumerate_matches(forest: &XmlForest, twig: &TwigPattern) -> Vec<Vec<NodeId>> {
+    let sets = satisfying_sets(forest, twig);
+    let sat: Vec<Vec<NodeId>> = sets.iter().map(|s| s.iter().copied().collect()).collect();
+    let mut out = Vec::new();
+    for &root in &sat[0] {
+        let mut tuple = vec![NodeId::VIRTUAL_ROOT; twig.len()];
+        extend_match(forest, twig, &sat, 0, root, &mut tuple, &mut out);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn extend_match(
+    forest: &XmlForest,
+    twig: &TwigPattern,
+    sat: &[Vec<NodeId>],
+    qi: usize,
+    v: NodeId,
+    tuple: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    tuple[qi] = v;
+    // Collect, per child edge, the viable bindings under v.
+    let edges = &twig.nodes[qi].children;
+    if edges.is_empty() {
+        if fully_bound(twig, qi, tuple) {
+            out.push(tuple.clone());
+        }
+        return;
+    }
+    // Depth-first assignment over the child edges.
+    assign_children(forest, twig, sat, qi, 0, v, tuple, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign_children(
+    forest: &XmlForest,
+    twig: &TwigPattern,
+    sat: &[Vec<NodeId>],
+    qi: usize,
+    edge_idx: usize,
+    v: NodeId,
+    tuple: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    let edges = &twig.nodes[qi].children;
+    if edge_idx == edges.len() {
+        out.push(tuple.clone());
+        return;
+    }
+    let (axis, qc) = edges[edge_idx];
+    let viable: Vec<NodeId> = sat[qc]
+        .iter()
+        .copied()
+        .filter(|&u| match axis {
+            Axis::Child => forest.parent(u) == Some(v),
+            Axis::Descendant => forest.is_ancestor(v, u),
+        })
+        .collect();
+    for u in viable {
+        // Recurse into u's own sub-twig first; collect completions by
+        // re-entering assign_children for the remaining sibling edges.
+        let mut sub_out = Vec::new();
+        extend_match(forest, twig, sat, qc, u, tuple, &mut sub_out);
+        for sub in sub_out {
+            let mut t = sub;
+            std::mem::swap(tuple, &mut t);
+            assign_children(forest, twig, sat, qi, edge_idx + 1, v, tuple, out);
+            std::mem::swap(tuple, &mut t);
+        }
+    }
+}
+
+fn fully_bound(_twig: &TwigPattern, _qi: usize, _tuple: &[NodeId]) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::fig1_book_document;
+    use crate::twig::TwigPattern;
+    use crate::Axis;
+
+    fn ids(set: &BTreeSet<NodeId>) -> Vec<u64> {
+        set.iter().map(|n| n.0).collect()
+    }
+
+    /// /book[title='XML']//author[fn='jane'][ln='doe'] — the intro query.
+    fn paper_twig() -> TwigPattern {
+        let mut twig = TwigPattern::single(Axis::Child, "book", None);
+        twig.add_child(0, Axis::Child, "title", Some("XML"));
+        let author = twig.add_child(0, Axis::Descendant, "author", None);
+        twig.add_child(author, Axis::Child, "fn", Some("jane"));
+        twig.add_child(author, Axis::Child, "ln", Some("doe"));
+        twig.output = author;
+        twig
+    }
+
+    #[test]
+    fn intro_query_selects_author_41() {
+        // Only the third author has fn=jane AND ln=doe (paper §1).
+        let f = fig1_book_document();
+        let result = select(&f, &paper_twig());
+        assert_eq!(ids(&result), vec![41]);
+    }
+
+    #[test]
+    fn single_path_with_value() {
+        let f = fig1_book_document();
+        let p = TwigPattern::path(
+            &[(Axis::Child, "book"), (Axis::Child, "allauthors"), (Axis::Child, "author"), (Axis::Child, "fn")],
+            Some("jane"),
+        );
+        assert_eq!(ids(&select(&f, &p)), vec![7, 42]);
+    }
+
+    #[test]
+    fn descendant_axis_spans_depths() {
+        let f = fig1_book_document();
+        // //title matches both /book/title (2) and /book/chapter/title (48).
+        let p = TwigPattern::path(&[(Axis::Descendant, "title")], None);
+        assert_eq!(ids(&select(&f, &p)), vec![2, 48]);
+        // /book/title is anchored: only node 2.
+        let p = TwigPattern::path(&[(Axis::Child, "book"), (Axis::Child, "title")], None);
+        assert_eq!(ids(&select(&f, &p)), vec![2]);
+    }
+
+    #[test]
+    fn anchored_root_must_be_document_root() {
+        let f = fig1_book_document();
+        // /author does not match: authors are not document roots.
+        let p = TwigPattern::path(&[(Axis::Child, "author")], None);
+        assert!(select(&f, &p).is_empty());
+        let p = TwigPattern::path(&[(Axis::Descendant, "author")], None);
+        assert_eq!(select(&f, &p).len(), 3);
+    }
+
+    #[test]
+    fn branch_predicates_are_conjunctive() {
+        let f = fig1_book_document();
+        // //author[fn='jane'] matches authors 6 and 41.
+        let mut p = TwigPattern::single(Axis::Descendant, "author", None);
+        p.add_child(0, Axis::Child, "fn", Some("jane"));
+        assert_eq!(ids(&select(&f, &p)), vec![6, 41]);
+        // Adding [ln='doe'] narrows to author 41 only.
+        p.add_child(0, Axis::Child, "ln", Some("doe"));
+        assert_eq!(ids(&select(&f, &p)), vec![41]);
+    }
+
+    #[test]
+    fn value_absent_from_data_yields_empty() {
+        let f = fig1_book_document();
+        let p = TwigPattern::path(&[(Axis::Descendant, "fn")], Some("zebediah"));
+        assert!(select(&f, &p).is_empty());
+        let p = TwigPattern::path(&[(Axis::Descendant, "nosuchtag")], None);
+        assert!(select(&f, &p).is_empty());
+    }
+
+    #[test]
+    fn satisfying_sets_cover_all_pattern_nodes() {
+        let f = fig1_book_document();
+        let twig = paper_twig();
+        let sets = satisfying_sets(&f, &twig);
+        assert_eq!(sets.len(), 5);
+        assert_eq!(ids(&sets[0]), vec![1]); // book
+        assert_eq!(ids(&sets[1]), vec![2]); // title (chapter title has no author sibling context)
+        assert_eq!(ids(&sets[2]), vec![41]); // author
+        assert_eq!(ids(&sets[3]), vec![42]); // fn
+        assert_eq!(ids(&sets[4]), vec![45]); // ln
+    }
+
+    #[test]
+    fn enumerate_matches_produces_full_tuples() {
+        let f = fig1_book_document();
+        let twig = paper_twig();
+        let tuples = enumerate_matches(&f, &twig);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(
+            tuples[0].iter().map(|n| n.0).collect::<Vec<_>>(),
+            vec![1, 2, 41, 42, 45]
+        );
+    }
+
+    #[test]
+    fn enumerate_matches_counts_combinations() {
+        // <r><a><b/><b/></a></r> with twig /r/a[b]: the b binding varies.
+        let mut f = XmlForest::new();
+        let mut bld = f.builder();
+        bld.open("r");
+        bld.open("a");
+        bld.open("b");
+        bld.close();
+        bld.open("b");
+        bld.close();
+        bld.close();
+        bld.close();
+        bld.finish();
+        let mut twig = TwigPattern::single(Axis::Child, "r", None);
+        let a = twig.add_child(0, Axis::Child, "a", None);
+        twig.add_child(a, Axis::Child, "b", None);
+        twig.output = a;
+        let tuples = enumerate_matches(&f, &twig);
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(select(&f, &twig).len(), 1);
+    }
+
+    #[test]
+    fn descendant_is_proper_not_self() {
+        // twig //a//a on <a><a/></a> must bind outer->inner only.
+        let mut f = XmlForest::new();
+        let mut bld = f.builder();
+        bld.open("a");
+        bld.open("a");
+        bld.close();
+        bld.close();
+        bld.finish();
+        let mut twig = TwigPattern::single(Axis::Descendant, "a", None);
+        let inner = twig.add_child(0, Axis::Descendant, "a", None);
+        twig.output = inner;
+        let tuples = enumerate_matches(&f, &twig);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0], vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn deep_branching_twig() {
+        let f = fig1_book_document();
+        // /book[year='2000']/chapter[title='XML']/section/head
+        let mut twig = TwigPattern::single(Axis::Child, "book", None);
+        twig.add_child(0, Axis::Child, "year", Some("2000"));
+        let ch = twig.add_child(0, Axis::Child, "chapter", None);
+        twig.add_child(ch, Axis::Child, "title", Some("XML"));
+        let sec = twig.add_child(ch, Axis::Child, "section", None);
+        let head = twig.add_child(sec, Axis::Child, "head", None);
+        twig.output = head;
+        assert_eq!(ids(&select(&f, &twig)), vec![50]);
+    }
+
+    #[test]
+    fn multi_document_forest_matching() {
+        let mut f = XmlForest::new();
+        crate::parser::parse_document(&mut f, "<b><t>X</t></b>").unwrap();
+        crate::parser::parse_document(&mut f, "<b><t>Y</t></b>").unwrap();
+        let p = TwigPattern::path(&[(Axis::Child, "b"), (Axis::Child, "t")], Some("Y"));
+        let r = select(&f, &p);
+        assert_eq!(r.len(), 1);
+        assert!(f.is_ancestor(f.roots()[1], *r.iter().next().unwrap()));
+    }
+}

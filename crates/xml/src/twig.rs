@@ -1,0 +1,298 @@
+//! Query twig patterns (paper §2.1, Fig. 1(c)).
+//!
+//! A twig is a node-labeled tree: node labels are element tags, attribute
+//! names (with a leading `'@'`), and optional string values; edges are
+//! parent-child (single line in the paper's figures) or
+//! ancestor-descendant (double line). The pattern root attaches to the
+//! document root with one of the same two axes: `/book` anchors `book` as
+//! a document root, `//author` matches authors at any depth.
+//!
+//! Value predicates are stored directly on the twig node they apply to
+//! (the paper's value leaves carry no ids — see Fig. 2 — so modelling them
+//! as node attributes loses nothing and keeps match tuples aligned with
+//! element/attribute ids only).
+
+use std::fmt;
+
+/// Structural relationship of an edge (or of the root to the document).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Parent-child (`/`).
+    Child,
+    /// Ancestor-descendant (`//`), unbounded depth, proper descendant.
+    Descendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "/"),
+            Axis::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+/// One node of a twig pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigNode {
+    /// Tag or attribute name (attributes carry the leading `'@'`).
+    pub tag: String,
+    /// Optional equality predicate on this node's leaf value.
+    pub value: Option<String>,
+    /// Outgoing edges: `(axis, child index into TwigPattern::nodes)`.
+    pub children: Vec<(Axis, usize)>,
+}
+
+/// A query twig pattern.
+///
+/// Node 0 is the pattern root. `output` designates the node whose matches
+/// constitute the query result (XPath's last location step outside
+/// predicates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigPattern {
+    /// Pattern nodes; index 0 is the root.
+    pub nodes: Vec<TwigNode>,
+    /// How the pattern root relates to document roots.
+    pub root_axis: Axis,
+    /// Index of the result node.
+    pub output: usize,
+}
+
+impl TwigPattern {
+    /// Creates a single-node pattern.
+    pub fn single(root_axis: Axis, tag: &str, value: Option<&str>) -> Self {
+        TwigPattern {
+            nodes: vec![TwigNode {
+                tag: tag.to_owned(),
+                value: value.map(str::to_owned),
+                children: Vec::new(),
+            }],
+            root_axis,
+            output: 0,
+        }
+    }
+
+    /// Appends a node under `parent`, returning its index.
+    pub fn add_child(&mut self, parent: usize, axis: Axis, tag: &str, value: Option<&str>) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(TwigNode {
+            tag: tag.to_owned(),
+            value: value.map(str::to_owned),
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push((axis, idx));
+        idx
+    }
+
+    /// Builds a pure (branchless) path pattern from `(axis, tag)` steps,
+    /// with an optional value predicate on the final step. The output node
+    /// is the last step.
+    pub fn path(steps: &[(Axis, &str)], value: Option<&str>) -> Self {
+        assert!(!steps.is_empty(), "empty path pattern");
+        let mut twig = TwigPattern::single(steps[0].0, steps[0].1, None);
+        let mut cur = 0;
+        for &(axis, tag) in &steps[1..] {
+            cur = twig.add_child(cur, axis, tag, None);
+        }
+        twig.nodes[cur].value = value.map(str::to_owned);
+        twig.output = cur;
+        twig
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a pattern with no nodes (never produced by constructors).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Parent (and incoming axis) of node `idx`; `None` for the root.
+    pub fn parent_of(&self, idx: usize) -> Option<(Axis, usize)> {
+        for (p, node) in self.nodes.iter().enumerate() {
+            for &(axis, c) in &node.children {
+                if c == idx {
+                    return Some((axis, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// True if the pattern is a single path (every node has at most one
+    /// child) with only `Child` edges after the root axis — i.e., a
+    /// PCsubpath pattern per §2.2 (a leading `//` is permitted).
+    pub fn is_pc_path(&self) -> bool {
+        let mut cur = 0;
+        loop {
+            match self.nodes[cur].children.len() {
+                0 => return true,
+                1 => {
+                    let (axis, next) = self.nodes[cur].children[0];
+                    if axis != Axis::Child {
+                        return false;
+                    }
+                    cur = next;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// True if any edge (including the root axis) is `Descendant`.
+    pub fn has_recursion(&self) -> bool {
+        self.root_axis == Axis::Descendant
+            || self
+                .nodes
+                .iter()
+                .any(|n| n.children.iter().any(|&(a, _)| a == Axis::Descendant))
+    }
+
+    /// Number of leaf branches (nodes without children).
+    pub fn branch_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.is_empty()).count()
+    }
+
+    /// Indices of branching nodes (more than one child).
+    pub fn branch_points(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.len() > 1).collect()
+    }
+
+    /// Depth-first pre-order of pattern node indices starting at the root.
+    pub fn preorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![0usize];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            for &(_, c) in self.nodes[n].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    fn fmt_node(&self, idx: usize, out: &mut String) {
+        let node = &self.nodes[idx];
+        out.push_str(&node.tag);
+        if let Some(v) = &node.value {
+            out.push_str(&format!("[. = '{v}']"));
+        }
+        match node.children.len() {
+            0 => {}
+            1 => {
+                let (axis, c) = node.children[0];
+                out.push_str(&axis.to_string());
+                self.fmt_node(c, out);
+            }
+            _ => {
+                for &(axis, c) in &node.children {
+                    out.push('[');
+                    if axis == Axis::Descendant {
+                        out.push('/');
+                    }
+                    // Relative paths inside predicates never start with '/'.
+                    let mut inner = String::new();
+                    self.fmt_node(c, &mut inner);
+                    if axis == Axis::Descendant {
+                        out.push('/');
+                    }
+                    out.push_str(&inner);
+                    out.push(']');
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for TwigPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        out.push_str(&self.root_axis.to_string());
+        self.fmt_node(0, &mut out);
+        write!(f, "{out}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: /book[title='XML']//author[fn='jane'][ln='doe']
+    pub(crate) fn paper_twig() -> TwigPattern {
+        let mut twig = TwigPattern::single(Axis::Child, "book", None);
+        let title = twig.add_child(0, Axis::Child, "title", Some("XML"));
+        let author = twig.add_child(0, Axis::Descendant, "author", None);
+        twig.add_child(author, Axis::Child, "fn", Some("jane"));
+        twig.add_child(author, Axis::Child, "ln", Some("doe"));
+        twig.output = author;
+        let _ = title;
+        twig
+    }
+
+    #[test]
+    fn paper_twig_shape() {
+        let t = paper_twig();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.branch_count(), 3); // title, fn, ln leaves
+        assert_eq!(t.branch_points(), vec![0, 2]); // book and author branch
+        assert!(t.has_recursion());
+        assert!(!t.is_pc_path());
+    }
+
+    #[test]
+    fn path_constructor_builds_pc_paths() {
+        let p = TwigPattern::path(
+            &[(Axis::Child, "book"), (Axis::Child, "allauthors"), (Axis::Child, "author")],
+            None,
+        );
+        assert!(p.is_pc_path());
+        assert!(!p.has_recursion());
+        assert_eq!(p.output, 2);
+        assert_eq!(p.branch_count(), 1);
+    }
+
+    #[test]
+    fn leading_descendant_is_still_pc_path() {
+        // §2.2: "a '//' at the beginning of a subpath pattern is permitted".
+        let p = TwigPattern::path(&[(Axis::Descendant, "author"), (Axis::Child, "fn")], Some("jane"));
+        assert!(p.is_pc_path());
+        assert!(p.has_recursion());
+    }
+
+    #[test]
+    fn internal_descendant_is_not_pc_path() {
+        let p = TwigPattern::path(&[(Axis::Child, "book"), (Axis::Descendant, "author")], None);
+        assert!(!p.is_pc_path());
+    }
+
+    #[test]
+    fn parent_of_finds_incoming_edge() {
+        let t = paper_twig();
+        assert_eq!(t.parent_of(0), None);
+        assert_eq!(t.parent_of(1), Some((Axis::Child, 0)));
+        assert_eq!(t.parent_of(2), Some((Axis::Descendant, 0)));
+        assert_eq!(t.parent_of(3), Some((Axis::Child, 2)));
+    }
+
+    #[test]
+    fn preorder_visits_all_nodes_root_first() {
+        let t = paper_twig();
+        let order = t.preorder();
+        assert_eq!(order.len(), t.len());
+        assert_eq!(order[0], 0);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..t.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let t = paper_twig();
+        let s = t.to_string();
+        assert!(s.starts_with("/book"), "{s}");
+        assert!(s.contains("title"), "{s}");
+        assert!(s.contains("jane"), "{s}");
+    }
+}

@@ -1,0 +1,227 @@
+//! `xtwig` — command-line twig querying over XML files.
+//!
+//! Loads one or more XML documents (or generates a synthetic dataset),
+//! builds the requested index configuration, and evaluates XPath twig
+//! queries, printing results, the chosen plan, and cost metrics.
+//!
+//! ```text
+//! xtwig query  <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain]
+//! xtwig bench  <file.xml> '<xpath>'             # run against every strategy
+//! xtwig stats  <file.xml>                       # dataset + index statistics
+//! xtwig demo   ['<xpath>']                      # generated XMark data
+//! ```
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
+use xtwig::core::family::PathIndex;
+use xtwig::core::paths::PathStats;
+use xtwig::xml::{parse_document, NodeId, XmlForest};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain]\n  xtwig bench <file.xml> '<xpath>'\n  xtwig stats <file.xml>\n  xtwig demo ['<xpath>']"
+    );
+    ExitCode::from(2)
+}
+
+fn strategy_from(label: &str) -> Option<Strategy> {
+    match label.to_uppercase().as_str() {
+        "RP" | "ROOTPATHS" => Some(Strategy::RootPaths),
+        "DP" | "DATAPATHS" => Some(Strategy::DataPaths),
+        "EDGE" => Some(Strategy::Edge),
+        "DG" | "DG+EDGE" | "DATAGUIDE" => Some(Strategy::DataGuideEdge),
+        "IF" | "IF+EDGE" | "FABRIC" => Some(Strategy::IndexFabricEdge),
+        "ASR" => Some(Strategy::Asr),
+        "JI" | "JOININDEX" => Some(Strategy::JoinIndex),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Result<XmlForest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut forest = XmlForest::new();
+    parse_document(&mut forest, &text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(forest)
+}
+
+fn print_node(forest: &XmlForest, id: u64) {
+    let node = NodeId(id);
+    let path: Vec<&str> = forest
+        .root_path_tags(node)
+        .iter()
+        .map(|&t| forest.dict().name(t))
+        .collect();
+    match forest.value_str(node) {
+        Some(v) => println!("  #{id}  /{}  = {v:?}", path.join("/")),
+        None => println!("  #{id}  /{}", path.join("/")),
+    }
+}
+
+fn print_answer(forest: &XmlForest, ids: &BTreeSet<u64>, verbose_limit: usize) {
+    println!("{} result(s)", ids.len());
+    for &id in ids.iter().take(verbose_limit) {
+        print_node(forest, id);
+    }
+    if ids.len() > verbose_limit {
+        println!("  … and {} more", ids.len() - verbose_limit);
+    }
+}
+
+fn run_query(forest: &XmlForest, xpath: &str, strategy: Strategy, explain: bool) -> ExitCode {
+    let twig = match xtwig::parse_xpath(xpath) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = QueryEngine::build(
+        forest,
+        EngineOptions { strategies: vec![strategy], pool_pages: 5_120, ..Default::default() },
+    );
+    if explain {
+        if let Some(plan) = engine.plan(&twig) {
+            println!("plan: {:?} (merge cost {} vs inlj cost {})", plan.kind, plan.merge_cost, plan.inlj_cost);
+            for step in &plan.steps {
+                println!(
+                    "  step subpath#{} est={} join={:?} probe={}",
+                    step.subpath,
+                    step.estimate,
+                    step.join,
+                    step.probe.is_some()
+                );
+            }
+        }
+    }
+    let a = engine.answer(&twig, strategy);
+    print_answer(forest, &a.ids, 20);
+    println!(
+        "[{} | plan {:?} | {} probes | {} rows | {} logical reads | {:?}]",
+        strategy.label(),
+        a.plan,
+        a.metrics.probes,
+        a.metrics.rows_fetched,
+        a.metrics.logical_reads,
+        a.metrics.elapsed
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_bench(forest: &XmlForest, xpath: &str) -> ExitCode {
+    let twig = match xtwig::parse_xpath(xpath) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("building all seven configurations …");
+    let engine =
+        QueryEngine::build(forest, EngineOptions { pool_pages: 5_120, ..Default::default() });
+    println!(
+        "{:<8} {:>8} {:>9} {:>9} {:>12} {:>12}  plan",
+        "strategy", "results", "probes", "rows", "logical I/O", "time"
+    );
+    for s in Strategy::ALL {
+        let a = engine.answer(&twig, s);
+        println!(
+            "{:<8} {:>8} {:>9} {:>9} {:>12} {:>11.2?}  {:?}",
+            s.label(),
+            a.ids.len(),
+            a.metrics.probes,
+            a.metrics.rows_fetched,
+            a.metrics.logical_reads,
+            a.metrics.elapsed,
+            a.plan
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_stats(forest: &XmlForest) -> ExitCode {
+    let stats = PathStats::build(forest);
+    println!("documents:            {}", forest.roots().len());
+    println!("element/attr nodes:   {}", forest.node_count() - 1);
+    println!("max depth:            {}", forest.max_depth());
+    println!("distinct tags:        {}", forest.dict().len() - 1);
+    println!("distinct schema paths: {}", stats.distinct_schema_paths());
+    println!("approx text size:     {:.2} MB", forest.approx_text_bytes() as f64 / 1048576.0);
+    let engine = QueryEngine::build(
+        forest,
+        EngineOptions {
+            strategies: vec![Strategy::RootPaths, Strategy::DataPaths],
+            pool_pages: 16_384,
+            ..Default::default()
+        },
+    );
+    if let Some(rp) = engine.rootpaths() {
+        println!("ROOTPATHS: {} rows, {:.2} MB", rp.rows(), rp.space_bytes() as f64 / 1048576.0);
+    }
+    if let Some(dp) = engine.datapaths() {
+        println!("DATAPATHS: {} rows, {:.2} MB", dp.rows(), dp.space_bytes() as f64 / 1048576.0);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    match cmd.as_str() {
+        "query" => {
+            let (Some(path), Some(xpath)) = (args.get(1), args.get(2)) else { return usage() };
+            let strategy = args
+                .iter()
+                .position(|a| a == "--strategy")
+                .and_then(|i| args.get(i + 1))
+                .map(|s| strategy_from(s))
+                .unwrap_or(Some(Strategy::RootPaths));
+            let Some(strategy) = strategy else {
+                eprintln!("unknown strategy; use RP, DP, Edge, DG, IF, ASR, or JI");
+                return ExitCode::from(2);
+            };
+            let explain = args.iter().any(|a| a == "--explain");
+            match load(path) {
+                Ok(forest) => run_query(&forest, xpath, strategy, explain),
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "bench" => {
+            let (Some(path), Some(xpath)) = (args.get(1), args.get(2)) else { return usage() };
+            match load(path) {
+                Ok(forest) => run_bench(&forest, xpath),
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "stats" => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load(path) {
+                Ok(forest) => run_stats(&forest),
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "demo" => {
+            let mut forest = XmlForest::new();
+            xtwig::datagen::generate_xmark(
+                &mut forest,
+                xtwig::datagen::XmarkConfig { scale: 0.005, seed: 1 },
+            );
+            let xpath = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "/site//item[quantity = '2']/location".to_owned());
+            println!("generated XMark demo data ({} nodes)\nquery: {xpath}\n", forest.node_count());
+            run_bench(&forest, &xpath)
+        }
+        _ => usage(),
+    }
+}

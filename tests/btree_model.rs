@@ -1,0 +1,111 @@
+//! Model-based property tests: the disk-format B+-tree against
+//! `std::collections::BTreeMap` under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use xtwig::btree::{bulk_build, BTree, BTreeOptions};
+use xtwig::storage::BufferPool;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+    PrefixScan(Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Keys with heavy shared prefixes and zero bytes, the regime the
+    // designator/codec layers produce.
+    proptest::collection::vec(prop_oneof![Just(0u8), Just(1), Just(2), 97..=99u8], 1..12)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..20))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        key_strategy().prop_map(Op::Delete),
+        key_strategy().prop_map(Op::Get),
+        proptest::collection::vec(97..=99u8, 0..3).prop_map(Op::PrefixScan),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tree_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let pool = Arc::new(BufferPool::in_memory(256));
+        let mut tree = BTree::new(pool);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(&k, &v), model.insert(k, v));
+                }
+                Op::Delete(k) => {
+                    prop_assert_eq!(tree.delete(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), model.get(&k).cloned());
+                }
+                Op::PrefixScan(p) => {
+                    let got: Vec<_> = tree.scan_prefix(&p).collect();
+                    let want: Vec<_> = model
+                        .range(p.clone()..)
+                        .take_while(|(k, _)| k.starts_with(&p))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+        let scanned: Vec<_> = tree.scan_all().collect();
+        let expected: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expected);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn bulk_build_equals_scan_of_sorted_input(
+        entries in proptest::collection::btree_map(
+            key_strategy(),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            0..300,
+        ),
+    ) {
+        let pool = Arc::new(BufferPool::in_memory(1024));
+        let sorted: Vec<(Vec<u8>, Vec<u8>)> = entries.clone().into_iter().collect();
+        let tree = bulk_build(pool, BTreeOptions::default(), sorted.clone());
+        prop_assert_eq!(tree.len(), sorted.len() as u64);
+        let scanned: Vec<_> = tree.scan_all().collect();
+        prop_assert_eq!(scanned, sorted);
+        tree.check_invariants();
+        for (k, v) in entries.iter().take(20) {
+            prop_assert_eq!(tree.get(k), Some(v.clone()));
+        }
+    }
+
+    #[test]
+    fn prefix_truncation_never_changes_results(
+        entries in proptest::collection::btree_map(key_strategy(), Just(Vec::new()), 0..200),
+        probe in proptest::collection::vec(97..=99u8, 0..4),
+    ) {
+        let sorted: Vec<(Vec<u8>, Vec<u8>)> = entries.into_iter().collect();
+        let with = bulk_build(
+            Arc::new(BufferPool::in_memory(1024)),
+            BTreeOptions { prefix_truncation: true, ..Default::default() },
+            sorted.clone(),
+        );
+        let without = bulk_build(
+            Arc::new(BufferPool::in_memory(1024)),
+            BTreeOptions { prefix_truncation: false, ..Default::default() },
+            sorted,
+        );
+        let a: Vec<_> = with.scan_prefix(&probe).collect();
+        let b: Vec<_> = without.scan_prefix(&probe).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the XML parser/serializer pair.
+
+use proptest::prelude::*;
+use xtwig::xml::{parse_document, serialize, XmlForest};
+
+/// Builds a random forest from a byte program, with names/values drawn
+/// from pools that include XML-hostile characters.
+fn forest_from_program(program: &[u8]) -> XmlForest {
+    const TAGS: &[&str] = &["a", "b2", "long-name", "x_y", "ns:t"];
+    const VALUES: &[&str] =
+        &["plain", "a<b", "x & y", "\"quoted\"", "it's", "tab\there", "ünïcødé 中文", ""];
+    let mut forest = XmlForest::new();
+    let mut b = forest.builder();
+    b.open("root");
+    let mut depth = 1usize;
+    let mut can_attr = true; // attributes must precede child elements
+    for chunk in program.chunks(2) {
+        let op = chunk[0] % 10;
+        let sel = *chunk.get(1).unwrap_or(&0) as usize;
+        match op {
+            0..=3 => {
+                if depth < 10 {
+                    b.open(TAGS[sel % TAGS.len()]);
+                    depth += 1;
+                    can_attr = true;
+                }
+            }
+            4 | 5 => {
+                if depth > 1 {
+                    b.close();
+                    depth -= 1;
+                    can_attr = false;
+                }
+            }
+            6 | 7 => {
+                let v = VALUES[sel % VALUES.len()];
+                if !v.is_empty() {
+                    b.text(v);
+                }
+            }
+            _ => {
+                if can_attr {
+                    b.attr(TAGS[sel % TAGS.len()], VALUES[sel % VALUES.len()]);
+                }
+            }
+        }
+    }
+    while depth > 0 {
+        b.close();
+        depth -= 1;
+    }
+    b.finish();
+    forest
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialize_then_parse_is_identity(program in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let f1 = forest_from_program(&program);
+        let text = serialize::serialize_subtree(&f1, f1.roots()[0]);
+        let mut f2 = XmlForest::new();
+        let r2 = parse_document(&mut f2, &text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        let n1: Vec<_> = f1.iter_subtree(f1.roots()[0]).collect();
+        let n2: Vec<_> = f2.iter_subtree(r2).collect();
+        prop_assert_eq!(n1.len(), n2.len(), "node count changed:\n{}", text);
+        for (&a, &b) in n1.iter().zip(&n2) {
+            prop_assert_eq!(f1.tag_name(a), f2.tag_name(b));
+            prop_assert_eq!(f1.value_str(a), f2.value_str(b));
+            prop_assert_eq!(f1.depth(a), f2.depth(b));
+            prop_assert_eq!(f1.kind(a), f2.kind(b));
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,300}") {
+        let mut f = XmlForest::new();
+        let _ = parse_document(&mut f, &input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_owned()),
+                Just("</a>".to_owned()),
+                Just("<b x='1'>".to_owned()),
+                Just("</b>".to_owned()),
+                Just("text".to_owned()),
+                Just("<!-- c -->".to_owned()),
+                Just("<![CDATA[d]]>".to_owned()),
+                Just("&amp;".to_owned()),
+                Just("&bogus;".to_owned()),
+                Just("<".to_owned()),
+                Just(">".to_owned()),
+                Just("<a".to_owned()),
+            ],
+            0..24,
+        ),
+    ) {
+        let soup: String = parts.concat();
+        let mut f = XmlForest::new();
+        let _ = parse_document(&mut f, &soup);
+    }
+}
+
+#[test]
+fn pretty_printing_roundtrips_generated_datasets() {
+    let mut forest = XmlForest::new();
+    xtwig::datagen::generate_xmark(
+        &mut forest,
+        xtwig::datagen::XmarkConfig { scale: 0.002, seed: 2 },
+    );
+    let text = serialize::serialize_pretty(&forest, forest.roots()[0]);
+    let mut f2 = XmlForest::new();
+    let r2 = parse_document(&mut f2, &text).expect("generated XML must reparse");
+    assert_eq!(
+        forest.iter_subtree(forest.roots()[0]).count(),
+        f2.iter_subtree(r2).count()
+    );
+}

@@ -1,0 +1,103 @@
+//! Integration: the structural-join stitching mode (§6 alternative)
+//! returns exactly the same answers as IdList-ancestor unnesting.
+
+use std::collections::BTreeSet;
+use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
+use xtwig::core::stitch::containment_join;
+use xtwig::datagen::{generate_xmark, xmark_queries, XmarkConfig};
+use xtwig::xml::{naive, NodeId, XmlForest};
+
+#[test]
+fn structural_and_unnesting_joins_agree_on_workload() {
+    let mut forest = XmlForest::new();
+    generate_xmark(&mut forest, XmarkConfig { scale: 0.004, seed: 11 });
+    let strategies = vec![Strategy::RootPaths, Strategy::DataPaths];
+    let unnest = QueryEngine::build(
+        &forest,
+        EngineOptions {
+            strategies: strategies.clone(),
+            pool_pages: 4096,
+            ..Default::default()
+        },
+    );
+    let structural = QueryEngine::build(
+        &forest,
+        EngineOptions {
+            strategies,
+            pool_pages: 4096,
+            structural_ad_joins: true,
+            ..Default::default()
+        },
+    );
+    // The recursive queries exercise the AD joins; run the whole workload
+    // anyway for coverage.
+    for q in xmark_queries() {
+        let twig = q.twig();
+        let expected: BTreeSet<u64> =
+            naive::select(&forest, &twig).into_iter().map(|n| n.0).collect();
+        for s in [Strategy::RootPaths, Strategy::DataPaths] {
+            assert_eq!(unnest.answer(&twig, s).ids, expected, "{} unnest {}", q.id, s.label());
+            assert_eq!(
+                structural.answer(&twig, s).ids,
+                expected,
+                "{} structural {}",
+                q.id,
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn structural_join_handles_deep_recursion_queries() {
+    let mut forest = XmlForest::new();
+    generate_xmark(&mut forest, XmarkConfig { scale: 0.004, seed: 11 });
+    let engine = QueryEngine::build(
+        &forest,
+        EngineOptions {
+            strategies: vec![Strategy::RootPaths],
+            pool_pages: 4096,
+            structural_ad_joins: true,
+            ..Default::default()
+        },
+    );
+    for xpath in [
+        "/site//mail/from",
+        "//open_auction//personref",
+        "/site//item[location = 'united states']//date",
+        "//regions//item[quantity = '1']",
+    ] {
+        let twig = xtwig::parse_xpath(xpath).unwrap();
+        let expected: BTreeSet<u64> =
+            naive::select(&forest, &twig).into_iter().map(|n| n.0).collect();
+        assert_eq!(engine.answer(&twig, Strategy::RootPaths).ids, expected, "{xpath}");
+    }
+}
+
+#[test]
+fn containment_join_scales_linearly_on_generated_data() {
+    // Cross-check the raw join against is_ancestor on a real dataset.
+    let mut forest = XmlForest::new();
+    generate_xmark(&mut forest, XmarkConfig { scale: 0.002, seed: 3 });
+    let items: Vec<u64> = forest
+        .iter_nodes()
+        .filter(|&n| forest.tag_name(n) == "item")
+        .map(|n| n.0)
+        .collect();
+    let dates: Vec<u64> = forest
+        .iter_nodes()
+        .filter(|&n| forest.tag_name(n) == "date")
+        .map(|n| n.0)
+        .collect();
+    let pairs = containment_join(&forest, &items, &dates);
+    let mut naive_count = 0usize;
+    for &a in &items {
+        for &d in &dates {
+            if forest.is_ancestor(NodeId(a), NodeId(d)) {
+                naive_count += 1;
+            }
+        }
+    }
+    assert_eq!(pairs.len(), naive_count);
+    assert!(!pairs.is_empty(), "items should contain mail dates");
+}

@@ -1,0 +1,92 @@
+//! Integration: index maintenance (paper §7).
+//!
+//! "Updating the ROOTPATHS and DATAPATHS indices requires updating
+//! multiple index entries … however, ROOTPATHS and DATAPATHS themselves
+//! could be used to speed up the lookup of the entries to update."
+
+use std::sync::Arc;
+use xtwig::core::family::{FreeIndex, PcSubpathQuery};
+use xtwig::core::rootpaths::{RootPaths, RootPathsOptions};
+use xtwig::storage::BufferPool;
+use xtwig::xml::tree::fig1_book_document;
+use xtwig::xml::TagId;
+
+#[test]
+fn inserting_an_author_adds_all_prefix_entries() {
+    // §7's example: "inserting an author with a certain name to an
+    // existing book requires inserting all prefixes of the
+    // /book/author/name path".
+    let mut forest = fig1_book_document();
+    let mut rp = RootPaths::build(
+        &forest,
+        Arc::new(BufferPool::in_memory(2048)),
+        RootPathsOptions::default(),
+    );
+    let rows_before = rp.rows();
+    let tags: Vec<TagId> = ["book", "allauthors", "author", "fn"]
+        .iter()
+        .map(|t| forest.dict_mut().intern(t))
+        .collect();
+    // New author under allauthors (book=1, allauthors=5), with fresh ids.
+    rp.insert_path(&tags[..3], &[1, 5, 900], None); // the author node
+    rp.insert_path(&tags, &[1, 5, 900, 901], Some("ada")); // its fn
+    // 3 entries: author structural, fn structural, fn valued.
+    assert_eq!(rp.rows(), rows_before + 3);
+    let q = PcSubpathQuery::resolve(forest.dict(), &["author", "fn"], false, Some("ada")).unwrap();
+    let ms = rp.lookup_free(&q);
+    assert_eq!(ms.len(), 1);
+    assert_eq!(ms[0].ids, vec![1, 5, 900, 901]);
+}
+
+#[test]
+fn deletes_are_self_locating() {
+    // §7: "we could use the author name and the schema path to locate the
+    // authors with the given name, and extract the book IDs from the
+    // matching entries" — no joins needed.
+    let forest = fig1_book_document();
+    let mut rp = RootPaths::build(
+        &forest,
+        Arc::new(BufferPool::in_memory(2048)),
+        RootPathsOptions::default(),
+    );
+    let tags: Vec<TagId> = ["book", "allauthors", "author", "fn"]
+        .iter()
+        .map(|t| forest.dict().lookup(t).unwrap())
+        .collect();
+    // Locate jane entries via one lookup, then delete the one under
+    // book 1 / author 41.
+    let q = PcSubpathQuery::resolve(forest.dict(), &["author", "fn"], false, Some("jane")).unwrap();
+    let before = rp.lookup_free(&q);
+    assert_eq!(before.len(), 2);
+    let victim = before.iter().find(|m| m.ids[2] == 41).unwrap().ids.clone();
+    assert!(rp.delete_path(&tags, &victim, Some("jane")));
+    let after = rp.lookup_free(&q);
+    assert_eq!(after.len(), 1);
+    assert_eq!(after[0].ids[2], 6, "the other jane remains");
+    // Deleting again is a no-op.
+    assert!(!rp.delete_path(&tags, &victim, Some("jane")));
+}
+
+#[test]
+fn update_cost_scales_with_path_depth() {
+    // Each inserted node costs one entry per value + structural row —
+    // but a node insertion into ROOTPATHS touches only its own path
+    // prefixes, independent of document size.
+    let forest = fig1_book_document();
+    let mut rp = RootPaths::build(
+        &forest,
+        Arc::new(BufferPool::in_memory(2048)),
+        RootPathsOptions::default(),
+    );
+    let mut dict = forest.dict().clone();
+    let deep_tags: Vec<TagId> =
+        ["book", "chapter", "section", "p"].iter().map(|t| dict.intern(t)).collect();
+    let rows0 = rp.rows();
+    // Insert a subtree of 3 nodes (chapter-2/section/p): 3 insert_path
+    // calls, one per node, exactly like §7 describes.
+    rp.insert_path(&deep_tags[..2], &[1, 800], None);
+    rp.insert_path(&deep_tags[..3], &[1, 800, 801], None);
+    rp.insert_path(&deep_tags, &[1, 800, 801, 802], Some("text"));
+    assert_eq!(rp.rows(), rows0 + 4); // 3 structural + 1 valued
+    rp.tree().check_invariants();
+}

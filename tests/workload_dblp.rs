@@ -1,0 +1,93 @@
+//! Integration: the DBLP selectivity sweep (Q1d–Q3d) and shallow-document
+//! behaviour.
+
+use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
+use xtwig::datagen::{dblp_queries, generate_dblp, DblpConfig};
+use xtwig::xml::{naive, XmlForest};
+
+#[test]
+fn dblp_selectivity_sweep_matches_planted_years() {
+    let mut forest = XmlForest::new();
+    let profile = generate_dblp(&mut forest, DblpConfig { scale: 0.02, seed: 7 });
+    let engine = QueryEngine::build(
+        &forest,
+        EngineOptions {
+            strategies: vec![Strategy::RootPaths, Strategy::DataPaths, Strategy::Edge],
+            pool_pages: 4096,
+            ..Default::default()
+        },
+    );
+    // Only inproceedings (not articles) match /dblp/inproceedings/year.
+    for (id, year) in [("Q1d", 1950u32), ("Q2d", 1979), ("Q3d", 1998)] {
+        let q = dblp_queries().into_iter().find(|q| q.id == id).unwrap();
+        let twig = q.twig();
+        let expected: std::collections::BTreeSet<u64> =
+            naive::select(&forest, &twig).into_iter().map(|n| n.0).collect();
+        for s in [Strategy::RootPaths, Strategy::DataPaths, Strategy::Edge] {
+            let a = engine.answer(&twig, s);
+            assert_eq!(a.ids, expected, "{id} via {}", s.label());
+        }
+        // The planted counts bound the result (articles share the year).
+        assert!(
+            expected.len() as u64 <= profile.per_year[&year],
+            "{id}: {} results for {} planted",
+            expected.len(),
+            profile.per_year[&year]
+        );
+        if year == 1950 {
+            assert_eq!(expected.len(), 1, "Q1d is the singleton year");
+        }
+    }
+}
+
+#[test]
+fn all_strategies_agree_on_dblp() {
+    let mut forest = XmlForest::new();
+    generate_dblp(&mut forest, DblpConfig { scale: 0.005, seed: 3 });
+    let engine = QueryEngine::build(
+        &forest,
+        EngineOptions { pool_pages: 4096, ..Default::default() },
+    );
+    for xpath in [
+        "/dblp/inproceedings/year[. = '1979']",
+        "/dblp/inproceedings[year = '1998']/title",
+        "//article/journal",
+        "/dblp/article[volume = '7']/author",
+        "//inproceedings[crossref]/booktitle",
+    ] {
+        let twig = xtwig::parse_xpath(xpath).unwrap();
+        let expected: std::collections::BTreeSet<u64> =
+            naive::select(&forest, &twig).into_iter().map(|n| n.0).collect();
+        for s in Strategy::ALL {
+            let a = engine.answer(&twig, s);
+            assert_eq!(a.ids, expected, "{xpath} via {}", s.label());
+        }
+    }
+}
+
+#[test]
+fn shallow_dataset_keeps_datapaths_overhead_low() {
+    // Fig. 9: for shallow DBLP, DATAPATHS is barely larger than
+    // ROOTPATHS (83 vs 80 MB); for deep XMark it is ~3.6x. Check the
+    // ordering relationship on generated data.
+    let mut dblp = XmlForest::new();
+    generate_dblp(&mut dblp, DblpConfig { scale: 0.02, seed: 1 });
+    let mut xmark = XmlForest::new();
+    xtwig::datagen::generate_xmark(&mut xmark, xtwig::datagen::XmarkConfig { scale: 0.02, seed: 1 });
+
+    let opts = || EngineOptions {
+        strategies: vec![Strategy::RootPaths, Strategy::DataPaths],
+        pool_pages: 16384,
+        ..Default::default()
+    };
+    let e_dblp = QueryEngine::build(&dblp, opts());
+    let e_xmark = QueryEngine::build(&xmark, opts());
+    let ratio_dblp = e_dblp.space_bytes(Strategy::DataPaths) as f64
+        / e_dblp.space_bytes(Strategy::RootPaths) as f64;
+    let ratio_xmark = e_xmark.space_bytes(Strategy::DataPaths) as f64
+        / e_xmark.space_bytes(Strategy::RootPaths) as f64;
+    assert!(
+        ratio_xmark > ratio_dblp,
+        "deep XMark must pay more DP overhead: xmark {ratio_xmark:.2} vs dblp {ratio_dblp:.2}"
+    );
+}
