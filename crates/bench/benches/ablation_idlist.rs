@@ -5,8 +5,8 @@
 //! unselective FreeIndex probe.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 use xtwig_bench::xmark_forest;
 use xtwig_core::family::{FreeIndex, PcSubpathQuery};
 use xtwig_core::rootpaths::{RootPaths, RootPathsOptions};

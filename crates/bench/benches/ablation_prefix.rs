@@ -2,8 +2,8 @@
 //! compression the paper leans on in §3.1) — build size and probe cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 use xtwig_bench::xmark_forest;
 use xtwig_btree::BTreeOptions;
 use xtwig_core::family::{FreeIndex, PcSubpathQuery};
@@ -33,8 +33,7 @@ fn bench_prefix_truncation(c: &mut Criterion) {
         );
         assert!(with.space_bytes() <= without.space_bytes());
     }
-    let q =
-        PcSubpathQuery::resolve(forest.dict(), &["person", "name"], false, None).unwrap();
+    let q = PcSubpathQuery::resolve(forest.dict(), &["person", "name"], false, None).unwrap();
     let mut group = c.benchmark_group("ablation_prefix_truncation");
     group.sample_size(30);
     group.measurement_time(Duration::from_secs(2));

@@ -9,8 +9,7 @@ use xtwig_datagen::xmark_queries;
 
 fn bench_asr_ji(c: &mut Criterion) {
     let (forest, _) = xmark_forest(0.01);
-    let strategies =
-        [Strategy::RootPaths, Strategy::DataPaths, Strategy::Asr, Strategy::JoinIndex];
+    let strategies = [Strategy::RootPaths, Strategy::DataPaths, Strategy::Asr, Strategy::JoinIndex];
     let e = engine(&forest, &strategies);
     let queries = xmark_queries();
     let mut group = c.benchmark_group("fig13_asr_ji");

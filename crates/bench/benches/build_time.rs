@@ -2,8 +2,8 @@
 //! space/time tradeoff has a build-time dimension too).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::sync::Arc;
+use std::time::Duration;
 use xtwig_bench::xmark_forest;
 use xtwig_core::asr::AccessSupportRelations;
 use xtwig_core::datapaths::{DataPaths, DataPathsOptions};

@@ -26,11 +26,9 @@ fn bench_single_path(c: &mut Criterion) {
         let q = queries.iter().find(|q| q.id == id).unwrap();
         let twig = q.twig();
         for s in strategies {
-            group.bench_with_input(
-                BenchmarkId::new(s.label(), id),
-                &twig,
-                |b, twig| b.iter(|| e.answer(twig, s).ids.len()),
-            );
+            group.bench_with_input(BenchmarkId::new(s.label(), id), &twig, |b, twig| {
+                b.iter(|| e.answer(twig, s).ids.len())
+            });
         }
     }
     group.finish();

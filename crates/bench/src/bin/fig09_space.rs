@@ -25,13 +25,9 @@ fn main() {
         "dataset", "data(MB)", "RP", "DP", "Edge", "DG+Edge", "IF+Edge", "ASR", "JI"
     );
     let mut dp_rp_ratios = Vec::new();
-    for (name, forest) in [
-        ("XMark", xmark_forest(scale).0),
-        ("DBLP", dblp_forest(scale).0),
-    ] {
+    for (name, forest) in [("XMark", xmark_forest(scale).0), ("DBLP", dblp_forest(scale).0)] {
         let e = engine(&forest, &Strategy::ALL);
-        let sizes: Vec<f64> =
-            Strategy::ALL.iter().map(|&s| mb(e.space_bytes(s))).collect();
+        let sizes: Vec<f64> = Strategy::ALL.iter().map(|&s| mb(e.space_bytes(s))).collect();
         println!(
             "{:<8} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             name,
@@ -60,7 +56,11 @@ fn main() {
         dp_rp_ratios[0],
         dp_rp_ratios[1]
     );
-    println!("\npaper @100MB XMark: RP 119, DP 431, Edge 127, DG+Edge 169, IF+Edge 167, ASR 464, JI 822");
-    println!("paper @50MB DBLP:   RP  80, DP  83, Edge 106, DG+Edge 133, IF+Edge 151, ASR  93, JI 318");
+    println!(
+        "\npaper @100MB XMark: RP 119, DP 431, Edge 127, DG+Edge 169, IF+Edge 167, ASR 464, JI 822"
+    );
+    println!(
+        "paper @50MB DBLP:   RP  80, DP  83, Edge 106, DG+Edge 133, IF+Edge 151, ASR  93, JI 318"
+    );
     println!("\nshape checks passed: DP>=RP with a larger gap on deep data, DG/IF>=Edge, JI>ASR");
 }

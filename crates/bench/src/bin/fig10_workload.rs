@@ -16,7 +16,10 @@ use xtwig_xml::XmlForest;
 fn report(forest: &XmlForest, stats: &PathStats, queries: &[BenchQuery]) {
     for q in queries {
         let twig = q.twig();
-        println!("\n{:<5} ({:?}, {} branches, {} recursion(s))", q.id, q.group, q.branches, q.recursions);
+        println!(
+            "\n{:<5} ({:?}, {} branches, {} recursion(s))",
+            q.id, q.group, q.branches, q.recursions
+        );
         println!("      {}", q.xpath);
         match decompose(&twig, forest.dict()) {
             Err(e) => println!("      [empty result: {e}]"),

@@ -8,7 +8,10 @@
 //!
 //! Run with: `cargo run --release -p xtwig-bench --bin fig11_single_path [--scale f]`
 
-use xtwig_bench::{dblp_forest, dump_json, engine, measure, print_table, scale_from_args, xmark_forest, Measurement};
+use xtwig_bench::{
+    dblp_forest, dump_json, engine, measure, print_table, scale_from_args, xmark_forest,
+    Measurement,
+};
 use xtwig_core::engine::Strategy;
 use xtwig_datagen::{dblp_queries, xmark_queries};
 
@@ -70,10 +73,7 @@ fn shape_check(rows: &[Measurement], dataset: &str) {
         "{dataset}: Edge should degrade vs RP ({} vs {rp})",
         probe("Edge")
     );
-    assert!(
-        probe("DG+Edge") > rp,
-        "{dataset}: DG+Edge should degrade vs RP"
-    );
+    assert!(probe("DG+Edge") > rp, "{dataset}: DG+Edge should degrade vs RP");
     println!(
         "[shape ok on {dataset}: at {unselective_label}, probes RP={} DP={} Edge={} DG+Edge={} IF+Edge={}]",
         probe("RP"),

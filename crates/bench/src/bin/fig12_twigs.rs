@@ -12,7 +12,9 @@
 //!
 //! Run with: `cargo run --release -p xtwig-bench --bin fig12_twigs [--scale f] [--panel a|b|c|d]`
 
-use xtwig_bench::{dump_json, engine, measure, print_table, scale_from_args, xmark_forest, Measurement};
+use xtwig_bench::{
+    dump_json, engine, measure, print_table, scale_from_args, xmark_forest, Measurement,
+};
 use xtwig_core::engine::Strategy;
 use xtwig_datagen::xmark_queries;
 

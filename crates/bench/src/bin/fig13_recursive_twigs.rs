@@ -11,7 +11,9 @@
 //!
 //! Run with: `cargo run --release -p xtwig-bench --bin fig13_recursive_twigs [--scale f]`
 
-use xtwig_bench::{dump_json, engine, measure, print_table, scale_from_args, xmark_forest, Measurement};
+use xtwig_bench::{
+    dump_json, engine, measure, print_table, scale_from_args, xmark_forest, Measurement,
+};
 use xtwig_core::engine::Strategy;
 use xtwig_datagen::xmark_queries;
 
@@ -62,12 +64,7 @@ fn shape_check(rows: &[Measurement]) {
         asr.probes,
         rp.probes
     );
-    assert!(
-        ji.probes > asr.probes,
-        "JI probes {} should exceed ASR {}",
-        ji.probes,
-        asr.probes
-    );
+    assert!(ji.probes > asr.probes, "JI probes {} should exceed ASR {}", ji.probes, asr.probes);
     assert!(
         dp.total_micros < ji.total_micros,
         "DP ({}µs) should beat JI ({}µs)",
@@ -76,6 +73,12 @@ fn shape_check(rows: &[Measurement]) {
     );
     println!(
         "[shape ok on {last}: probes RP={} DP={} ASR={} JI={} | time DP={}µs ASR={}µs JI={}µs]",
-        rp.probes, dp.probes, asr.probes, ji.probes, dp.total_micros, asr.total_micros, ji.total_micros
+        rp.probes,
+        dp.probes,
+        asr.probes,
+        ji.probes,
+        dp.total_micros,
+        asr.total_micros,
+        ji.total_micros
     );
 }

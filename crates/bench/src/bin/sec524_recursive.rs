@@ -58,11 +58,10 @@ fn main() {
     // Wall-clock at micro scale is noisy; the structural guarantee is
     // that probe counts are unchanged, which `measure` captured:
     for pair in all.chunks(2) {
-        assert_eq!(
-            pair[0].probes, pair[1].probes,
-            "probe counts must not grow for the '//' form"
-        );
+        assert_eq!(pair[0].probes, pair[1].probes, "probe counts must not grow for the '//' form");
     }
-    println!("probe counts identical for all 12 query pairs — the '//' form is the same prefix scan.");
+    println!(
+        "probe counts identical for all 12 query pairs — the '//' form is the same prefix scan."
+    );
     dump_json("sec524_recursive", &all);
 }

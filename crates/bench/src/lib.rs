@@ -9,10 +9,11 @@
 //! 0.02 keeps every binary under a minute on a laptop while preserving
 //! the selectivity ratios of the paper's 100 MB/50 MB datasets.
 
-use serde::Serialize;
 use std::time::{Duration, Instant};
 use xtwig_core::engine::{EngineOptions, QueryEngine, Strategy};
-use xtwig_datagen::{generate_dblp, generate_xmark, DblpConfig, DblpProfile, XmarkConfig, XmarkProfile};
+use xtwig_datagen::{
+    generate_dblp, generate_xmark, DblpConfig, DblpProfile, XmarkConfig, XmarkProfile,
+};
 use xtwig_xml::{TwigPattern, XmlForest};
 
 /// Default scale relative to the paper's datasets.
@@ -61,7 +62,7 @@ pub fn engine<'f>(forest: &'f XmlForest, strategies: &[Strategy]) -> QueryEngine
 }
 
 /// One measured cell of a results table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Strategy label (RP, DP, …).
     pub strategy: String,
@@ -119,8 +120,62 @@ pub fn print_table(title: &str, rows: &[Measurement]) {
     for m in rows {
         println!(
             "{:<22} {:<8} {:>8} {:>9}µs {:>9} {:>9} {:>12}  {}",
-            m.label, m.strategy, m.results, m.total_micros, m.probes, m.rows, m.logical_reads, m.plan
+            m.label,
+            m.strategy,
+            m.results,
+            m.total_micros,
+            m.probes,
+            m.rows,
+            m.logical_reads,
+            m.plan
         );
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Measurement {
+    /// Renders the measurement as a pretty-printed JSON object (the
+    /// build has no network access for a serde dependency, so the — flat
+    /// and stable — schema is emitted by hand).
+    pub fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{indent}{{\n\
+             {indent}  \"strategy\": \"{}\",\n\
+             {indent}  \"label\": \"{}\",\n\
+             {indent}  \"results\": {},\n\
+             {indent}  \"total_micros\": {},\n\
+             {indent}  \"probes\": {},\n\
+             {indent}  \"rows\": {},\n\
+             {indent}  \"logical_reads\": {},\n\
+             {indent}  \"plan\": \"{}\"\n\
+             {indent}}}",
+            json_escape(&self.strategy),
+            json_escape(&self.label),
+            self.results,
+            self.total_micros,
+            self.probes,
+            self.rows,
+            self.logical_reads,
+            json_escape(&self.plan),
+        )
     }
 }
 
@@ -131,10 +186,10 @@ pub fn dump_json(name: &str, rows: &[Measurement]) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(json) = serde_json::to_string_pretty(rows) {
-        let _ = std::fs::write(&path, json);
-        println!("\n[results written to {}]", path.display());
-    }
+    let body: Vec<String> = rows.iter().map(|m| m.to_json("  ")).collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    let _ = std::fs::write(&path, json);
+    println!("\n[results written to {}]", path.display());
 }
 
 /// Megabyte formatting helper.

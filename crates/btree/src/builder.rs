@@ -19,7 +19,8 @@ pub fn bulk_build<I>(pool: Arc<BufferPool>, options: BTreeOptions, entries: I) -
 where
     I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
 {
-    let fill_limit = (((PAGE_SIZE - node::HDR) as f64) * options.fill_factor.clamp(0.1, 1.0)) as usize;
+    let fill_limit =
+        (((PAGE_SIZE - node::HDR) as f64) * options.fill_factor.clamp(0.1, 1.0)) as usize;
     let mut pages: u64 = 0;
     let mut n_entries: u64 = 0;
 
@@ -205,7 +206,8 @@ mod tests {
 
     #[test]
     fn inserts_into_bulk_built_tree() {
-        let mut t = bulk_build(pool(), BTreeOptions::default(), (0..1_000u32).map(|i| entry(i * 2)));
+        let mut t =
+            bulk_build(pool(), BTreeOptions::default(), (0..1_000u32).map(|i| entry(i * 2)));
         for i in 0..1_000u32 {
             let (k, v) = entry(i * 2 + 1);
             t.insert(&k, &v);
@@ -232,10 +234,16 @@ mod tests {
 
     #[test]
     fn fill_factor_trades_pages() {
-        let dense =
-            bulk_build(pool(), BTreeOptions { fill_factor: 1.0, ..Default::default() }, (0..20_000).map(entry));
-        let sparse =
-            bulk_build(pool(), BTreeOptions { fill_factor: 0.5, ..Default::default() }, (0..20_000).map(entry));
+        let dense = bulk_build(
+            pool(),
+            BTreeOptions { fill_factor: 1.0, ..Default::default() },
+            (0..20_000).map(entry),
+        );
+        let sparse = bulk_build(
+            pool(),
+            BTreeOptions { fill_factor: 0.5, ..Default::default() },
+            (0..20_000).map(entry),
+        );
         assert!(dense.stats().pages < sparse.stats().pages);
         dense.check_invariants();
         sparse.check_invariants();

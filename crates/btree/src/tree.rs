@@ -614,14 +614,8 @@ mod tests {
     #[test]
     fn binary_keys_with_zero_bytes() {
         let mut t = tree();
-        let keys: Vec<Vec<u8>> = vec![
-            vec![0],
-            vec![0, 0],
-            vec![0, 1],
-            vec![1, 0, 255],
-            vec![255],
-            vec![255, 0],
-        ];
+        let keys: Vec<Vec<u8>> =
+            vec![vec![0], vec![0, 0], vec![0, 1], vec![1, 0, 255], vec![255], vec![255, 0]];
         for (i, k) in keys.iter().enumerate() {
             t.insert(k, &[i as u8]);
         }

@@ -1,0 +1,346 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the subset of the `parking_lot` 0.12 API the workspace
+//! uses — `Mutex`, `RwLock`, and the owned `Arc` read/write guards —
+//! implemented over `std::sync` primitives. Like the real crate (and
+//! unlike `std`), locks here do not poison: a panic while holding a
+//! guard simply releases it.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Non-poisoning mutex with the `parking_lot::Mutex` calling convention
+/// (`lock()` returns the guard directly, not a `Result`).
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner) }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard { inner: p.into_inner() }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: StdMutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Raw reader-writer lock state: `-1` = exclusive writer, `n >= 0` = `n`
+/// active readers. Named to mirror `parking_lot::RawRwLock` so guard type
+/// signatures (`ArcRwLockReadGuard<RawRwLock, T>`) line up verbatim.
+pub struct RawRwLock {
+    state: StdMutex<i64>,
+    cond: Condvar,
+}
+
+impl RawRwLock {
+    fn new() -> Self {
+        RawRwLock { state: StdMutex::new(0), cond: Condvar::new() }
+    }
+
+    fn lock_shared(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while *s < 0 {
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        *s += 1;
+    }
+
+    fn unlock_shared(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *s -= 1;
+        if *s == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while *s != 0 {
+            s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        *s = -1;
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *s = 0;
+        self.cond.notify_all();
+    }
+}
+
+/// Non-poisoning reader-writer lock with owned-guard (`read_arc` /
+/// `write_arc`) support.
+pub struct RwLock<T: ?Sized> {
+    raw: RawRwLock,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock { raw: RawRwLock::new(), data: UnsafeCell::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.raw.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.raw.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Owned shared lock: the guard keeps the `Arc` alive, so it has no
+    /// lifetime tie to the borrow of `self`.
+    pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<RawRwLock, T>
+    where
+        T: Sized,
+    {
+        self.raw.lock_shared();
+        ArcRwLockReadGuard { lock: Arc::clone(self), _raw: PhantomData }
+    }
+
+    /// Owned exclusive lock; see [`RwLock::read_arc`].
+    pub fn write_arc(self: &Arc<Self>) -> ArcRwLockWriteGuard<RawRwLock, T>
+    where
+        T: Sized,
+    {
+        self.raw.lock_exclusive();
+        ArcRwLockWriteGuard { lock: Arc::clone(self), _raw: PhantomData }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// Borrowed shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: shared lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_shared();
+    }
+}
+
+/// Borrowed exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: exclusive lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive lock held for the guard's lifetime.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_exclusive();
+    }
+}
+
+/// Owned shared guard returned by [`RwLock::read_arc`]. The `R` type
+/// parameter exists only to match the real `lock_api` signature.
+pub struct ArcRwLockReadGuard<R, T> {
+    lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: shared lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<R, T> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_shared();
+    }
+}
+
+/// Owned exclusive guard returned by [`RwLock::write_arc`].
+pub struct ArcRwLockWriteGuard<R, T> {
+    lock: Arc<RwLock<T>>,
+    _raw: PhantomData<R>,
+}
+
+impl<R, T> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: exclusive lock held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<R, T> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive lock held for the guard's lifetime.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<R, T> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_exclusive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_then_writer() {
+        let l = Arc::new(RwLock::new(0u32));
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 0);
+        }
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn arc_guards_outlive_borrow() {
+        let guard = {
+            let l = Arc::new(RwLock::new(5i32));
+            l.read_arc()
+        };
+        assert_eq!(*guard, 5);
+    }
+
+    #[test]
+    fn write_arc_excludes_readers() {
+        let l = Arc::new(RwLock::new(0usize));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            let hits = Arc::clone(&hits);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let mut g = l.write_arc();
+                    *g += 1;
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 2000);
+        assert_eq!(hits.load(Ordering::Relaxed), 2000);
+    }
+}

@@ -1,0 +1,670 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API used by this
+//! workspace's property suites: the `proptest!` macro with an optional
+//! `#![proptest_config(..)]` header, `Strategy` with `prop_map` /
+//! `prop_filter`, `any::<T>()`, `Just`, integer-range and `.{m,n}`
+//! string-pattern strategies, `prop_oneof!`, `collection::{vec,
+//! btree_map}`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its case number and seed instead of a minimized input), and cases are
+//! generated from a fixed per-test seed, so runs are fully
+//! deterministic. Set `PROPTEST_STUB_SEED` to explore a different
+//! deterministic stream.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, f, whence }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { gen: std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)) }
+        }
+    }
+
+    /// Type-erased strategy (`Strategy::boxed`).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V> {
+        #[allow(clippy::type_complexity)]
+        gen: std::rc::Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let arm = rng.below(self.arms.len() as u64) as usize;
+            self.arms[arm].generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy ([`crate::arbitrary::any`]).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::string::random_char(rng)
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types; see [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_for_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "strategy on empty range");
+                    let span = (end as u64).wrapping_sub(start as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (start as u64).wrapping_add(rng.below(span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_strategy_for_signed_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    ((self.start as i64).wrapping_add(rng.below(span) as i64)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "strategy on empty range");
+                    let span = (end as i64).wrapping_sub(start as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    ((start as i64).wrapping_add(rng.below(span + 1) as i64)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_signed_ranges!(i8, i16, i32, i64, isize);
+
+    /// `&str` regex-pattern strategies; only the `.{m,n}` shape the
+    /// workspace uses is supported.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_strategy_for_tuples {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_strategy_for_tuples!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+    /// Collection size bounds accepted by [`crate::collection`] builders.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Exclusive upper bound.
+        pub max: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+            if self.max <= self.min + 1 {
+                return self.min;
+            }
+            self.min + rng.below((self.max - self.min) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<T>`; see [`crate::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`; see [`crate::collection::btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        pub(crate) key: K,
+        pub(crate) value: V,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            // Duplicate keys collapse, so the result can be smaller than
+            // `n`; real proptest retries, which no suite here relies on.
+            for _ in 0..n {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+    use std::marker::PhantomData;
+
+    /// Canonical strategy for any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: PhantomData }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{BTreeMapStrategy, SizeRange, Strategy, VecStrategy};
+
+    /// Vectors of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Maps with up to `size` entries (duplicate keys collapse).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+}
+
+pub(crate) mod string {
+    use crate::test_runner::TestRng;
+
+    /// Character pool for `.` in patterns and `any::<char>()`: mostly
+    /// ASCII with a sprinkle of multi-byte code points so UTF-8 handling
+    /// gets exercised.
+    pub(crate) fn random_char(rng: &mut TestRng) -> char {
+        match rng.below(8) {
+            0..=4 => (0x20 + rng.below(0x5F) as u32) as u8 as char, // printable ASCII
+            5 => ['\t', '\u{7f}', '\u{a0}', '\u{0}', '\u{1}'][rng.below(5) as usize],
+            6 => char::from_u32(0xC0 + rng.below(0x200) as u32).unwrap_or('é'),
+            _ => ['中', '文', 'ü', 'ø', '€', '𝕏', '\u{1F600}'][rng.below(7) as usize],
+        }
+    }
+
+    /// Supports exactly the `.{m,n}` pattern shape used by the suites.
+    pub(crate) fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let bounds =
+            pattern.strip_prefix(".{").and_then(|rest| rest.strip_suffix('}')).and_then(|body| {
+                let (lo, hi) = body.split_once(',')?;
+                Some((lo.trim().parse::<usize>().ok()?, hi.trim().parse::<usize>().ok()?))
+            });
+        let (lo, hi) = bounds.unwrap_or_else(|| {
+            panic!(
+                "the vendored proptest stub only supports '.{{m,n}}' string patterns, got {pattern:?}"
+            )
+        });
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..n).map(|_| random_char(rng)).collect()
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+        /// Accepted for source compatibility; unused.
+        pub max_local_rejects: u32,
+        /// Accepted for source compatibility; unused.
+        pub failure_persistence: Option<()>,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_local_rejects: 65_536,
+                failure_persistence: None,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+
+    /// Deterministic xoshiro256++ stream used for case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> Self {
+            fn splitmix64(state: &mut u64) -> u64 {
+                *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = *state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            TestRng { s }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)` without modulo bias.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % bound) - 1;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    /// Drives one property: `cases` deterministic random inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        base_seed: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            let env_seed = std::env::var("PROPTEST_STUB_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0x7977_6967_5052_4F50); // "ygigPROP"
+                                                   // Per-test offset so sibling properties see distinct streams.
+            let mut h = env_seed;
+            for b in test_name.bytes() {
+                h = h.rotate_left(9) ^ u64::from(b).wrapping_mul(0x100_0000_01B3);
+            }
+            TestRunner { config, base_seed: h }
+        }
+
+        pub fn run(&mut self, test_name: &str, mut case: impl FnMut(&mut TestRng)) {
+            for i in 0..self.config.cases {
+                let seed = self.base_seed.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9));
+                let mut rng = TestRng::seed_from_u64(seed);
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest-stub: property '{test_name}' failed on case {i} \
+                         (seed {seed:#x}); rerun is deterministic"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The property-test entry macro. Mirrors real proptest's surface:
+/// an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                // Strategies are built once; generation happens per case.
+                let strategies = ( $($strategy,)+ );
+                runner.run(stringify!($name), |rng| {
+                    let ( $(ref $arg,)+ ) = strategies;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate($arg, rng);
+                    )+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assertion macros: plain panics (the stub reports the failing case
+/// number and seed from the runner instead of shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_strategy_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(5);
+        let s = crate::collection::vec(3u8..=9, 2..6);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&b| (3..=9).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(6);
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Strategy::generate(&s, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let s = Strategy::generate(&".{2,5}", &mut rng);
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "{n} chars in {s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_end_to_end(xs in crate::collection::vec(any::<u8>(), 0..10), y in 1u64..100) {
+            prop_assert!(xs.len() < 10);
+            prop_assert!(y >= 1 && y < 100);
+            let doubled: Vec<u16> = xs.iter().map(|&b| u16::from(b) * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+        }
+    }
+}

@@ -238,10 +238,8 @@ mod tests {
         lists.sort();
         assert_eq!(lists, vec![vec![1, 5, 6, 7], vec![1, 5, 41, 42]]);
         // Bound probe: author/ln under allauthors head 5.
-        let bound_tags: Vec<TagId> = ["allauthors", "author", "ln"]
-            .iter()
-            .map(|t| f.dict().lookup(t).unwrap())
-            .collect();
+        let bound_tags: Vec<TagId> =
+            ["allauthors", "author", "ln"].iter().map(|t| f.dict().lookup(t).unwrap()).collect();
         let ms = dd.lookup_exact_bound(5, &bound_tags, Some("doe"));
         let mut lists: Vec<Vec<u64>> = ms.iter().map(|m| m.ids.clone()).collect();
         lists.sort();

@@ -13,9 +13,7 @@
 //! to the Edge chain in the engine.
 
 use crate::designator;
-use crate::family::{
-    FamilyPosition, IdListSublist, IndexedColumn, PathIndex, SchemaPathSubset,
-};
+use crate::family::{FamilyPosition, IdListSublist, IndexedColumn, PathIndex, SchemaPathSubset};
 use crate::paths::for_each_root_path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

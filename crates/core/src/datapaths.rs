@@ -229,10 +229,7 @@ impl FreeIndex for DataPaths {
         }
         key.push_raw(&path);
         let prefix = key.finish();
-        self.tree
-            .scan_prefix(&prefix)
-            .map(|(k, v)| self.decode_entry(0, &k, &v))
-            .collect()
+        self.tree.scan_prefix(&prefix).map(|(k, v)| self.decode_entry(0, &k, &v)).collect()
     }
 }
 
@@ -266,14 +263,15 @@ mod tests {
     use xtwig_xml::tree::fig1_book_document;
 
     fn build(forest: &XmlForest) -> DataPaths {
-        DataPaths::build(
-            forest,
-            Arc::new(BufferPool::in_memory(8192)),
-            DataPathsOptions::default(),
-        )
+        DataPaths::build(forest, Arc::new(BufferPool::in_memory(8192)), DataPathsOptions::default())
     }
 
-    fn q(forest: &XmlForest, steps: &[&str], anchored: bool, value: Option<&str>) -> PcSubpathQuery {
+    fn q(
+        forest: &XmlForest,
+        steps: &[&str],
+        anchored: bool,
+        value: Option<&str>,
+    ) -> PcSubpathQuery {
         PcSubpathQuery::resolve(forest.dict(), steps, anchored, value).expect("tags exist")
     }
 
@@ -315,10 +313,15 @@ mod tests {
             assert_eq!(m.tags[0], book);
         }
         // Under allauthors (5) the same pattern also matches both.
-        let ua = dp.lookup_bound(5, tag(&f, "allauthors"), &q(&f, &["author", "ln"], false, Some("doe")));
+        let ua = dp.lookup_bound(
+            5,
+            tag(&f, "allauthors"),
+            &q(&f, &["author", "ln"], false, Some("doe")),
+        );
         assert_eq!(last_ids(&ua), vec![25, 45]);
         // Under the first author (6) it matches nothing.
-        let none = dp.lookup_bound(6, tag(&f, "author"), &q(&f, &["author", "ln"], false, Some("doe")));
+        let none =
+            dp.lookup_bound(6, tag(&f, "author"), &q(&f, &["author", "ln"], false, Some("doe")));
         assert!(none.is_empty());
     }
 
@@ -413,10 +416,8 @@ mod tests {
         // §7: a node insertion touches one row per ancestor position
         // plus the FreeIndex row.
         let mut f = fig1_book_document();
-        let tags: Vec<TagId> = ["book", "allauthors", "author", "fn"]
-            .iter()
-            .map(|t| f.dict_mut().intern(t))
-            .collect();
+        let tags: Vec<TagId> =
+            ["book", "allauthors", "author", "fn"].iter().map(|t| f.dict_mut().intern(t)).collect();
         let mut dp = build(&f);
         let rows0 = dp.rows();
         dp.insert_path(&tags, &[1, 5, 900, 901], Some("ada"));

@@ -130,16 +130,11 @@ fn make_spec(
     let tags = path
         .iter()
         .map(|&qi| {
-            dict.lookup(&twig.nodes[qi].tag)
-                .ok_or_else(|| UnknownTag(twig.nodes[qi].tag.clone()))
+            dict.lookup(&twig.nodes[qi].tag).ok_or_else(|| UnknownTag(twig.nodes[qi].tag.clone()))
         })
         .collect::<Result<Vec<_>, _>>()?;
     let value = if use_value { twig.nodes[*path.last().unwrap()].value.clone() } else { None };
-    Ok(SubpathSpec {
-        q: PcSubpathQuery { tags, anchored, value },
-        nodes: path.to_vec(),
-        segment,
-    })
+    Ok(SubpathSpec { q: PcSubpathQuery { tags, anchored, value }, nodes: path.to_vec(), segment })
 }
 
 impl CompiledTwig {
@@ -290,10 +285,9 @@ mod tests {
 
     #[test]
     fn output_subpath_found_for_branching_queries() {
-        let twig = parse_xpath(
-            "/site/open_auctions/open_auction[annotation/author/@person = 'p1']/time",
-        )
-        .unwrap();
+        let twig =
+            parse_xpath("/site/open_auctions/open_auction[annotation/author/@person = 'p1']/time")
+                .unwrap();
         let dict = dict_for(&twig);
         let c = decompose(&twig, &dict).unwrap();
         let out_sp = c.output_subpath().unwrap();

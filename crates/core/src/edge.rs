@@ -265,7 +265,12 @@ mod tests {
         EdgeTable::build(forest, Arc::new(BufferPool::in_memory(8192)))
     }
 
-    fn q(forest: &XmlForest, steps: &[&str], anchored: bool, value: Option<&str>) -> PcSubpathQuery {
+    fn q(
+        forest: &XmlForest,
+        steps: &[&str],
+        anchored: bool,
+        value: Option<&str>,
+    ) -> PcSubpathQuery {
         PcSubpathQuery::resolve(forest.dict(), steps, anchored, value).unwrap()
     }
 

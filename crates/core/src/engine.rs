@@ -15,18 +15,18 @@
 //! probes (index-nested-loop plan, DATAPATHS only).
 
 use crate::asr::AccessSupportRelations;
-use crate::datapaths::{DataPaths, DataPathsOptions};
 use crate::dataguide::DataGuide;
+use crate::datapaths::{DataPaths, DataPathsOptions};
 use crate::decompose::{decompose, CompiledTwig};
 use crate::edge::EdgeTable;
 use crate::fabric::IndexFabric;
 use crate::family::{
     value_needs_recheck, BoundIndex, FreeIndex, PathIndex, PathMatch, PcSubpathQuery,
 };
+use crate::joinindex::JoinIndices;
 use crate::paths::PathStats;
 use crate::plan::{choose_plan, JoinHow, PlanKind, ProbeSpec, QueryPlan};
 use crate::rootpaths::{RootPaths, RootPathsOptions};
-use crate::joinindex::JoinIndices;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -265,9 +265,7 @@ impl<'f> QueryEngine<'f> {
             Strategy::RootPaths => self.rp.as_ref().map_or(0, |(i, _)| i.space_bytes()),
             Strategy::DataPaths => self.dp.as_ref().map_or(0, |(i, _)| i.space_bytes()),
             Strategy::Edge => edge,
-            Strategy::DataGuideEdge => {
-                self.dg.as_ref().map_or(0, |(i, _)| i.space_bytes()) + edge
-            }
+            Strategy::DataGuideEdge => self.dg.as_ref().map_or(0, |(i, _)| i.space_bytes()) + edge,
             Strategy::IndexFabricEdge => {
                 self.fab.as_ref().map_or(0, |(i, _)| i.space_bytes()) + edge
             }
@@ -409,8 +407,7 @@ impl<'f> QueryEngine<'f> {
             Err(_) => (BTreeSet::new(), PlanKind::Merge),
             Ok(compiled) => {
                 let plan = choose_plan(&compiled, &self.stats, self.forest.dict());
-                let ids =
-                    self.execute(&compiled, &plan, strategy, &mut probes, &mut rows_fetched);
+                let ids = self.execute(&compiled, &plan, strategy, &mut probes, &mut rows_fetched);
                 (ids, plan.kind)
             }
         };
@@ -481,8 +478,7 @@ impl<'f> QueryEngine<'f> {
         for (i, step) in plan.steps.iter().enumerate() {
             let sp = &compiled.subpaths[step.subpath];
             if i == 0 {
-                let (matches, full) =
-                    self.eval_free(strategy, &sp.q, interior_needed(sp), probes);
+                let (matches, full) = self.eval_free(strategy, &sp.q, interior_needed(sp), probes);
                 *rows_fetched += matches.len() as u64;
                 rows = self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, matches, full);
             } else {
@@ -498,10 +494,8 @@ impl<'f> QueryEngine<'f> {
                     JoinHow::SharedNode { shared, .. } => shared.iter().copied().collect(),
                     JoinHow::AncestorOf { .. } | JoinHow::DescendantBound { .. } => HashSet::new(),
                 };
-                let semi = sp
-                    .nodes
-                    .iter()
-                    .all(|node| already.contains(node) || !keep.contains(node));
+                let semi =
+                    sp.nodes.iter().all(|node| already.contains(node) || !keep.contains(node));
                 let probe_ok = use_inlj
                     && step.probe.as_ref().is_some_and(|p| self.probe_head_allowed(compiled, p));
                 if probe_ok {
@@ -699,8 +693,7 @@ impl<'f> QueryEngine<'f> {
                     let mut out = Vec::new();
                     for (path, split) in ji.matching_expressions(q) {
                         for &leaf in &leaves {
-                            if q.tags.len() == 1 || !ji.first_ids(&path, split, leaf).is_empty()
-                            {
+                            if q.tags.len() == 1 || !ji.first_ids(&path, split, leaf).is_empty() {
                                 out.push(PathMatch {
                                     head: 0,
                                     tags: vec![*q.tags.last().unwrap()],
@@ -861,7 +854,10 @@ impl<'f> QueryEngine<'f> {
                     for r2 in &right {
                         anc_union.extend(self.ancestor_ids(r2, *seg_root, probes).iter());
                     }
-                    return left.into_iter().filter(|r| anc_union.contains(&r.bind[*upper])).collect();
+                    return left
+                        .into_iter()
+                        .filter(|r| anc_union.contains(&r.bind[*upper]))
+                        .collect();
                 }
                 if self.structural_ad_joins {
                     return self.structural_join(left, right, *upper, *seg_root);
@@ -992,9 +988,7 @@ impl<'f> QueryEngine<'f> {
                 // the (rare) long-value recheck.
                 let hit = matches.iter().any(|m| match recheck {
                     None => true,
-                    Some(v) => {
-                        self.forest.value_str(NodeId(*m.ids.last().unwrap())) == Some(v)
-                    }
+                    Some(v) => self.forest.value_str(NodeId(*m.ids.last().unwrap())) == Some(v),
                 });
                 if hit {
                     out.extend(group);
@@ -1147,8 +1141,7 @@ mod tests {
         let e = engine(&f);
         // Low branch point with a selective branch: //author[fn='john']/nickname
         let twig = parse_xpath("//author[fn = 'john']/nickname").unwrap();
-        let expected: BTreeSet<u64> =
-            naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
+        let expected: BTreeSet<u64> = naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
         let dp = e.answer(&twig, Strategy::DataPaths);
         let rp = e.answer(&twig, Strategy::RootPaths);
         assert_eq!(dp.ids, expected);
@@ -1203,8 +1196,7 @@ mod tests {
         // Off-workload branching query must still be answered (merge plan
         // via the retained FreeIndex rows).
         let twig = parse_xpath("//chapter[title = 'XML']/section").unwrap();
-        let expected: BTreeSet<u64> =
-            naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
+        let expected: BTreeSet<u64> = naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
         let got = e.answer(&twig, Strategy::DataPaths);
         assert_eq!(got.ids, expected);
     }

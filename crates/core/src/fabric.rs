@@ -147,9 +147,6 @@ mod tests {
         let pos = fab.family_position();
         assert_eq!(pos.schema_paths, SchemaPathSubset::RootToLeaf);
         assert_eq!(pos.idlist, IdListSublist::FirstOrLast);
-        assert_eq!(
-            pos.indexed,
-            vec![IndexedColumn::SchemaPath, IndexedColumn::LeafValue]
-        );
+        assert_eq!(pos.indexed, vec![IndexedColumn::SchemaPath, IndexedColumn::LeafValue]);
     }
 }

@@ -155,11 +155,7 @@ impl JoinIndices {
     /// value index — join indices store no values). Every interior
     /// position is recovered with one backward probe per candidate per
     /// matching expression.
-    pub fn eval_pcsubpath_with_leaves(
-        &self,
-        q: &PcSubpathQuery,
-        leaves: &[u64],
-    ) -> Vec<PathMatch> {
+    pub fn eval_pcsubpath_with_leaves(&self, q: &PcSubpathQuery, leaves: &[u64]) -> Vec<PathMatch> {
         let k = q.tags.len();
         let mut out = Vec::new();
         for (path, split) in self.matching_expressions(q) {
@@ -262,10 +258,8 @@ mod tests {
     fn two_trees_per_expression_and_more_tables_than_asr() {
         let f = fig1_book_document();
         let ji = build(&f);
-        let asr = crate::asr::AccessSupportRelations::build(
-            &f,
-            Arc::new(BufferPool::in_memory(8192)),
-        );
+        let asr =
+            crate::asr::AccessSupportRelations::build(&f, Arc::new(BufferPool::in_memory(8192)));
         assert!(ji.table_count() > asr.table_count());
         // Fig. 9: JI needs more space than ASR.
         assert!(ji.space_bytes() > asr.space_bytes());

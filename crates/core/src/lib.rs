@@ -31,8 +31,8 @@
 
 pub mod asr;
 pub mod compress;
-pub mod datapaths;
 pub mod dataguide;
+pub mod datapaths;
 pub mod decompose;
 pub mod designator;
 pub mod edge;

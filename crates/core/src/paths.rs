@@ -225,10 +225,9 @@ mod tests {
             .expect("UAF jane row under head 5");
         assert_eq!(row.2, vec![5, 6, 7]);
         // Fig. 5: head=1, path "B", single-node path.
-        assert!(rows.iter().any(|(h, t, i, v)| *h == 1
-            && t == &["book"]
-            && i == &vec![1]
-            && v.is_none()));
+        assert!(rows
+            .iter()
+            .any(|(h, t, i, v)| *h == 1 && t == &["book"] && i == &vec![1] && v.is_none()));
     }
 
     #[test]
@@ -256,10 +255,8 @@ mod tests {
         assert_eq!(s.tag_value_count(fn_tag, "jane"), 2);
         assert_eq!(s.tag_value_count(fn_tag, "john"), 1);
         assert_eq!(s.tag_value_count(fn_tag, "nobody"), 0);
-        let path: Vec<TagId> = ["book", "allauthors", "author"]
-            .iter()
-            .map(|t| dict.lookup(t).unwrap())
-            .collect();
+        let path: Vec<TagId> =
+            ["book", "allauthors", "author"].iter().map(|t| dict.lookup(t).unwrap()).collect();
         assert_eq!(s.path_count(&path), 3);
         assert!(s.distinct_schema_paths() >= 10);
     }
@@ -269,13 +266,15 @@ mod tests {
         let f = fig1_book_document();
         let s = PathStats::build(&f);
         let dict = f.dict();
-        let q_all_fn =
-            PcSubpathQuery::resolve(dict, &["author", "fn"], false, None).unwrap();
-        let q_jane =
-            PcSubpathQuery::resolve(dict, &["author", "fn"], false, Some("jane")).unwrap();
-        let q_anchored =
-            PcSubpathQuery::resolve(dict, &["book", "allauthors", "author", "fn"], true, Some("jane"))
-                .unwrap();
+        let q_all_fn = PcSubpathQuery::resolve(dict, &["author", "fn"], false, None).unwrap();
+        let q_jane = PcSubpathQuery::resolve(dict, &["author", "fn"], false, Some("jane")).unwrap();
+        let q_anchored = PcSubpathQuery::resolve(
+            dict,
+            &["book", "allauthors", "author", "fn"],
+            true,
+            Some("jane"),
+        )
+        .unwrap();
         assert_eq!(s.estimate(&q_all_fn), 3);
         assert_eq!(s.estimate(&q_jane), 2);
         assert_eq!(s.estimate(&q_anchored), 2);

@@ -96,8 +96,7 @@ pub struct QueryPlan {
 /// Builds a plan for `compiled` using `stats`.
 pub fn choose_plan(compiled: &CompiledTwig, stats: &PathStats, dict: &TagDict) -> QueryPlan {
     let n = compiled.subpaths.len();
-    let estimates: Vec<u64> =
-        compiled.subpaths.iter().map(|sp| stats.estimate(&sp.q)).collect();
+    let estimates: Vec<u64> = compiled.subpaths.iter().map(|sp| stats.estimate(&sp.q)).collect();
 
     // Driver: the most selective subpath.
     let driver = (0..n).min_by_key(|&i| estimates[i]).expect("twig has at least one subpath");
@@ -311,7 +310,12 @@ mod tests {
         // (3 matches).
         let (c, stats, dict) = setup("//author[fn = 'john']/nickname");
         let plan = choose_plan(&c, &stats, &dict);
-        assert!(plan.inlj_cost <= plan.merge_cost + 1, "inlj {} merge {}", plan.inlj_cost, plan.merge_cost);
+        assert!(
+            plan.inlj_cost <= plan.merge_cost + 1,
+            "inlj {} merge {}",
+            plan.inlj_cost,
+            plan.merge_cost
+        );
     }
 
     #[test]
@@ -329,6 +333,7 @@ mod tests {
         let driver = &plan.steps[0];
         assert_eq!(driver.estimate, 2); // two jane fns
         assert!(plan.steps[1].estimate >= 3); // all ln instances
+
         // Driver is the most selective subpath.
         assert!(plan.steps[1..].iter().all(|s| s.estimate >= driver.estimate));
     }

@@ -23,7 +23,7 @@
 use crate::designator;
 use crate::family::{
     value_key_prefix, FamilyPosition, FreeIndex, IdListSublist, IndexedColumn, PathIndex,
-    PcSubpathQuery, PathMatch, SchemaPathSubset,
+    PathMatch, PcSubpathQuery, SchemaPathSubset,
 };
 use crate::paths::for_each_root_path;
 use std::sync::Arc;
@@ -224,10 +224,7 @@ impl PathIndex for RootPaths {
 impl FreeIndex for RootPaths {
     fn lookup_free(&self, q: &PcSubpathQuery) -> Vec<PathMatch> {
         let prefix = self.probe_prefix(q);
-        self.tree
-            .scan_prefix(&prefix)
-            .map(|(k, v)| self.decode_entry(&k, &v))
-            .collect()
+        self.tree.scan_prefix(&prefix).map(|(k, v)| self.decode_entry(&k, &v)).collect()
     }
 }
 
@@ -237,14 +234,15 @@ mod tests {
     use xtwig_xml::tree::fig1_book_document;
 
     fn build(forest: &XmlForest) -> RootPaths {
-        RootPaths::build(
-            forest,
-            Arc::new(BufferPool::in_memory(4096)),
-            RootPathsOptions::default(),
-        )
+        RootPaths::build(forest, Arc::new(BufferPool::in_memory(4096)), RootPathsOptions::default())
     }
 
-    fn q(forest: &XmlForest, steps: &[&str], anchored: bool, value: Option<&str>) -> PcSubpathQuery {
+    fn q(
+        forest: &XmlForest,
+        steps: &[&str],
+        anchored: bool,
+        value: Option<&str>,
+    ) -> PcSubpathQuery {
         PcSubpathQuery::resolve(forest.dict(), steps, anchored, value).expect("tags exist")
     }
 
@@ -314,12 +312,7 @@ mod tests {
     fn idlists_enumerate_full_paths() {
         let f = fig1_book_document();
         let rp = build(&f);
-        let ms = rp.lookup_free(&q(
-            &f,
-            &["book", "allauthors", "author", "ln"],
-            true,
-            Some("doe"),
-        ));
+        let ms = rp.lookup_free(&q(&f, &["book", "allauthors", "author", "ln"], true, Some("doe")));
         let mut idlists: Vec<Vec<u64>> = ms.iter().map(|m| m.ids.clone()).collect();
         idlists.sort();
         assert_eq!(idlists, vec![vec![1, 5, 21, 25], vec![1, 5, 41, 45]]);
@@ -342,10 +335,7 @@ mod tests {
         let pos = rp.family_position();
         assert_eq!(pos.schema_paths, SchemaPathSubset::RootToLeafPrefixes);
         assert_eq!(pos.idlist, IdListSublist::Full);
-        assert_eq!(
-            pos.indexed,
-            vec![IndexedColumn::LeafValue, IndexedColumn::ReverseSchemaPath]
-        );
+        assert_eq!(pos.indexed, vec![IndexedColumn::LeafValue, IndexedColumn::ReverseSchemaPath]);
         assert!(rp.space_bytes() > 0);
     }
 
@@ -355,10 +345,8 @@ mod tests {
         let mut f = fig1_book_document();
         let rp_rows_before = build(&f).rows();
         // Simulate appending nodes: reuse tag ids, fabricate fresh node ids.
-        let dict_ids: Vec<TagId> = ["book", "allauthors", "author", "fn"]
-            .iter()
-            .map(|t| f.dict_mut().intern(t))
-            .collect();
+        let dict_ids: Vec<TagId> =
+            ["book", "allauthors", "author", "fn"].iter().map(|t| f.dict_mut().intern(t)).collect();
         let mut rp = build(&f);
         rp.insert_path(&dict_ids[..3], &[1, 5, 1000], None);
         rp.insert_path(&dict_ids, &[1, 5, 1000, 1001], Some("zoe"));
@@ -368,9 +356,7 @@ mod tests {
         assert_eq!(ms[0].ids, vec![1, 5, 1000, 1001]);
         // Self-locating delete (no joins needed).
         assert!(rp.delete_path(&dict_ids, &[1, 5, 1000, 1001], Some("zoe")));
-        assert!(rp
-            .lookup_free(&q(&f, &["author", "fn"], false, Some("zoe")))
-            .is_empty());
+        assert!(rp.lookup_free(&q(&f, &["author", "fn"], false, Some("zoe"))).is_empty());
     }
 
     #[test]

@@ -99,8 +99,7 @@ pub fn containment_join(
     let mut anc: Vec<Interval> = ancestor_ids.iter().map(|&a| Interval::of(forest, a)).collect();
     anc.sort_unstable_by_key(|i| i.start);
     anc.dedup();
-    let mut desc: Vec<Interval> =
-        descendant_ids.iter().map(|&d| Interval::of(forest, d)).collect();
+    let mut desc: Vec<Interval> = descendant_ids.iter().map(|&d| Interval::of(forest, d)).collect();
     desc.sort_unstable_by_key(|i| i.start);
     desc.dedup();
     stack_tree_desc(&anc, &desc)
@@ -133,10 +132,7 @@ mod tests {
         let pairs = containment_join(&f, &[1, 5], &[6, 21, 41]);
         let mut sorted = pairs.clone();
         sorted.sort_unstable();
-        assert_eq!(
-            sorted,
-            vec![(1, 6), (1, 21), (1, 41), (5, 6), (5, 21), (5, 41)]
-        );
+        assert_eq!(sorted, vec![(1, 6), (1, 21), (1, 41), (5, 6), (5, 21), (5, 41)]);
     }
 
     #[test]

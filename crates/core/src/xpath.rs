@@ -50,10 +50,9 @@ pub fn parse_xpath(input: &str) -> Result<TwigPattern, XPathError> {
     }
     p.skip_ws();
     if !p.at_end() {
-        return Err(p.err(format!(
-            "trailing input: {:?}",
-            String::from_utf8_lossy(&p.bytes[p.pos..])
-        )));
+        return Err(
+            p.err(format!("trailing input: {:?}", String::from_utf8_lossy(&p.bytes[p.pos..])))
+        );
     }
     twig.output = cur;
     Ok(twig)
@@ -118,10 +117,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         if self.pos == start {
-            return Err(self.err(format!(
-                "expected step name, found {:?}",
-                self.peek().map(|c| c as char)
-            )));
+            return Err(
+                self.err(format!("expected step name, found {:?}", self.peek().map(|c| c as char)))
+            );
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("name is not valid UTF-8".into()))?;
@@ -129,11 +127,7 @@ impl<'a> Parser<'a> {
         Ok((name, is_attr))
     }
 
-    fn parse_predicates(
-        &mut self,
-        twig: &mut TwigPattern,
-        node: usize,
-    ) -> Result<(), XPathError> {
+    fn parse_predicates(&mut self, twig: &mut TwigPattern, node: usize) -> Result<(), XPathError> {
         loop {
             self.skip_ws();
             if self.peek() != Some(b'[') {
@@ -272,9 +266,11 @@ mod tests {
 
     #[test]
     fn paper_intro_query() {
-        let t = parse_xpath("/book[title='XML']//author[fn='jane' ]\
-                             [ln='doe']")
-            .unwrap_or_else(|e| panic!("{e}"));
+        let t = parse_xpath(
+            "/book[title='XML']//author[fn='jane' ]\
+                             [ln='doe']",
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(t.len(), 5);
         assert_eq!(t.nodes[0].tag, "book");
         assert_eq!(t.nodes[1].tag, "title");

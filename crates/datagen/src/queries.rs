@@ -255,14 +255,8 @@ mod tests {
         assert_eq!(xq.len(), 15);
         assert_eq!(dblp_queries().len(), 3);
         // Fig. 10 row structure.
-        assert_eq!(
-            xq.iter().filter(|q| q.group == QueryGroup::SinglePath).count(),
-            3
-        );
-        assert_eq!(
-            xq.iter().filter(|q| q.group == QueryGroup::RecursiveTwig).count(),
-            4
-        );
+        assert_eq!(xq.iter().filter(|q| q.group == QueryGroup::SinglePath).count(), 3);
+        assert_eq!(xq.iter().filter(|q| q.group == QueryGroup::RecursiveTwig).count(), 4);
         assert!(xq
             .iter()
             .filter(|q| q.group == QueryGroup::RecursiveTwig)
@@ -292,12 +286,7 @@ mod tests {
     fn recursion_flags_match_twig_shape() {
         for q in xmark_queries().iter().chain(dblp_queries().iter()) {
             let twig = q.twig();
-            assert_eq!(
-                twig.has_recursion(),
-                q.recursions > 0,
-                "{} recursion flag mismatch",
-                q.id
-            );
+            assert_eq!(twig.has_recursion(), q.recursions > 0, "{} recursion flag mismatch", q.id);
         }
     }
 }

@@ -162,9 +162,8 @@ pub fn generate_xmark(forest: &mut XmlForest, config: XmarkConfig) -> XmarkProfi
     let mut other_location: Vec<&'static str> = Vec::with_capacity(other_items_total as usize);
     other_location.extend(std::iter::repeat_n("united states", us_other as usize));
     while other_location.len() < other_items_total as usize {
-        other_location.push(
-            ["germany", "france", "japan", "brazil", "kenya", "india"][rng.gen_range(0..6)],
-        );
+        other_location
+            .push(["germany", "france", "japan", "brazil", "kenya", "india"][rng.gen_range(0..6)]);
     }
     other_location.shuffle(&mut rng);
 
@@ -278,7 +277,10 @@ pub fn generate_xmark(forest: &mut XmlForest, config: XmarkConfig) -> XmarkProfi
                     b.open("mail");
                     b.leaf("from", &format!("person{}", rng.gen_range(0..persons)));
                     b.leaf("to", &format!("person{}", rng.gen_range(0..persons)));
-                    b.leaf("date", &format!("0{}/{}/2000", 1 + (mails_emitted % 9), 1 + (mails_emitted % 27)));
+                    b.leaf(
+                        "date",
+                        &format!("0{}/{}/2000", 1 + (mails_emitted % 9), 1 + (mails_emitted % 27)),
+                    );
                     b.close();
                     mails_emitted += 1;
                 }
@@ -545,9 +547,7 @@ mod tests {
             .filter(|&n| f.tag(n) == quantity && f.value_str(n) == Some("1"))
             .filter(|&n| {
                 // restrict to namerica items
-                f.root_path_tags(n)
-                    .iter()
-                    .any(|&t| f.dict().name(t) == "namerica")
+                f.root_path_tags(n).iter().any(|&t| f.dict().name(t) == "namerica")
             })
             .count() as u64;
         assert_eq!(q1, p.quantity1);

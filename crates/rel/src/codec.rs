@@ -354,12 +354,7 @@ mod tests {
         let ids: Vec<u64> = (0..12).map(|i| 100_000 + i * 3).collect();
         let delta = encode_idlist(IdListCodec::Delta, &ids);
         let plain = encode_idlist(IdListCodec::Plain, &ids);
-        assert!(
-            delta.len() * 2 < plain.len(),
-            "delta {} vs plain {}",
-            delta.len(),
-            plain.len()
-        );
+        assert!(delta.len() * 2 < plain.len(), "delta {} vs plain {}", delta.len(), plain.len());
     }
 
     proptest! {

@@ -428,12 +428,8 @@ mod tests {
     fn hash_join_matches_merge_join() {
         let data_l = rows(&[(1, "a"), (2, "b"), (2, "b2"), (7, "g")]);
         let data_r = rows(&[(2, "x"), (7, "y"), (7, "y2"), (9, "q")]);
-        let mut mj = MergeJoin::new(
-            from_iter(data_l.clone()),
-            from_iter(data_r.clone()),
-            key0,
-            key0,
-        );
+        let mut mj =
+            MergeJoin::new(from_iter(data_l.clone()), from_iter(data_r.clone()), key0, key0);
         let mut hj = HashJoin::new(from_iter(data_l), from_iter(data_r), key0, key0);
         let mut a = mj.collect_all();
         let mut b = hj.collect_all();
@@ -478,9 +474,7 @@ mod tests {
         let empty = || from_iter(Vec::<Tuple>::new());
         assert_eq!(MergeJoin::new(empty(), empty(), key0, key0).collect_all().len(), 0);
         assert_eq!(
-            HashJoin::new(empty(), from_iter(rows(&[(1, "x")])), key0, key0)
-                .collect_all()
-                .len(),
+            HashJoin::new(empty(), from_iter(rows(&[(1, "x")])), key0, key0).collect_all().len(),
             0
         );
         assert_eq!(IndexNestedLoopJoin::new(empty(), |_| vec![]).collect_all().len(), 0);

@@ -112,12 +112,16 @@ pub fn serialize_tuple(tuple: &[Value]) -> Vec<u8> {
             }
             Value::Str(s) => {
                 out.push(TAG_STR);
-                out.extend_from_slice(&(u32::try_from(s.len()).expect("string too long")).to_le_bytes());
+                out.extend_from_slice(
+                    &(u32::try_from(s.len()).expect("string too long")).to_le_bytes(),
+                );
                 out.extend_from_slice(s.as_bytes());
             }
             Value::IdList(l) => {
                 out.push(TAG_IDLIST);
-                out.extend_from_slice(&(u32::try_from(l.len()).expect("idlist too long")).to_le_bytes());
+                out.extend_from_slice(
+                    &(u32::try_from(l.len()).expect("idlist too long")).to_le_bytes(),
+                );
                 for id in l {
                     out.extend_from_slice(&id.to_le_bytes());
                 }
@@ -185,7 +189,11 @@ mod tests {
             vec![],
             vec![Value::Null],
             vec![Value::Int(0), Value::Int(-1), Value::Int(i64::MAX), Value::Int(i64::MIN)],
-            vec![Value::Str(String::new()), Value::Str("jane".into()), Value::Str("ünïcødé 中文".into())],
+            vec![
+                Value::Str(String::new()),
+                Value::Str("jane".into()),
+                Value::Str("ünïcødé 中文".into()),
+            ],
             vec![Value::IdList(vec![]), Value::IdList(vec![1, 5, 6, 7])],
             vec![
                 Value::Int(1),

@@ -1,0 +1,171 @@
+//! Order-preservation contract of the key codec (paper §4.2: composite
+//! B+-tree keys must sort by memcmp exactly as their typed components
+//! sort), checked from outside the crate: deterministic round-trips plus
+//! property tests that encoded ordering always matches value ordering.
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use xtwig_rel::codec::{
+    dec_i64, dec_null, dec_str, dec_u64, decode_idlist, enc_str, encode_idlist, read_varint,
+    write_varint, IdListCodec, KeyBuf,
+};
+
+fn key_str(s: &str) -> Vec<u8> {
+    let mut k = KeyBuf::new();
+    k.push_str(s);
+    k.finish()
+}
+
+fn key_i64(v: i64) -> Vec<u8> {
+    let mut k = KeyBuf::new();
+    k.push_i64(v);
+    k.finish()
+}
+
+fn key_u64(v: u64) -> Vec<u8> {
+    let mut k = KeyBuf::new();
+    k.push_u64(v);
+    k.finish()
+}
+
+#[test]
+fn roundtrip_every_component_kind() {
+    for s in ["", "a", "doe", "smith, j.", "nul\0inside", "ünïcødé 中文", "\0\0"] {
+        let enc = enc_str(s);
+        let (dec, next) = dec_str(&enc, 0);
+        assert_eq!(dec, s);
+        assert_eq!(next, enc.len());
+    }
+    for v in [i64::MIN, i64::MIN + 1, -65_536, -1, 0, 1, 42, i64::MAX - 1, i64::MAX] {
+        assert_eq!(dec_i64(&key_i64(v), 0), (v, 9));
+    }
+    for v in [0u64, 1, 255, 256, u64::MAX - 1, u64::MAX] {
+        assert_eq!(dec_u64(&key_u64(v), 0), (v, 9));
+    }
+    let null = KeyBuf::new().push_null().as_bytes().to_vec();
+    assert_eq!(dec_null(&null, 0), Some(null.len()));
+}
+
+#[test]
+fn roundtrip_composite_keys_componentwise() {
+    // A (tag, value, id) key like the DATAPATHS leaf-value index uses.
+    let mut k = KeyBuf::new();
+    k.push_str("author");
+    k.push_str("jane\0doe");
+    k.push_u64(814);
+    let bytes = k.finish();
+    let (tag, pos) = dec_str(&bytes, 0);
+    let (value, pos) = dec_str(&bytes, pos);
+    let (id, pos) = dec_u64(&bytes, pos);
+    assert_eq!((tag.as_str(), value.as_str(), id), ("author", "jane\0doe", 814));
+    assert_eq!(pos, bytes.len());
+}
+
+#[test]
+fn varint_roundtrip_and_length_monotonicity() {
+    let mut last_len = 0;
+    for v in [0u64, 1, 127, 128, 16_383, 16_384, 1 << 21, 1 << 28, u32::MAX as u64, u64::MAX] {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        assert_eq!(read_varint(&buf, 0), (v, buf.len()));
+        assert!(buf.len() >= last_len, "varint length must grow with magnitude");
+        last_len = buf.len();
+    }
+}
+
+#[test]
+fn idlist_codecs_roundtrip_sorted_runs() {
+    let runs: &[&[u64]] = &[
+        &[],
+        &[7],
+        &[1, 2, 3, 4, 5],
+        &[100, 10_000, 10_001, 9_999_999],
+        &[u64::MAX - 2, u64::MAX - 1, u64::MAX],
+    ];
+    for run in runs {
+        for codec in [IdListCodec::Delta, IdListCodec::Plain] {
+            assert_eq!(&decode_idlist(codec, &encode_idlist(codec, run)), run);
+        }
+    }
+}
+
+#[test]
+fn mixed_type_ordering_null_int_string() {
+    // The codec's type tags define NULL < integers < strings; a sorted
+    // heterogeneous column must keep that order byte-wise.
+    let keys = [
+        KeyBuf::new().push_null().as_bytes().to_vec(),
+        key_i64(i64::MIN),
+        key_i64(0),
+        key_i64(i64::MAX),
+        key_str(""),
+        key_str("a"),
+    ];
+    for pair in keys.windows(2) {
+        assert!(pair[0] < pair[1], "{:?} !< {:?}", pair[0], pair[1]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encoded_string_order_matches_value_order(a in ".{0,32}", b in ".{0,32}") {
+        prop_assert_eq!(key_str(&a).cmp(&key_str(&b)), a.as_bytes().cmp(b.as_bytes()));
+    }
+
+    #[test]
+    fn encoded_i64_order_matches_value_order(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(key_i64(a).cmp(&key_i64(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn encoded_u64_order_matches_value_order(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(key_u64(a).cmp(&key_u64(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn composite_key_order_is_lexicographic_by_components(
+        s1 in ".{0,12}", id1 in any::<u64>(),
+        s2 in ".{0,12}", id2 in any::<u64>(),
+    ) {
+        let mk = |s: &str, id: u64| {
+            let mut k = KeyBuf::new();
+            k.push_str(s);
+            k.push_u64(id);
+            k.finish()
+        };
+        let expected = match s1.as_bytes().cmp(s2.as_bytes()) {
+            Ordering::Equal => id1.cmp(&id2),
+            other => other,
+        };
+        prop_assert_eq!(mk(&s1, id1).cmp(&mk(&s2, id2)), expected);
+    }
+
+    #[test]
+    fn string_roundtrip_including_embedded_nuls(
+        raw in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        // Arbitrary bytes forced into a string: keep only valid UTF-8,
+        // which still yields plenty of NUL and high-bit content.
+        let s = String::from_utf8_lossy(&raw).into_owned();
+        let enc = enc_str(&s);
+        let (dec, next) = dec_str(&enc, 0);
+        prop_assert_eq!(dec, s);
+        prop_assert_eq!(next, enc.len());
+    }
+
+    #[test]
+    fn delta_idlist_roundtrips_any_sorted_list(
+        start in any::<u32>(),
+        gaps in proptest::collection::vec(1u64..100_000, 0..32),
+    ) {
+        let mut ids = vec![u64::from(start)];
+        for g in gaps {
+            ids.push(ids.last().unwrap() + g);
+        }
+        for codec in [IdListCodec::Delta, IdListCodec::Plain] {
+            prop_assert_eq!(decode_idlist(codec, &encode_idlist(codec, &ids)), ids.clone());
+        }
+    }
+}

@@ -111,7 +111,12 @@ impl BufferPool {
         let guard = frame.data.write_arc();
         (
             pid,
-            PageWriteGuard { guard, _pin: PinToken { pool: self, frame_idx }, pool: self, frame_idx },
+            PageWriteGuard {
+                guard,
+                _pin: PinToken { pool: self, frame_idx },
+                pool: self,
+                frame_idx,
+            },
         )
     }
 

@@ -71,12 +71,8 @@ pub struct FileBackend {
 impl FileBackend {
     /// Creates (truncating) a backend file at `path`.
     pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(FileBackend { file: Mutex::new(file), next: AtomicU32::new(0) })
     }
 

@@ -167,7 +167,8 @@ mod tests {
     fn hit_ratio_bounds() {
         let empty = IoStatsSnapshot::default();
         assert_eq!(empty.hit_ratio(), 1.0);
-        let all_miss = IoStatsSnapshot { logical_reads: 4, physical_reads: 4, ..Default::default() };
+        let all_miss =
+            IoStatsSnapshot { logical_reads: 4, physical_reads: 4, ..Default::default() };
         assert_eq!(all_miss.hit_ratio(), 0.0);
         let half = IoStatsSnapshot { logical_reads: 4, physical_reads: 2, ..Default::default() };
         assert!((half.hit_ratio() - 0.5).abs() < 1e-9);

@@ -220,11 +220,7 @@ mod tests {
         let collected: Vec<_> = dict.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
         assert_eq!(
             collected,
-            vec![
-                (0, "<virtual-root>".to_owned()),
-                (1, "a".to_owned()),
-                (2, "b".to_owned())
-            ]
+            vec![(0, "<virtual-root>".to_owned()), (1, "a".to_owned()), (2, "b".to_owned())]
         );
     }
 

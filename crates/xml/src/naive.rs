@@ -57,9 +57,7 @@ pub fn satisfying_sets(forest: &XmlForest, twig: &TwigPattern) -> Vec<BTreeSet<N
         }
         let child_sets: Vec<(Axis, HashSet<NodeId>, Vec<NodeId>)> = edges
             .iter()
-            .map(|&(axis, qc)| {
-                (axis, down[qc].iter().copied().collect(), down[qc].clone())
-            })
+            .map(|&(axis, qc)| (axis, down[qc].iter().copied().collect(), down[qc].clone()))
             .collect();
         down[qi] = cand[qi]
             .iter()
@@ -244,7 +242,12 @@ mod tests {
     fn single_path_with_value() {
         let f = fig1_book_document();
         let p = TwigPattern::path(
-            &[(Axis::Child, "book"), (Axis::Child, "allauthors"), (Axis::Child, "author"), (Axis::Child, "fn")],
+            &[
+                (Axis::Child, "book"),
+                (Axis::Child, "allauthors"),
+                (Axis::Child, "author"),
+                (Axis::Child, "fn"),
+            ],
             Some("jane"),
         );
         assert_eq!(ids(&select(&f, &p)), vec![7, 42]);
@@ -311,10 +314,7 @@ mod tests {
         let twig = paper_twig();
         let tuples = enumerate_matches(&f, &twig);
         assert_eq!(tuples.len(), 1);
-        assert_eq!(
-            tuples[0].iter().map(|n| n.0).collect::<Vec<_>>(),
-            vec![1, 2, 41, 42, 45]
-        );
+        assert_eq!(tuples[0].iter().map(|n| n.0).collect::<Vec<_>>(), vec![1, 2, 41, 42, 45]);
     }
 
     #[test]

@@ -306,10 +306,9 @@ impl<'a> Parser<'a> {
                     attrs.push((aname, value));
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "unexpected {:?} in open tag",
-                        other.map(|c| c as char)
-                    )))
+                    return Err(
+                        self.err(format!("unexpected {:?} in open tag", other.map(|c| c as char)))
+                    )
                 }
             }
         }

@@ -47,7 +47,12 @@ fn write_node(forest: &XmlForest, id: NodeId, out: &mut String, indent: usize, p
         match forest.kind(child) {
             NodeKind::Attribute => {
                 let aname = &forest.tag_name(child)[1..]; // strip '@'
-                let _ = write!(out, " {}=\"{}\"", aname, escape_attr(forest.value_str(child).unwrap_or("")));
+                let _ = write!(
+                    out,
+                    " {}=\"{}\"",
+                    aname,
+                    escape_attr(forest.value_str(child).unwrap_or(""))
+                );
             }
             NodeKind::Element => element_children.push(child),
         }
@@ -163,10 +168,7 @@ mod tests {
         let text = serialize_subtree(&f, f.roots()[0]);
         let mut f2 = XmlForest::new();
         let r2 = parse_document(&mut f2, &text).unwrap();
-        assert_eq!(
-            f.iter_subtree(f.roots()[0]).count(),
-            f2.iter_subtree(r2).count()
-        );
+        assert_eq!(f.iter_subtree(f.roots()[0]).count(), f2.iter_subtree(r2).count());
     }
 
     #[test]

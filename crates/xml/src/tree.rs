@@ -14,8 +14,8 @@
 //! Id 0 is a virtual root that parents every document (paper footnote 4),
 //! letting DATAPATHS answer FreeIndex probes.
 
-use crate::dictionary::{TagDict, TagId, ValueInterner};
 pub use crate::dictionary::SymbolId;
+use crate::dictionary::{TagDict, TagId, ValueInterner};
 
 /// Identifier of an element or attribute node: its pre-order rank in the
 /// forest (0 = virtual root, documents numbered in insertion order).
@@ -322,9 +322,7 @@ impl<'f> TreeBuilder<'f> {
     pub fn attr(&mut self, name: &str, value: &str) -> NodeId {
         let owner = *self.stack.last().expect("attr() with no open element");
         assert!(
-            self.forest
-                .children(owner)
-                .all(|c| self.forest.kind(c) == NodeKind::Attribute),
+            self.forest.children(owner).all(|c| self.forest.kind(c) == NodeKind::Attribute),
             "attr() must precede child elements"
         );
         let tag = if let Some(rest) = name.strip_prefix('@') {
@@ -400,6 +398,7 @@ pub fn fig1_book_document() -> XmlForest {
     let mut b = forest.builder();
     b.open("book"); // 1
     b.leaf("title", "XML"); // 2
+
     // Nodes 3 and 4 are unnamed in the figure; the figure's id gaps (2 -> 5)
     // indicate siblings elided by the "..." in the source listing. We add
     // two filler nodes so the famous ids (5, 6, 7, 10, 21, 25, 41, 42, 45)
@@ -521,10 +520,7 @@ mod tests {
         let f = tiny();
         assert_eq!(f.depth(NodeId(1)), 1);
         assert_eq!(f.depth(NodeId(5)), 4);
-        assert_eq!(
-            f.root_path_ids(NodeId(5)),
-            vec![NodeId(1), NodeId(3), NodeId(4), NodeId(5)]
-        );
+        assert_eq!(f.root_path_ids(NodeId(5)), vec![NodeId(1), NodeId(3), NodeId(4), NodeId(5)]);
         let tags: Vec<_> =
             f.root_path_tags(NodeId(5)).iter().map(|&t| f.dict().name(t).to_owned()).collect();
         assert_eq!(tags, vec!["book", "allauthors", "author", "fn"]);
@@ -592,10 +588,7 @@ mod tests {
     #[test]
     fn subtree_iteration_matches_interval() {
         let f = fig1_book_document();
-        let authors: Vec<_> = f
-            .iter_nodes()
-            .filter(|&n| f.tag_name(n) == "author")
-            .collect();
+        let authors: Vec<_> = f.iter_nodes().filter(|&n| f.tag_name(n) == "author").collect();
         assert_eq!(authors, vec![NodeId(6), NodeId(21), NodeId(41)]);
         let sub: Vec<_> = f.iter_subtree(NodeId(6)).collect();
         assert_eq!(sub.len(), 5); // author + fn, mi, nickname, ln

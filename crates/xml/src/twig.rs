@@ -73,7 +73,13 @@ impl TwigPattern {
     }
 
     /// Appends a node under `parent`, returning its index.
-    pub fn add_child(&mut self, parent: usize, axis: Axis, tag: &str, value: Option<&str>) -> usize {
+    pub fn add_child(
+        &mut self,
+        parent: usize,
+        axis: Axis,
+        tag: &str,
+        value: Option<&str>,
+    ) -> usize {
         let idx = self.nodes.len();
         self.nodes.push(TwigNode {
             tag: tag.to_owned(),
@@ -144,10 +150,7 @@ impl TwigPattern {
     /// True if any edge (including the root axis) is `Descendant`.
     pub fn has_recursion(&self) -> bool {
         self.root_axis == Axis::Descendant
-            || self
-                .nodes
-                .iter()
-                .any(|n| n.children.iter().any(|&(a, _)| a == Axis::Descendant))
+            || self.nodes.iter().any(|n| n.children.iter().any(|&(a, _)| a == Axis::Descendant))
     }
 
     /// Number of leaf branches (nodes without children).
@@ -256,7 +259,8 @@ mod tests {
     #[test]
     fn leading_descendant_is_still_pc_path() {
         // §2.2: "a '//' at the beginning of a subpath pattern is permitted".
-        let p = TwigPattern::path(&[(Axis::Descendant, "author"), (Axis::Child, "fn")], Some("jane"));
+        let p =
+            TwigPattern::path(&[(Axis::Descendant, "author"), (Axis::Child, "fn")], Some("jane"));
         assert!(p.is_pc_path());
         assert!(p.has_recursion());
     }

@@ -26,10 +26,8 @@ fn main() {
     );
 
     println!("building all seven index configurations …");
-    let engine = QueryEngine::build(
-        &forest,
-        EngineOptions { pool_pages: 5120, ..Default::default() },
-    );
+    let engine =
+        QueryEngine::build(&forest, EngineOptions { pool_pages: 5120, ..Default::default() });
 
     let picks = ["Q3x", "Q5x", "Q6x", "Q9x", "Q10x", "Q13x"];
     let queries = xmark_queries();

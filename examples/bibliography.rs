@@ -32,17 +32,12 @@ fn main() {
     ];
     let engine = QueryEngine::build(
         &forest,
-        EngineOptions {
-            strategies: strategies.to_vec(),
-            pool_pages: 5120,
-            ..Default::default()
-        },
+        EngineOptions { strategies: strategies.to_vec(), pool_pages: 5120, ..Default::default() },
     );
 
     println!("\nFig. 11(b) shape: single-path query cost vs. result cardinality");
     for year in ["1950", "1979", "1998"] {
-        let twig = xtwig::parse_xpath(&format!("/dblp/inproceedings/year[. = '{year}']"))
-            .unwrap();
+        let twig = xtwig::parse_xpath(&format!("/dblp/inproceedings/year[. = '{year}']")).unwrap();
         println!("\n--- year = {year} ---");
         println!(
             "{:<8} {:>8} {:>9} {:>12} {:>10}",

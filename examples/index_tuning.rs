@@ -53,8 +53,16 @@ fn main() {
         DataPathsOptions { idlist: IdListCodec::Plain, ..Default::default() },
     );
     println!("== §4.1 differential IdList encoding (lossless) ==");
-    println!("ROOTPATHS: plain {:.2} MB -> delta {:.2} MB", mb(rp_plain.space_bytes()), mb(rp_delta.space_bytes()));
-    println!("DATAPATHS: plain {:.2} MB -> delta {:.2} MB", mb(dp_plain.space_bytes()), mb(dp_delta.space_bytes()));
+    println!(
+        "ROOTPATHS: plain {:.2} MB -> delta {:.2} MB",
+        mb(rp_plain.space_bytes()),
+        mb(rp_delta.space_bytes())
+    );
+    println!(
+        "DATAPATHS: plain {:.2} MB -> delta {:.2} MB",
+        mb(dp_plain.space_bytes()),
+        mb(dp_delta.space_bytes())
+    );
     let ib = measure_idlist_bytes(&forest);
     println!(
         "IdList payload alone shrinks {:.0}% (paper reports ~30% total lossless saving)",
@@ -103,11 +111,7 @@ fn main() {
     );
     let q10 = xmark_queries().into_iter().find(|q| q.id == "Q10x").unwrap();
     let a = pruned_engine.answer(&q10.twig(), Strategy::DataPaths);
-    println!(
-        "  Q10x (in workload) still answers with {} results, plan {:?}",
-        a.ids.len(),
-        a.plan
-    );
+    println!("  Q10x (in workload) still answers with {} results, plan {:?}", a.ids.len(), a.plan);
     let off = xtwig::parse_xpath("//person[name = 'Hagen Artosi']/emailaddress").unwrap();
     let a = pruned_engine.answer(&off, Strategy::DataPaths);
     println!(

@@ -78,7 +78,11 @@ fn main() {
     let book_tag = forest.dict().lookup("book").unwrap();
     let q = PcSubpathQuery::resolve(forest.dict(), &["author", "ln"], false, Some("doe")).unwrap();
     for m in dp.lookup_bound(1, book_tag, &q) {
-        println!("  book(1)//author[ln='doe'] -> ids {:?} (author id = {})", m.ids, m.id_from_end(1));
+        println!(
+            "  book(1)//author[ln='doe'] -> ids {:?} (author id = {})",
+            m.ids,
+            m.id_from_end(1)
+        );
     }
 
     println!("\n== The introduction's twig query ==");

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 use xtwig::core::family::{FreeIndex, PcSubpathQuery};
 use xtwig::core::rootpaths::{RootPaths, RootPathsOptions};
-use xtwig::rel::exec::{from_iter, Distinct, Executor, MergeJoin, Project, Sort};
+use xtwig::rel::exec::{from_iter, Distinct, MergeJoin, Project, Sort};
 use xtwig::rel::value::{Tuple, Value};
 use xtwig::storage::BufferPool;
 use xtwig::xml::tree::fig1_book_document;
@@ -65,11 +65,8 @@ fn main() {
     // The /book[title='XML'] branch: book ids from one more probe.
     let title_q =
         PcSubpathQuery::resolve(dict, &["book", "title"], true, Some("XML")).expect("tags");
-    let books: Vec<Tuple> = rp
-        .lookup_free(&title_q)
-        .into_iter()
-        .map(|m| vec![Value::id(m.ids[0])])
-        .collect();
+    let books: Vec<Tuple> =
+        rp.lookup_free(&title_q).into_iter().map(|m| vec![Value::id(m.ids[0])]).collect();
     println!("index scan /book[title='XML'] -> {} rows", books.len());
 
     // Join on the book id (column 1 of the author join output).

@@ -47,11 +47,8 @@ fn load(path: &str) -> Result<XmlForest, String> {
 
 fn print_node(forest: &XmlForest, id: u64) {
     let node = NodeId(id);
-    let path: Vec<&str> = forest
-        .root_path_tags(node)
-        .iter()
-        .map(|&t| forest.dict().name(t))
-        .collect();
+    let path: Vec<&str> =
+        forest.root_path_tags(node).iter().map(|&t| forest.dict().name(t)).collect();
     match forest.value_str(node) {
         Some(v) => println!("  #{id}  /{}  = {v:?}", path.join("/")),
         None => println!("  #{id}  /{}", path.join("/")),
@@ -82,7 +79,10 @@ fn run_query(forest: &XmlForest, xpath: &str, strategy: Strategy, explain: bool)
     );
     if explain {
         if let Some(plan) = engine.plan(&twig) {
-            println!("plan: {:?} (merge cost {} vs inlj cost {})", plan.kind, plan.merge_cost, plan.inlj_cost);
+            println!(
+                "plan: {:?} (merge cost {} vs inlj cost {})",
+                plan.kind, plan.merge_cost, plan.inlj_cost
+            );
             for step in &plan.steps {
                 println!(
                     "  step subpath#{} est={} join={:?} probe={}",

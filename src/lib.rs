@@ -50,7 +50,9 @@
 //! | [`rel`] | `xtwig-rel` | values, order-preserving codec, heap files, join operators |
 //! | [`core`] | `xtwig-core` | ROOTPATHS, DATAPATHS, the index family, baselines, planner, engine |
 //! | [`datagen`] | `xtwig-datagen` | XMark-like and DBLP-like generators, the Q1–Q15 workload |
+//! | [`bench`] | `xtwig-bench` | shared measurement harness behind the figure-reproduction binaries |
 
+pub use xtwig_bench as bench;
 pub use xtwig_btree as btree;
 pub use xtwig_core as core;
 pub use xtwig_datagen as datagen;
@@ -58,8 +60,8 @@ pub use xtwig_rel as rel;
 pub use xtwig_storage as storage;
 pub use xtwig_xml as xml;
 
-pub use xtwig_core::{parse_xpath, QueryAnswer, QueryEngine, Strategy};
 pub use xtwig_core::engine::EngineOptions;
+pub use xtwig_core::{parse_xpath, QueryAnswer, QueryEngine, Strategy};
 pub use xtwig_xml::{TwigPattern, XmlForest};
 
 /// Common imports for applications.

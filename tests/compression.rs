@@ -39,13 +39,7 @@ fn delta_and_plain_idlists_answer_identically() {
         (vec!["open_auction", "@increase"], Some("3.00")),
         (vec!["person", "name"], None),
     ] {
-        let q = PcSubpathQuery::resolve(
-            f.dict(),
-            &steps.to_vec(),
-            false,
-            value,
-        )
-        .unwrap();
+        let q = PcSubpathQuery::resolve(f.dict(), &steps.to_vec(), false, value).unwrap();
         let mut a: Vec<_> = delta.lookup_free(&q).into_iter().map(|m| m.ids).collect();
         let mut b: Vec<_> = plain.lookup_free(&q).into_iter().map(|m| m.ids).collect();
         a.sort();
@@ -66,11 +60,8 @@ fn delta_and_plain_idlists_answer_identically() {
 fn dict_compression_loses_exactly_recursion() {
     let f = forest();
     let dict_dp = DictDataPaths::build(&f, Arc::new(BufferPool::in_memory(16384)));
-    let full_dp = DataPaths::build(
-        &f,
-        Arc::new(BufferPool::in_memory(16384)),
-        DataPathsOptions::default(),
-    );
+    let full_dp =
+        DataPaths::build(&f, Arc::new(BufferPool::in_memory(16384)), DataPathsOptions::default());
     // Anchored paths: identical answers.
     let tags: Vec<_> = ["site", "regions", "namerica", "item", "quantity"]
         .iter()
@@ -78,7 +69,8 @@ fn dict_compression_loses_exactly_recursion() {
         .collect();
     use xtwig::core::family::{FreeIndex, PcSubpathQuery};
     let q = PcSubpathQuery { tags: tags.clone(), anchored: true, value: Some("2".into()) };
-    let mut a: Vec<_> = dict_dp.lookup_exact_free(&tags, Some("2")).into_iter().map(|m| m.ids).collect();
+    let mut a: Vec<_> =
+        dict_dp.lookup_exact_free(&tags, Some("2")).into_iter().map(|m| m.ids).collect();
     let mut b: Vec<_> = full_dp.lookup_free(&q).into_iter().map(|m| m.ids).collect();
     a.sort();
     b.sort();
@@ -122,15 +114,13 @@ fn head_pruned_engine_matches_oracle_on_and_off_workload() {
     // Workload queries still answer correctly.
     for q in xmark_queries() {
         let twig = q.twig();
-        let expected: BTreeSet<u64> =
-            naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
+        let expected: BTreeSet<u64> = naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
         assert_eq!(pruned.answer(&twig, Strategy::DataPaths).ids, expected, "{}", q.id);
     }
     // Off-workload queries too (they fall back to merge plans).
     for xpath in ["//person[name = 'Hagen Artosi']/emailaddress", "//category/name"] {
         let twig = xtwig::parse_xpath(xpath).unwrap();
-        let expected: BTreeSet<u64> =
-            naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
+        let expected: BTreeSet<u64> = naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
         assert_eq!(pruned.answer(&twig, Strategy::DataPaths).ids, expected, "{xpath}");
     }
 }

@@ -51,13 +51,9 @@ fn forest_from_program(program: &[u8]) -> XmlForest {
 
 /// Builds a random twig from a byte program.
 fn twig_from_program(program: &[u8]) -> TwigPattern {
-    let root_axis = if program.first().copied().unwrap_or(0) % 2 == 0 {
-        Axis::Child
-    } else {
-        Axis::Descendant
-    };
-    let root_tag =
-        if program.first().copied().unwrap_or(0) % 4 < 2 { "r" } else { TAGS[0] };
+    let root_axis =
+        if program.first().copied().unwrap_or(0) % 2 == 0 { Axis::Child } else { Axis::Descendant };
+    let root_tag = if program.first().copied().unwrap_or(0) % 4 < 2 { "r" } else { TAGS[0] };
     let mut twig = TwigPattern::single(root_axis, root_tag, None);
     let mut nodes = vec![0usize];
     for chunk in program[1..].chunks(3) {

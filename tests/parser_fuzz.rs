@@ -116,8 +116,5 @@ fn pretty_printing_roundtrips_generated_datasets() {
     let text = serialize::serialize_pretty(&forest, forest.roots()[0]);
     let mut f2 = XmlForest::new();
     let r2 = parse_document(&mut f2, &text).expect("generated XML must reparse");
-    assert_eq!(
-        forest.iter_subtree(forest.roots()[0]).count(),
-        f2.iter_subtree(r2).count()
-    );
+    assert_eq!(forest.iter_subtree(forest.roots()[0]).count(), f2.iter_subtree(r2).count());
 }

@@ -15,8 +15,7 @@ fn engine(forest: &XmlForest) -> QueryEngine<'_> {
 
 fn check(forest: &XmlForest, e: &QueryEngine<'_>, xpath: &str) {
     let twig = xtwig::parse_xpath(xpath).unwrap();
-    let expected: BTreeSet<u64> =
-        naive::select(forest, &twig).into_iter().map(|n| n.0).collect();
+    let expected: BTreeSet<u64> = naive::select(forest, &twig).into_iter().map(|n| n.0).collect();
     for s in Strategy::ALL {
         let got = e.answer(&twig, s);
         assert_eq!(got.ids, expected, "{xpath} via {}", s.label());

@@ -7,8 +7,7 @@ use xtwig::xml::{naive, XmlForest};
 
 fn check_all(forest: &XmlForest, engine: &QueryEngine<'_>, xpath: &str) {
     let twig = xtwig::parse_xpath(xpath).unwrap();
-    let expected: BTreeSet<u64> =
-        naive::select(forest, &twig).into_iter().map(|n| n.0).collect();
+    let expected: BTreeSet<u64> = naive::select(forest, &twig).into_iter().map(|n| n.0).collect();
     for s in Strategy::ALL {
         let got = engine.answer(&twig, s);
         assert_eq!(got.ids, expected, "{xpath} via {}", s.label());
@@ -60,8 +59,7 @@ fn long_values_share_key_prefix() {
     let e = QueryEngine::build(&f, EngineOptions { pool_pages: 1024, ..Default::default() });
     for (value, want) in [(v1.as_str(), 2usize), (v2.as_str(), 1), ("short", 1)] {
         let twig = xtwig::parse_xpath(&format!("/docs/blob[. = '{value}']")).unwrap();
-        let expected: BTreeSet<u64> =
-            naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
+        let expected: BTreeSet<u64> = naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
         assert_eq!(expected.len(), want, "oracle sanity for {value:.20}…");
         for s in [Strategy::RootPaths, Strategy::DataPaths] {
             let got = e.answer(&twig, s);

@@ -14,11 +14,7 @@ fn structural_and_unnesting_joins_agree_on_workload() {
     let strategies = vec![Strategy::RootPaths, Strategy::DataPaths];
     let unnest = QueryEngine::build(
         &forest,
-        EngineOptions {
-            strategies: strategies.clone(),
-            pool_pages: 4096,
-            ..Default::default()
-        },
+        EngineOptions { strategies: strategies.clone(), pool_pages: 4096, ..Default::default() },
     );
     let structural = QueryEngine::build(
         &forest,
@@ -79,16 +75,10 @@ fn containment_join_scales_linearly_on_generated_data() {
     // Cross-check the raw join against is_ancestor on a real dataset.
     let mut forest = XmlForest::new();
     generate_xmark(&mut forest, XmarkConfig { scale: 0.002, seed: 3 });
-    let items: Vec<u64> = forest
-        .iter_nodes()
-        .filter(|&n| forest.tag_name(n) == "item")
-        .map(|n| n.0)
-        .collect();
-    let dates: Vec<u64> = forest
-        .iter_nodes()
-        .filter(|&n| forest.tag_name(n) == "date")
-        .map(|n| n.0)
-        .collect();
+    let items: Vec<u64> =
+        forest.iter_nodes().filter(|&n| forest.tag_name(n) == "item").map(|n| n.0).collect();
+    let dates: Vec<u64> =
+        forest.iter_nodes().filter(|&n| forest.tag_name(n) == "date").map(|n| n.0).collect();
     let pairs = containment_join(&forest, &items, &dates);
     let mut naive_count = 0usize;
     for &a in &items {

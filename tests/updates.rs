@@ -30,6 +30,7 @@ fn inserting_an_author_adds_all_prefix_entries() {
     // New author under allauthors (book=1, allauthors=5), with fresh ids.
     rp.insert_path(&tags[..3], &[1, 5, 900], None); // the author node
     rp.insert_path(&tags, &[1, 5, 900, 901], Some("ada")); // its fn
+
     // 3 entries: author structural, fn structural, fn valued.
     assert_eq!(rp.rows(), rows_before + 3);
     let q = PcSubpathQuery::resolve(forest.dict(), &["author", "fn"], false, Some("ada")).unwrap();

@@ -44,10 +44,8 @@ fn dblp_selectivity_sweep_matches_planted_years() {
 fn all_strategies_agree_on_dblp() {
     let mut forest = XmlForest::new();
     generate_dblp(&mut forest, DblpConfig { scale: 0.005, seed: 3 });
-    let engine = QueryEngine::build(
-        &forest,
-        EngineOptions { pool_pages: 4096, ..Default::default() },
-    );
+    let engine =
+        QueryEngine::build(&forest, EngineOptions { pool_pages: 4096, ..Default::default() });
     for xpath in [
         "/dblp/inproceedings/year[. = '1979']",
         "/dblp/inproceedings[year = '1998']/title",
@@ -73,7 +71,10 @@ fn shallow_dataset_keeps_datapaths_overhead_low() {
     let mut dblp = XmlForest::new();
     generate_dblp(&mut dblp, DblpConfig { scale: 0.02, seed: 1 });
     let mut xmark = XmlForest::new();
-    xtwig::datagen::generate_xmark(&mut xmark, xtwig::datagen::XmarkConfig { scale: 0.02, seed: 1 });
+    xtwig::datagen::generate_xmark(
+        &mut xmark,
+        xtwig::datagen::XmarkConfig { scale: 0.02, seed: 1 },
+    );
 
     let opts = || EngineOptions {
         strategies: vec![Strategy::RootPaths, Strategy::DataPaths],

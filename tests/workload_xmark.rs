@@ -23,22 +23,14 @@ fn oracle_ids(forest: &XmlForest, xpath: &str) -> BTreeSet<u64> {
 #[test]
 fn all_strategies_agree_with_oracle_on_full_workload() {
     let (forest, _) = build(0.004, Strategy::ALL.to_vec());
-    let engine = QueryEngine::build(
-        &forest,
-        EngineOptions { pool_pages: 4096, ..Default::default() },
-    );
+    let engine =
+        QueryEngine::build(&forest, EngineOptions { pool_pages: 4096, ..Default::default() });
     for q in xmark_queries() {
         let twig = q.twig();
         let expected = oracle_ids(&forest, q.xpath);
         for s in Strategy::ALL {
             let got = engine.answer(&twig, s);
-            assert_eq!(
-                got.ids,
-                expected,
-                "{} with {} disagrees with the oracle",
-                q.id,
-                s.label()
-            );
+            assert_eq!(got.ids, expected, "{} with {} disagrees with the oracle", q.id, s.label());
         }
     }
 }
@@ -55,11 +47,8 @@ fn single_path_results_match_planted_profile() {
         },
     );
     let queries = xmark_queries();
-    let expected = [
-        ("Q1x", profile.quantity5),
-        ("Q2x", profile.quantity2),
-        ("Q3x", profile.quantity1),
-    ];
+    let expected =
+        [("Q1x", profile.quantity5), ("Q2x", profile.quantity2), ("Q3x", profile.quantity1)];
     for (id, count) in expected {
         let q = queries.iter().find(|q| q.id == id).unwrap();
         let a = engine.answer(&q.twig(), Strategy::RootPaths);

@@ -1,0 +1,87 @@
+//! End-to-end smoke test for the assembled workspace: parse a small
+//! document, build every index strategy, and run the paper's
+//! introductory twig (§1, Fig. 1) through each one, cross-checking
+//! against the naive in-memory matcher.
+
+use std::collections::BTreeSet;
+use xtwig::prelude::*;
+use xtwig::xml::naive;
+
+const INTRO_TWIG: &str = "/book[title='XML']//author[fn='jane'][ln='doe']";
+
+fn intro_forest() -> XmlForest {
+    let mut forest = XmlForest::new();
+    // The matching book from the paper's introduction...
+    xtwig::xml::parse_document(
+        &mut forest,
+        "<book><title>XML</title><allauthors>\
+         <author><fn>jane</fn><ln>doe</ln></author>\
+         <author><fn>john</fn><ln>smith</ln></author>\
+         </allauthors></book>",
+    )
+    .unwrap();
+    // ...plus decoys: right title but wrong author, and vice versa.
+    xtwig::xml::parse_document(
+        &mut forest,
+        "<book><title>XML</title><allauthors>\
+         <author><fn>jane</fn><ln>smith</ln></author>\
+         </allauthors></book>",
+    )
+    .unwrap();
+    xtwig::xml::parse_document(
+        &mut forest,
+        "<book><title>SQL</title><allauthors>\
+         <author><fn>jane</fn><ln>doe</ln></author>\
+         </allauthors></book>",
+    )
+    .unwrap();
+    forest
+}
+
+#[test]
+fn every_strategy_answers_the_intro_twig() {
+    let forest = intro_forest();
+    let twig = parse_xpath(INTRO_TWIG).unwrap();
+    let expected: BTreeSet<u64> = naive::select(&forest, &twig).into_iter().map(|n| n.0).collect();
+    assert_eq!(expected.len(), 1, "exactly one book matches the intro query");
+
+    let engine = QueryEngine::build(
+        &forest,
+        EngineOptions { strategies: Strategy::ALL.to_vec(), pool_pages: 256, ..Default::default() },
+    );
+    for s in Strategy::ALL {
+        let answer = engine.answer(&twig, s);
+        assert_eq!(answer.ids, expected, "strategy {} disagrees with xml::naive", s.label());
+    }
+}
+
+#[test]
+fn strategies_agree_on_every_intro_subpattern() {
+    // Smaller patterns hit different planner paths (single-path lookups
+    // vs. branching twigs); all strategies must still agree everywhere.
+    let forest = intro_forest();
+    let engine =
+        QueryEngine::build(&forest, EngineOptions { pool_pages: 256, ..Default::default() });
+    for xpath in [
+        "/book",
+        "/book/title",
+        "//author",
+        "//author[fn='jane']",
+        "/book[title='XML']",
+        "/book//author[ln='doe']",
+        "//allauthors/author[fn='jane'][ln='doe']",
+    ] {
+        let twig = parse_xpath(xpath).unwrap();
+        let expected: BTreeSet<u64> =
+            naive::select(&forest, &twig).into_iter().map(|n| n.0).collect();
+        for s in Strategy::ALL {
+            let answer = engine.answer(&twig, s);
+            assert_eq!(
+                answer.ids,
+                expected,
+                "strategy {} disagrees with xml::naive on {xpath}",
+                s.label()
+            );
+        }
+    }
+}
