@@ -20,10 +20,11 @@ use xtwig_core::engine::Strategy;
 fn main() {
     let scale = scale_from_args();
     println!("# Figure 9: index space (scale {scale} of the paper's datasets)\n");
-    println!(
-        "{:<8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "dataset", "data(MB)", "RP", "DP", "Edge", "DG+Edge", "IF+Edge", "ASR", "JI"
-    );
+    print!("{:<8} {:>10}", "dataset", "data(MB)");
+    for s in Strategy::ALL {
+        print!(" {s:>9}");
+    }
+    println!();
     let mut dp_rp_ratios = Vec::new();
     for (name, forest) in [("XMark", xmark_forest(scale).0), ("DBLP", dblp_forest(scale).0)] {
         let e = engine(&forest, &Strategy::ALL);

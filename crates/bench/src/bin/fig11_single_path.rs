@@ -61,25 +61,25 @@ fn main() {
 /// probe far more than RP (which stays at one probe per query).
 fn shape_check(rows: &[Measurement], dataset: &str) {
     let unselective_label = rows.iter().map(|m| m.label.clone()).max().unwrap();
-    let probe = |strategy: &str| {
+    let probe = |strategy: Strategy| {
         rows.iter()
-            .find(|m| m.strategy == strategy && m.label == unselective_label)
+            .find(|m| m.strategy == strategy.to_string() && m.label == unselective_label)
             .map(|m| m.probes)
             .unwrap_or(0)
     };
-    let rp = probe("RP").max(1);
+    let rp = probe(Strategy::RootPaths).max(1);
     assert!(
-        probe("Edge") > 10 * rp,
+        probe(Strategy::Edge) > 10 * rp,
         "{dataset}: Edge should degrade vs RP ({} vs {rp})",
-        probe("Edge")
+        probe(Strategy::Edge)
     );
-    assert!(probe("DG+Edge") > rp, "{dataset}: DG+Edge should degrade vs RP");
+    assert!(probe(Strategy::DataGuideEdge) > rp, "{dataset}: DG+Edge should degrade vs RP");
     println!(
         "[shape ok on {dataset}: at {unselective_label}, probes RP={} DP={} Edge={} DG+Edge={} IF+Edge={}]",
-        probe("RP"),
-        probe("DP"),
-        probe("Edge"),
-        probe("DG+Edge"),
-        probe("IF+Edge")
+        probe(Strategy::RootPaths),
+        probe(Strategy::DataPaths),
+        probe(Strategy::Edge),
+        probe(Strategy::DataGuideEdge),
+        probe(Strategy::IndexFabricEdge)
     );
 }

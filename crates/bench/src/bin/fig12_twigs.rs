@@ -97,12 +97,12 @@ fn main() {
 
 fn shape_check(panel: &str, rows: &[Measurement]) {
     let last_label = rows.last().unwrap().label.clone();
-    let get = |strategy: &str| {
-        rows.iter().find(|m| m.strategy == strategy && m.label == last_label).unwrap()
+    let get = |strategy: Strategy| {
+        rows.iter().find(|m| m.strategy == strategy.to_string() && m.label == last_label).unwrap()
     };
-    let rp = get("RP");
-    let dp = get("DP");
-    let edge = get("Edge");
+    let rp = get(Strategy::RootPaths);
+    let dp = get(Strategy::DataPaths);
+    let edge = get(Strategy::Edge);
     assert!(
         edge.probes > 5 * rp.probes.max(1),
         "panel {panel}: Edge probes {} should dwarf RP {}",

@@ -50,11 +50,12 @@ fn main() {
 
 fn shape_check(rows: &[Measurement]) {
     let last = rows.last().unwrap().label.clone();
-    let get = |s: &str| rows.iter().find(|m| m.strategy == s && m.label == last).unwrap();
-    let rp = get("RP");
-    let dp = get("DP");
-    let asr = get("ASR");
-    let ji = get("JI");
+    let get =
+        |s: Strategy| rows.iter().find(|m| m.strategy == s.to_string() && m.label == last).unwrap();
+    let rp = get(Strategy::RootPaths);
+    let dp = get(Strategy::DataPaths);
+    let asr = get(Strategy::Asr);
+    let ji = get(Strategy::JoinIndex);
     // The §5.2.6 effect: ASR/JI pay per matching schema path (and JI per
     // interior position too), while the unified indexes answer each
     // subpath in one probe (RP merge) or per-head probes (DP INLJ).

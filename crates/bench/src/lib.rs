@@ -50,7 +50,7 @@ pub fn dblp_forest(scale: f64) -> (XmlForest, DblpProfile) {
 }
 
 /// Builds an engine with the given strategies and the 40 MiB pool.
-pub fn engine<'f>(forest: &'f XmlForest, strategies: &[Strategy]) -> QueryEngine<'f> {
+pub fn engine<'f>(forest: &'f XmlForest, strategies: &[Strategy]) -> QueryEngine<&'f XmlForest> {
     QueryEngine::build(
         forest,
         EngineOptions {
@@ -85,7 +85,7 @@ pub struct Measurement {
 /// Runs `twig` `RUNS` times warm (after one discarded warm-up run) and
 /// aggregates.
 pub fn measure(
-    engine: &QueryEngine<'_>,
+    engine: &QueryEngine<&XmlForest>,
     twig: &TwigPattern,
     strategy: Strategy,
     label: &str,
@@ -99,7 +99,7 @@ pub fn measure(
         debug_assert_eq!(a.ids.len(), warmup.ids.len());
     }
     Measurement {
-        strategy: strategy.label().to_owned(),
+        strategy: strategy.to_string(),
         label: label.to_owned(),
         results: warmup.ids.len() as u64,
         total_micros: total.as_micros() as u64,

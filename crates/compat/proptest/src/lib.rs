@@ -662,7 +662,7 @@ mod tests {
         #[test]
         fn macro_end_to_end(xs in crate::collection::vec(any::<u8>(), 0..10), y in 1u64..100) {
             prop_assert!(xs.len() < 10);
-            prop_assert!(y >= 1 && y < 100);
+            prop_assert!((1..100).contains(&y));
             let doubled: Vec<u16> = xs.iter().map(|&b| u16::from(b) * 2).collect();
             prop_assert_eq!(doubled.len(), xs.len());
         }

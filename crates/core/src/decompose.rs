@@ -149,6 +149,23 @@ impl CompiledTwig {
         let bn = &self.subpaths[b].nodes;
         self.subpaths[a].nodes.iter().rev().find(|n| bn.contains(n)).copied()
     }
+
+    /// Rebinds this compiled cover onto `twig`, which must have exactly
+    /// the same shape — node indices, axes, tags, and value *presence*
+    /// (the contract a shape-keyed plan cache enforces). Only the
+    /// literal predicate values may differ; they are re-read from the
+    /// new twig, so one cached decomposition serves every query of the
+    /// shape (a parameterized plan, in relational terms).
+    pub fn rebind(&self, twig: &TwigPattern) -> CompiledTwig {
+        let mut out = self.clone();
+        out.twig = twig.clone();
+        for sp in &mut out.subpaths {
+            if sp.q.value.is_some() {
+                sp.q.value = twig.nodes[*sp.nodes.last().unwrap()].value.clone();
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 use crate::asr::AccessSupportRelations;
 use crate::dataguide::DataGuide;
 use crate::datapaths::{DataPaths, DataPathsOptions};
-use crate::decompose::{decompose, CompiledTwig};
+use crate::decompose::{decompose, CompiledTwig, UnknownTag};
 use crate::edge::EdgeTable;
 use crate::fabric::IndexFabric;
 use crate::family::{
@@ -27,7 +27,9 @@ use crate::joinindex::JoinIndices;
 use crate::paths::PathStats;
 use crate::plan::{choose_plan, JoinHow, PlanKind, ProbeSpec, QueryPlan};
 use crate::rootpaths::{RootPaths, RootPathsOptions};
+use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xtwig_storage::{BufferPool, IoStatsSnapshot};
@@ -74,6 +76,49 @@ impl Strategy {
             Strategy::IndexFabricEdge => "IF+Edge",
             Strategy::Asr => "ASR",
             Strategy::JoinIndex => "JI",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // pad() (not write_str) so callers' width/alignment flags work.
+        f.pad(self.label())
+    }
+}
+
+/// Error for [`Strategy::from_str`]: the string names no known strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError(pub String);
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy {:?} (expected one of RP, DP, Edge, DG+Edge, IF+Edge, ASR, JI)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl std::str::FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Parses the paper's reporting-order abbreviations (`RP`, `DP`,
+    /// `Edge`, `DG+Edge`, `IF+Edge`, `ASR`, `JI`) case-insensitively,
+    /// plus the long-form aliases the CLI historically accepted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_uppercase().as_str() {
+            "RP" | "ROOTPATHS" => Ok(Strategy::RootPaths),
+            "DP" | "DATAPATHS" => Ok(Strategy::DataPaths),
+            "EDGE" => Ok(Strategy::Edge),
+            "DG" | "DG+EDGE" | "DATAGUIDE" => Ok(Strategy::DataGuideEdge),
+            "IF" | "IF+EDGE" | "FABRIC" => Ok(Strategy::IndexFabricEdge),
+            "ASR" => Ok(Strategy::Asr),
+            "JI" | "JOININDEX" => Ok(Strategy::JoinIndex),
+            _ => Err(ParseStrategyError(s.to_owned())),
         }
     }
 }
@@ -138,9 +183,74 @@ pub struct QueryAnswer {
     pub metrics: QueryMetrics,
 }
 
+impl QueryAnswer {
+    /// The canonical answer for a twig that cannot match — e.g. it
+    /// names a tag absent from the data (§2.2) — with nothing executed
+    /// and all metrics zero.
+    pub fn empty() -> Self {
+        QueryAnswer {
+            ids: BTreeSet::new(),
+            plan: PlanKind::Merge,
+            metrics: QueryMetrics::default(),
+        }
+    }
+}
+
+/// Memo key: strategy, subpath pattern, interior-ids-needed flag.
+type MemoKey = (Strategy, PcSubpathQuery, bool);
+/// Memo value: shared matches plus the full-root-IdList flag.
+type MemoEntry = (Arc<Vec<PathMatch>>, bool);
+
+/// Memoized FreeIndex subpath lookups, shared across the queries of one
+/// batch (see [`QueryEngine::answer_batch`]). Keyed by `(strategy,
+/// pattern, interior-needed)` — different strategies return differently
+/// shaped matches (full IdLists vs. leaf-only), so entries never cross
+/// strategies.
+#[derive(Default)]
+pub struct ProbeMemo {
+    map: HashMap<MemoKey, MemoEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProbeMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        ProbeMemo::default()
+    }
+
+    /// Hit/miss counts so far.
+    pub fn stats(&self) -> ProbeMemoStats {
+        ProbeMemoStats { hits: self.hits, misses: self.misses }
+    }
+}
+
+/// Hit/miss statistics of a [`ProbeMemo`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeMemoStats {
+    /// Subpath lookups answered from the memo (index probes saved).
+    pub hits: u64,
+    /// Subpath lookups that went to the index.
+    pub misses: u64,
+}
+
 /// The engine owning all built index configurations for one forest.
-pub struct QueryEngine<'f> {
-    forest: &'f XmlForest,
+///
+/// Generic over how the forest is held: `QueryEngine<&XmlForest>`
+/// borrows it (the historical single-threaded shape), while
+/// `QueryEngine<Arc<XmlForest>>` — the default — owns a shared handle
+/// and is `Send + Sync`, so one engine can serve concurrent queries
+/// from many threads (`answer` takes `&self` throughout; see
+/// `xtwig-service`). The only `&mut self` surface is index maintenance
+/// ([`QueryEngine::rootpaths_mut`] / [`QueryEngine::datapaths_mut`]),
+/// which callers serialize with a lock.
+///
+/// Concurrency note on metrics: result sets are always exact, but the
+/// per-query `probes`/`logical_reads` attribution drains shared
+/// counters, so it is only exact when queries against the *same*
+/// strategy do not overlap in time.
+pub struct QueryEngine<F: Borrow<XmlForest> = Arc<XmlForest>> {
+    forest: F,
     stats: PathStats,
     rp: Option<(RootPaths, Arc<BufferPool>)>,
     dp: Option<(DataPaths, Arc<BufferPool>)>,
@@ -173,25 +283,27 @@ impl Row {
     }
 }
 
-impl<'f> QueryEngine<'f> {
+impl<F: Borrow<XmlForest>> QueryEngine<F> {
     /// Builds the selected index configurations over `forest`.
-    pub fn build(forest: &'f XmlForest, options: EngineOptions) -> Self {
+    pub fn build(forest: F, options: EngineOptions) -> Self {
+        let f: &XmlForest = forest.borrow();
         let want = |s: Strategy| options.strategies.contains(&s);
         let needs_edge = want(Strategy::Edge)
             || want(Strategy::DataGuideEdge)
             || want(Strategy::IndexFabricEdge)
             || want(Strategy::JoinIndex);
         let pool = || Arc::new(BufferPool::in_memory(options.pool_pages));
-        let stats = PathStats::build(forest);
-        let pruned_tags = options.head_filter_tags.as_ref().map(|names| {
-            names.iter().filter_map(|n| forest.dict().lookup(n)).collect::<HashSet<_>>()
-        });
+        let stats = PathStats::build(f);
+        let pruned_tags = options
+            .head_filter_tags
+            .as_ref()
+            .map(|names| names.iter().filter_map(|n| f.dict().lookup(n)).collect::<HashSet<_>>());
         let dp = want(Strategy::DataPaths).then(|| {
             let p = pool();
             let dp = match &pruned_tags {
-                None => DataPaths::build(forest, p.clone(), options.dp),
+                None => DataPaths::build(f, p.clone(), options.dp),
                 Some(tags) => DataPaths::build_filtered(
-                    forest,
+                    f,
                     p.clone(),
                     options.dp,
                     Some(&|_head, path_tags: &[TagId]| tags.contains(&path_tags[0])),
@@ -199,42 +311,74 @@ impl<'f> QueryEngine<'f> {
             };
             (dp, p)
         });
+        let rp = want(Strategy::RootPaths).then(|| {
+            let p = pool();
+            (RootPaths::build(f, p.clone(), options.rp), p)
+        });
+        let edge = needs_edge.then(|| {
+            let p = pool();
+            (EdgeTable::build(f, p.clone()), p)
+        });
+        let dg = want(Strategy::DataGuideEdge).then(|| {
+            let p = pool();
+            (DataGuide::build(f, p.clone()), p)
+        });
+        let fab = want(Strategy::IndexFabricEdge).then(|| {
+            let p = pool();
+            (IndexFabric::build(f, p.clone()), p)
+        });
+        let asr = want(Strategy::Asr).then(|| {
+            let p = pool();
+            (AccessSupportRelations::build(f, p.clone()), p)
+        });
+        let ji = want(Strategy::JoinIndex).then(|| {
+            let p = pool();
+            (JoinIndices::build(f, p.clone()), p)
+        });
         QueryEngine {
             forest,
             stats,
-            rp: want(Strategy::RootPaths).then(|| {
-                let p = pool();
-                (RootPaths::build(forest, p.clone(), options.rp), p)
-            }),
+            rp,
             dp,
             pruned_tags,
-            edge: needs_edge.then(|| {
-                let p = pool();
-                (EdgeTable::build(forest, p.clone()), p)
-            }),
-            dg: want(Strategy::DataGuideEdge).then(|| {
-                let p = pool();
-                (DataGuide::build(forest, p.clone()), p)
-            }),
-            fab: want(Strategy::IndexFabricEdge).then(|| {
-                let p = pool();
-                (IndexFabric::build(forest, p.clone()), p)
-            }),
-            asr: want(Strategy::Asr).then(|| {
-                let p = pool();
-                (AccessSupportRelations::build(forest, p.clone()), p)
-            }),
-            ji: want(Strategy::JoinIndex).then(|| {
-                let p = pool();
-                (JoinIndices::build(forest, p.clone()), p)
-            }),
+            edge,
+            dg,
+            fab,
+            asr,
+            ji,
             structural_ad_joins: options.structural_ad_joins,
         }
     }
 
     /// The forest under query.
     pub fn forest(&self) -> &XmlForest {
-        self.forest
+        self.forest.borrow()
+    }
+
+    /// True when `strategy`'s structures were built (querying an
+    /// unbuilt strategy panics; services check this up front).
+    pub fn has_strategy(&self, strategy: Strategy) -> bool {
+        match strategy {
+            Strategy::RootPaths => self.rp.is_some(),
+            Strategy::DataPaths => self.dp.is_some(),
+            Strategy::Edge => self.edge.is_some(),
+            Strategy::DataGuideEdge => self.dg.is_some() && self.edge.is_some(),
+            Strategy::IndexFabricEdge => self.fab.is_some() && self.edge.is_some(),
+            Strategy::Asr => self.asr.is_some(),
+            Strategy::JoinIndex => self.ji.is_some() && self.edge.is_some(),
+        }
+    }
+
+    /// Mutable access to ROOTPATHS for the §7 maintenance path. Callers
+    /// holding the engine behind a lock (see `xtwig-service`) must
+    /// invalidate any cached results after mutating.
+    pub fn rootpaths_mut(&mut self) -> Option<&mut RootPaths> {
+        self.rp.as_mut().map(|(i, _)| i)
+    }
+
+    /// Mutable access to DATAPATHS; see [`QueryEngine::rootpaths_mut`].
+    pub fn datapaths_mut(&mut self) -> Option<&mut DataPaths> {
+        self.dp.as_mut().map(|(i, _)| i)
     }
 
     /// Path statistics (selectivity estimates).
@@ -387,10 +531,18 @@ impl<'f> QueryEngine<'f> {
         probes
     }
 
+    /// Compiles and plans a twig in one step: the decompose/choose_plan
+    /// front half of [`QueryEngine::answer`], exposed so plan caches
+    /// (see `xtwig-service`) can skip it on repeated twig shapes.
+    pub fn compile(&self, twig: &TwigPattern) -> Result<(CompiledTwig, QueryPlan), UnknownTag> {
+        let compiled = decompose(twig, self.forest().dict())?;
+        let plan = choose_plan(&compiled, &self.stats, self.forest().dict());
+        Ok((compiled, plan))
+    }
+
     /// Compiles and plans a twig (exposed for the harness' plan reports).
     pub fn plan(&self, twig: &TwigPattern) -> Option<QueryPlan> {
-        let compiled = decompose(twig, self.forest.dict()).ok()?;
-        Some(choose_plan(&compiled, &self.stats, self.forest.dict()))
+        self.compile(twig).ok().map(|(_, p)| p)
     }
 
     /// Answers `twig` with `strategy`.
@@ -398,26 +550,47 @@ impl<'f> QueryEngine<'f> {
     /// # Panics
     /// Panics if the strategy's structures were not built.
     pub fn answer(&self, twig: &TwigPattern, strategy: Strategy) -> QueryAnswer {
+        match self.compile(twig) {
+            // Unknown tag: the result is necessarily empty (§2.2).
+            Err(_) => QueryAnswer::empty(),
+            Ok((compiled, plan)) => self.answer_compiled(&compiled, &plan, strategy),
+        }
+    }
+
+    /// Answers an already-compiled twig — the execution back half of
+    /// [`QueryEngine::answer`], taking the plan from a cache.
+    pub fn answer_compiled(
+        &self,
+        compiled: &CompiledTwig,
+        plan: &QueryPlan,
+        strategy: Strategy,
+    ) -> QueryAnswer {
+        self.answer_compiled_with(compiled, plan, strategy, None)
+    }
+
+    /// [`QueryEngine::answer_compiled`] with an optional cross-query
+    /// [`ProbeMemo`]: structurally identical FreeIndex subpath lookups
+    /// within one batch are issued once and their matches reused.
+    pub fn answer_compiled_with(
+        &self,
+        compiled: &CompiledTwig,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        memo: Option<&mut ProbeMemo>,
+    ) -> QueryAnswer {
         let before = self.snapshot(strategy);
         self.drain_baseline_counters(strategy);
         let start = Instant::now();
         let mut probes = 0u64;
         let mut rows_fetched = 0u64;
-        let (ids, plan_kind) = match decompose(twig, self.forest.dict()) {
-            Err(_) => (BTreeSet::new(), PlanKind::Merge),
-            Ok(compiled) => {
-                let plan = choose_plan(&compiled, &self.stats, self.forest.dict());
-                let ids = self.execute(&compiled, &plan, strategy, &mut probes, &mut rows_fetched);
-                (ids, plan.kind)
-            }
-        };
+        let ids = self.execute(compiled, plan, strategy, &mut probes, &mut rows_fetched, memo);
         let elapsed = start.elapsed();
         probes += self.drain_baseline_counters(strategy);
         let after = self.snapshot(strategy);
         let delta = after.since(&before);
         QueryAnswer {
             ids,
-            plan: plan_kind,
+            plan: plan.kind,
             metrics: QueryMetrics {
                 probes,
                 rows_fetched,
@@ -426,6 +599,28 @@ impl<'f> QueryEngine<'f> {
                 elapsed,
             },
         }
+    }
+
+    /// Answers a batch of twigs against one strategy, deduplicating
+    /// FreeIndex probes across the batch: queries sharing a PCsubpath
+    /// (same tags/anchoring/value) hit the index once. Returns the
+    /// per-query answers plus the memo's hit/miss statistics.
+    pub fn answer_batch(
+        &self,
+        twigs: &[TwigPattern],
+        strategy: Strategy,
+    ) -> (Vec<QueryAnswer>, ProbeMemoStats) {
+        let mut memo = ProbeMemo::new();
+        let answers = twigs
+            .iter()
+            .map(|t| match self.compile(t) {
+                Err(_) => QueryAnswer::empty(),
+                Ok((compiled, plan)) => {
+                    self.answer_compiled_with(&compiled, &plan, strategy, Some(&mut memo))
+                }
+            })
+            .collect();
+        (answers, memo.stats())
     }
 
     /// Twig nodes whose ids the execution actually consumes: the output
@@ -465,6 +660,7 @@ impl<'f> QueryEngine<'f> {
         strategy: Strategy,
         probes: &mut u64,
         rows_fetched: &mut u64,
+        mut memo: Option<&mut ProbeMemo>,
     ) -> BTreeSet<u64> {
         let n = compiled.twig.len();
         let use_inlj = plan.kind == PlanKind::IndexNestedLoop
@@ -478,9 +674,15 @@ impl<'f> QueryEngine<'f> {
         for (i, step) in plan.steps.iter().enumerate() {
             let sp = &compiled.subpaths[step.subpath];
             if i == 0 {
-                let (matches, full) = self.eval_free(strategy, &sp.q, interior_needed(sp), probes);
+                let (matches, full) = self.eval_free_memo(
+                    strategy,
+                    &sp.q,
+                    interior_needed(sp),
+                    probes,
+                    memo.as_deref_mut(),
+                );
                 *rows_fetched += matches.len() as u64;
-                rows = self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, matches, full);
+                rows = self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, &matches, full);
             } else {
                 if rows.is_empty() {
                     return BTreeSet::new();
@@ -502,11 +704,16 @@ impl<'f> QueryEngine<'f> {
                     let probe = step.probe.as_ref().unwrap();
                     rows = self.inlj_extend(compiled, rows, probe, semi, probes, rows_fetched);
                 } else {
-                    let (matches, full) =
-                        self.eval_free(strategy, &sp.q, interior_needed(sp), probes);
+                    let (matches, full) = self.eval_free_memo(
+                        strategy,
+                        &sp.q,
+                        interior_needed(sp),
+                        probes,
+                        memo.as_deref_mut(),
+                    );
                     *rows_fetched += matches.len() as u64;
                     let new_rows =
-                        self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, matches, full);
+                        self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, &matches, full);
                     rows = self.join(rows, new_rows, join, semi, probes);
                 }
             }
@@ -588,11 +795,38 @@ impl<'f> QueryEngine<'f> {
         match &self.pruned_tags {
             None => true,
             Some(tags) => self
-                .forest
+                .forest()
                 .dict()
                 .lookup(&compiled.twig.nodes[probe.anchor].tag)
                 .is_some_and(|t| tags.contains(&t)),
         }
+    }
+
+    /// [`QueryEngine::eval_free`] behind the batch memo: a hit returns
+    /// the shared match vector without touching any index (and without
+    /// charging probes — that is the point of deduplication).
+    fn eval_free_memo(
+        &self,
+        strategy: Strategy,
+        q: &PcSubpathQuery,
+        interior: bool,
+        probes: &mut u64,
+        memo: Option<&mut ProbeMemo>,
+    ) -> (Arc<Vec<PathMatch>>, bool) {
+        let Some(memo) = memo else {
+            let (matches, full) = self.eval_free(strategy, q, interior, probes);
+            return (Arc::new(matches), full);
+        };
+        let key = (strategy, q.clone(), interior);
+        if let Some((matches, full)) = memo.map.get(&key) {
+            memo.hits += 1;
+            return (matches.clone(), *full);
+        }
+        let (matches, full) = self.eval_free(strategy, q, interior, probes);
+        let matches = Arc::new(matches);
+        memo.misses += 1;
+        memo.map.insert(key, (matches.clone(), full));
+        (matches, full)
     }
 
     /// Evaluates one PCsubpath with the strategy's probe pattern.
@@ -743,7 +977,7 @@ impl<'f> QueryEngine<'f> {
         n: usize,
         nodes: &[usize],
         q: &PcSubpathQuery,
-        matches: Vec<PathMatch>,
+        matches: &[PathMatch],
         full_root: bool,
     ) -> Vec<Row> {
         let k = nodes.len();
@@ -757,7 +991,7 @@ impl<'f> QueryEngine<'f> {
             let nodes = &nodes[k - bound..];
             if let Some(v) = recheck {
                 let leaf = NodeId(*tail.last().unwrap());
-                if self.forest.value_str(leaf) != Some(v) {
+                if self.forest().value_str(leaf) != Some(v) {
                     continue;
                 }
             }
@@ -788,7 +1022,7 @@ impl<'f> QueryEngine<'f> {
         }
         // Base-data fallback: one lookup per ancestor step, equivalent in
         // cost to the backward-link walk.
-        let mut path = self.forest.root_path_ids(NodeId(id));
+        let mut path = self.forest().root_path_ids(NodeId(id));
         path.pop(); // drop the node itself
         *probes += path.len() as u64;
         path.reverse();
@@ -932,7 +1166,7 @@ impl<'f> QueryEngine<'f> {
     ) -> Vec<Row> {
         let upper_ids: Vec<u64> = upper_rows.iter().map(|r| r.bind[upper]).collect();
         let lower_ids: Vec<u64> = lower_rows.iter().map(|r| r.bind[seg_root]).collect();
-        let pairs = crate::stitch::containment_join(self.forest, &upper_ids, &lower_ids);
+        let pairs = crate::stitch::containment_join(self.forest(), &upper_ids, &lower_ids);
         let mut by_upper: HashMap<u64, Vec<&Row>> = HashMap::new();
         for r in &upper_rows {
             by_upper.entry(r.bind[upper]).or_default().push(r);
@@ -968,7 +1202,7 @@ impl<'f> QueryEngine<'f> {
     ) -> Vec<Row> {
         let (dp, _) = self.dp.as_ref().expect("INLJ requires DATAPATHS");
         let anchor_tag = self
-            .forest
+            .forest()
             .dict()
             .lookup(&compiled.twig.nodes[probe.anchor].tag)
             .expect("anchor tag resolved during decompose");
@@ -988,7 +1222,7 @@ impl<'f> QueryEngine<'f> {
                 // the (rare) long-value recheck.
                 let hit = matches.iter().any(|m| match recheck {
                     None => true,
-                    Some(v) => self.forest.value_str(NodeId(*m.ids.last().unwrap())) == Some(v),
+                    Some(v) => self.forest().value_str(NodeId(*m.ids.last().unwrap())) == Some(v),
                 });
                 if hit {
                     out.extend(group);
@@ -999,7 +1233,7 @@ impl<'f> QueryEngine<'f> {
                 let k = probe.step_nodes.len();
                 let tail = &m.ids[m.ids.len() - k..];
                 if let Some(v) = recheck {
-                    if self.forest.value_str(NodeId(*tail.last().unwrap())) != Some(v) {
+                    if self.forest().value_str(NodeId(*tail.last().unwrap())) != Some(v) {
                         continue;
                     }
                 }
@@ -1048,11 +1282,11 @@ mod tests {
     use xtwig_xml::naive;
     use xtwig_xml::tree::fig1_book_document;
 
-    fn engine(forest: &XmlForest) -> QueryEngine<'_> {
+    fn engine(forest: &XmlForest) -> QueryEngine<&XmlForest> {
         QueryEngine::build(forest, EngineOptions { pool_pages: 1024, ..Default::default() })
     }
 
-    fn check_all_strategies(engine: &QueryEngine<'_>, xpath: &str) {
+    fn check_all_strategies(engine: &QueryEngine<&XmlForest>, xpath: &str) {
         let twig = parse_xpath(xpath).unwrap();
         let expected: BTreeSet<u64> =
             naive::select(engine.forest(), &twig).into_iter().map(|n| n.0).collect();
@@ -1199,6 +1433,92 @@ mod tests {
         let expected: BTreeSet<u64> = naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
         let got = e.answer(&twig, Strategy::DataPaths);
         assert_eq!(got.ids, expected);
+    }
+
+    #[test]
+    fn shared_engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryEngine<Arc<XmlForest>>>();
+        assert_send_sync::<QueryAnswer>();
+    }
+
+    #[test]
+    fn strategy_display_fromstr_roundtrip() {
+        for s in Strategy::ALL {
+            assert_eq!(s.to_string(), s.label());
+            assert_eq!(s.label().parse::<Strategy>(), Ok(s));
+            assert_eq!(s.label().to_lowercase().parse::<Strategy>(), Ok(s));
+        }
+        assert_eq!("ROOTPATHS".parse::<Strategy>(), Ok(Strategy::RootPaths));
+        assert_eq!("dataguide".parse::<Strategy>(), Ok(Strategy::DataGuideEdge));
+        assert!("nope".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn arc_owned_engine_answers_like_borrowed() {
+        let f = Arc::new(fig1_book_document());
+        let e: QueryEngine =
+            QueryEngine::build(f.clone(), EngineOptions { pool_pages: 1024, ..Default::default() });
+        let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+        let expected: BTreeSet<u64> = naive::select(&f, &twig).into_iter().map(|n| n.0).collect();
+        for s in Strategy::ALL {
+            assert!(e.has_strategy(s));
+            assert_eq!(e.answer(&twig, s).ids, expected, "{s}");
+        }
+    }
+
+    #[test]
+    fn compile_then_answer_compiled_matches_answer() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        let twig = parse_xpath("//author[fn = 'jane']/ln").unwrap();
+        let (compiled, plan) = e.compile(&twig).unwrap();
+        let direct = e.answer(&twig, Strategy::RootPaths);
+        let precompiled = e.answer_compiled(&compiled, &plan, Strategy::RootPaths);
+        assert_eq!(direct.ids, precompiled.ids);
+        assert_eq!(direct.plan, precompiled.plan);
+    }
+
+    #[test]
+    fn batch_dedupes_shared_subpath_probes() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        let twigs: Vec<TwigPattern> = [
+            "//author[fn = 'jane']/ln",
+            "//author[fn = 'jane']/ln", // identical: every subpath memoized
+            "//author[fn = 'jane']",    // shares the fn='jane' subpath
+        ]
+        .iter()
+        .map(|q| parse_xpath(q).unwrap())
+        .collect();
+        let (answers, stats) = e.answer_batch(&twigs, Strategy::RootPaths);
+        assert_eq!(answers.len(), 3);
+        for (t, a) in twigs.iter().zip(&answers) {
+            let expected: BTreeSet<u64> = naive::select(&f, t).into_iter().map(|n| n.0).collect();
+            assert_eq!(a.ids, expected, "{t}");
+        }
+        assert!(stats.hits >= 3, "duplicate subpaths must hit the memo: {stats:?}");
+        // Memo hits issue no probes: the duplicate query is free.
+        assert_eq!(answers[1].metrics.probes, 0);
+    }
+
+    #[test]
+    fn batch_agrees_across_all_strategies() {
+        let f = fig1_book_document();
+        let e = engine(&f);
+        let twigs: Vec<TwigPattern> =
+            ["/book[title = 'XML']/year", "/book[title = 'XML']//section/head", "//section/head"]
+                .iter()
+                .map(|q| parse_xpath(q).unwrap())
+                .collect();
+        for s in Strategy::ALL {
+            let (answers, _) = e.answer_batch(&twigs, s);
+            for (t, a) in twigs.iter().zip(&answers) {
+                let expected: BTreeSet<u64> =
+                    naive::select(&f, t).into_iter().map(|n| n.0).collect();
+                assert_eq!(a.ids, expected, "{s} on {t}");
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub mod rootpaths;
 pub mod stitch;
 pub mod xpath;
 
-pub use engine::{QueryAnswer, QueryEngine, Strategy};
+pub use engine::{
+    ParseStrategyError, ProbeMemo, ProbeMemoStats, QueryAnswer, QueryEngine, QueryMetrics, Strategy,
+};
 pub use family::{BoundIndex, FamilyPosition, FreeIndex, PathIndex, PathMatch, PcSubpathQuery};
 pub use xpath::parse_xpath;

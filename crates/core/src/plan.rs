@@ -93,6 +93,23 @@ pub struct QueryPlan {
     pub inlj_cost: u64,
 }
 
+impl QueryPlan {
+    /// Rebinds the probe-pattern literals after [`CompiledTwig::rebind`]
+    /// re-read predicate values from a new twig of the same shape. The
+    /// step order and merge-vs-INLJ choice are kept from the originally
+    /// planned literals (parameterized-plan semantics: the first query
+    /// of a shape decides the plan for the shape).
+    pub fn rebind(&self, compiled: &CompiledTwig) -> QueryPlan {
+        let mut out = self.clone();
+        for step in &mut out.steps {
+            if let Some(probe) = &mut step.probe {
+                probe.pattern.value = compiled.subpaths[step.subpath].q.value.clone();
+            }
+        }
+        out
+    }
+}
+
 /// Builds a plan for `compiled` using `stats`.
 pub fn choose_plan(compiled: &CompiledTwig, stats: &PathStats, dict: &TagDict) -> QueryPlan {
     let n = compiled.subpaths.len();

@@ -1,0 +1,386 @@
+//! Plan and result caches for the query service.
+//!
+//! Both caches are internally synchronized (one short-held mutex each)
+//! so workers use them through `&self` while holding the engine's read
+//! lock; neither ever calls back into the engine while locked, so lock
+//! order is trivially acyclic.
+
+use crate::shape::shape_key;
+use parking_lot::Mutex;
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xtwig_core::decompose::{CompiledTwig, UnknownTag};
+use xtwig_core::plan::{PlanKind, QueryPlan};
+use xtwig_core::{QueryEngine, Strategy};
+use xtwig_xml::{TwigPattern, XmlForest};
+
+/// Hit/miss counters shared by both caches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through.
+    pub misses: u64,
+    /// Entries discarded because their generation went stale (result
+    /// cache only).
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in [0, 1]; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Shape-keyed cache of `(CompiledTwig, QueryPlan)` pairs.
+///
+/// A hit skips `decompose`/`choose_plan` entirely: the cached cover is
+/// rebound onto the incoming twig (literals re-read, structure reused).
+/// The plan itself is the one chosen for the first-seen literals —
+/// parameterized-plan semantics, like a relational engine's statement
+/// cache. Plans never go stale under the §7 updates path (decomposition
+/// depends on the tag dictionary, not the data), so there is no
+/// generation here. Capacity overflow evicts the oldest-inserted shape
+/// (FIFO — misses only cost a recompile, so recency tracking on the
+/// hit path isn't worth its bookkeeping).
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: bool,
+    capacity: usize,
+}
+
+struct PlanCacheInner {
+    map: HashMap<String, Arc<(CompiledTwig, QueryPlan)>>,
+    /// Insertion order, oldest first (FIFO eviction).
+    order: VecDeque<String>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` shapes; disabled when
+    /// `enabled` is false (every compile goes to the engine).
+    pub fn new(enabled: bool, capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner { map: HashMap::new(), order: VecDeque::new() }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Compiles `twig` through the cache.
+    pub fn compile<F: Borrow<XmlForest>>(
+        &self,
+        engine: &QueryEngine<F>,
+        twig: &TwigPattern,
+    ) -> Result<(CompiledTwig, QueryPlan), UnknownTag> {
+        if !self.enabled {
+            return engine.compile(twig);
+        }
+        let key = shape_key(twig);
+        let cached = self.inner.lock().map.get(&key).cloned();
+        if let Some(entry) = cached {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let compiled = entry.0.rebind(twig);
+            let plan = entry.1.rebind(&compiled);
+            return Ok((compiled, plan));
+        }
+        let (compiled, plan) = engine.compile(twig)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if !inner.map.contains_key(&key) {
+            inner.map.insert(key.clone(), Arc::new((compiled.clone(), plan.clone())));
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                let victim = inner.order.pop_front().expect("order tracks every entry");
+                inner.map.remove(&victim);
+            }
+        }
+        Ok((compiled, plan))
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: 0,
+        }
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when no shape is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// One cached answer.
+struct CachedResult {
+    ids: Arc<BTreeSet<u64>>,
+    plan: PlanKind,
+    /// Index generation the answer was computed under (read *before*
+    /// execution, so an update racing with the computation stales it).
+    generation: u64,
+    /// Recency stamp; also the entry's key in the LRU order map.
+    stamp: u64,
+}
+
+/// LRU cache of exact-query answers with generation-based invalidation.
+///
+/// An entry is valid only while the service generation equals the one
+/// captured before computing it; [`crate::TwigService::apply_update`]
+/// bumps the generation, which lazily evicts every older entry on its
+/// next lookup. Recency is a `BTreeMap<stamp, key>` alongside the entry
+/// map: touch = move to a fresh stamp, evict = pop the smallest stamp.
+pub struct ResultCache {
+    inner: Mutex<ResultCacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+    capacity: usize,
+}
+
+struct ResultCacheInner {
+    map: HashMap<(String, Strategy), CachedResult>,
+    lru: BTreeMap<u64, (String, Strategy)>,
+    clock: u64,
+}
+
+impl ResultCache {
+    /// A cache of at most `capacity` answers; 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(ResultCacheInner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Looks up an answer valid at `generation`; touches it on hit.
+    pub fn get(
+        &self,
+        key: &str,
+        strategy: Strategy,
+        generation: u64,
+    ) -> Option<(Arc<BTreeSet<u64>>, PlanKind)> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        let full_key = (key.to_owned(), strategy);
+        match inner.map.get(&full_key) {
+            Some(entry) if entry.generation == generation => {
+                let (ids, plan, old_stamp) = (entry.ids.clone(), entry.plan, entry.stamp);
+                inner.clock += 1;
+                let stamp = inner.clock;
+                inner.lru.remove(&old_stamp);
+                inner.lru.insert(stamp, full_key.clone());
+                inner.map.get_mut(&full_key).expect("entry present").stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((ids, plan))
+            }
+            Some(_) => {
+                // Stale generation: drop the entry now rather than at
+                // eviction time.
+                let entry = inner.map.remove(&full_key).expect("entry present");
+                inner.lru.remove(&entry.stamp);
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an answer computed under `generation`, evicting the
+    /// least-recently-used entries beyond capacity.
+    pub fn insert(
+        &self,
+        key: String,
+        strategy: Strategy,
+        ids: Arc<BTreeSet<u64>>,
+        plan: PlanKind,
+        generation: u64,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let full_key = (key, strategy);
+        if let Some(old) =
+            inner.map.insert(full_key.clone(), CachedResult { ids, plan, generation, stamp })
+        {
+            inner.lru.remove(&old.stamp);
+        }
+        inner.lru.insert(stamp, full_key);
+        while inner.map.len() > self.capacity {
+            let (_, victim) = inner.lru.pop_first().expect("lru tracks every entry");
+            inner.map.remove(&victim);
+        }
+    }
+
+    /// Hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live entries (stale ones included until touched).
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_core::engine::EngineOptions;
+    use xtwig_core::parse_xpath;
+    use xtwig_xml::tree::fig1_book_document;
+
+    fn ids(v: &[u64]) -> Arc<BTreeSet<u64>> {
+        Arc::new(v.iter().copied().collect())
+    }
+
+    #[test]
+    fn plan_cache_hits_on_shape_and_rebinds_literals() {
+        let f = fig1_book_document();
+        let engine =
+            QueryEngine::build(&f, EngineOptions { pool_pages: 256, ..Default::default() });
+        let cache = PlanCache::new(true, 64);
+        let a = parse_xpath("//author[fn='jane']/ln").unwrap();
+        let b = parse_xpath("//author[fn='john']/ln").unwrap();
+        let (ca, _) = cache.compile(&engine, &a).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        let (cb, pb) = cache.compile(&engine, &b).unwrap();
+        assert_eq!(cache.stats().hits, 1, "same shape must hit");
+        // The rebind carried the new literal into the cover and plan.
+        let valued: Vec<_> = cb.subpaths.iter().filter_map(|sp| sp.q.value.as_deref()).collect();
+        assert_eq!(valued, vec!["john"]);
+        assert_eq!(ca.subpaths.len(), cb.subpaths.len());
+        for step in &pb.steps {
+            if let Some(probe) = &step.probe {
+                if let Some(v) = &probe.pattern.value {
+                    assert_eq!(v, "john");
+                }
+            }
+        }
+        // Execution through the rebound pair matches direct answering.
+        let direct = engine.answer(&b, Strategy::RootPaths);
+        let rebound = engine.answer_compiled(&cb, &pb, Strategy::RootPaths);
+        assert_eq!(direct.ids, rebound.ids);
+    }
+
+    #[test]
+    fn plan_cache_evicts_oldest_shape_beyond_capacity() {
+        let f = fig1_book_document();
+        let engine =
+            QueryEngine::build(&f, EngineOptions { pool_pages: 256, ..Default::default() });
+        let cache = PlanCache::new(true, 2);
+        for q in ["/book/title", "/book/year", "//author/fn"] {
+            cache.compile(&engine, &parse_xpath(q).unwrap()).unwrap();
+        }
+        assert_eq!(cache.len(), 2, "capacity enforced by eviction, not by refusal");
+        // The newest shape must be cached (FIFO evicted the oldest).
+        cache.compile(&engine, &parse_xpath("//author/fn").unwrap()).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        // The evicted oldest shape recompiles — and is re-admitted.
+        cache.compile(&engine, &parse_xpath("/book/title").unwrap()).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn disabled_plan_cache_always_misses_through_to_engine() {
+        let f = fig1_book_document();
+        let engine =
+            QueryEngine::build(&f, EngineOptions { pool_pages: 256, ..Default::default() });
+        let cache = PlanCache::new(false, 64);
+        let a = parse_xpath("//author/fn").unwrap();
+        cache.compile(&engine, &a).unwrap();
+        cache.compile(&engine, &a).unwrap();
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn result_cache_lru_evicts_oldest_untouched() {
+        let cache = ResultCache::new(2);
+        cache.insert("a".into(), Strategy::RootPaths, ids(&[1]), PlanKind::Merge, 0);
+        cache.insert("b".into(), Strategy::RootPaths, ids(&[2]), PlanKind::Merge, 0);
+        // Touch "a" so "b" is LRU, then overflow.
+        assert!(cache.get("a", Strategy::RootPaths, 0).is_some());
+        cache.insert("c".into(), Strategy::RootPaths, ids(&[3]), PlanKind::Merge, 0);
+        assert!(cache.get("b", Strategy::RootPaths, 0).is_none(), "b evicted");
+        assert!(cache.get("a", Strategy::RootPaths, 0).is_some());
+        assert!(cache.get("c", Strategy::RootPaths, 0).is_some());
+    }
+
+    #[test]
+    fn result_cache_generation_invalidates() {
+        let cache = ResultCache::new(8);
+        cache.insert("q".into(), Strategy::DataPaths, ids(&[7]), PlanKind::Merge, 0);
+        assert!(cache.get("q", Strategy::DataPaths, 0).is_some());
+        assert!(cache.get("q", Strategy::DataPaths, 1).is_none(), "stale generation");
+        assert_eq!(cache.stats().invalidated, 1);
+        assert_eq!(cache.len(), 0, "stale entry dropped eagerly");
+    }
+
+    #[test]
+    fn result_cache_keys_include_strategy() {
+        let cache = ResultCache::new(8);
+        cache.insert("q".into(), Strategy::RootPaths, ids(&[1]), PlanKind::Merge, 0);
+        assert!(cache.get("q", Strategy::Edge, 0).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_result_cache() {
+        let cache = ResultCache::new(0);
+        cache.insert("q".into(), Strategy::RootPaths, ids(&[1]), PlanKind::Merge, 0);
+        assert!(cache.get("q", Strategy::RootPaths, 0).is_none());
+        assert!(cache.is_empty());
+    }
+}

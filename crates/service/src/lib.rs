@@ -1,0 +1,60 @@
+//! # xtwig-service — a concurrent twig query service
+//!
+//! The paper evaluates ROOTPATHS/DATAPATHS one query at a time inside a
+//! relational engine; this crate is the serving layer a production
+//! deployment puts in front of those indexes. A [`TwigService`] owns a
+//! shared [`QueryEngine`](xtwig_core::QueryEngine) (over an
+//! `Arc<XmlForest>`, so the engine is `Send + Sync`) and answers many
+//! concurrent twig queries through a fixed worker pool:
+//!
+//! * **Submission API** — [`TwigService::submit`] enqueues a query and
+//!   returns a [`Ticket`]; workers resolve tickets as they drain the
+//!   queue. Per-query deadlines reject work that waited too long, and
+//!   [`TwigService::shutdown`] drains the queue then joins the workers.
+//! * **Plan cache** — keyed by canonicalized twig *shape* (tags, axes,
+//!   value-predicate structure, output node), so repeated shapes skip
+//!   `decompose`/`choose_plan` and differ only in the literals rebound
+//!   into the cached cover (parameterized-plan semantics; the shape
+//!   reuse argument follows the tree-pattern survey literature).
+//! * **Result cache** — an LRU over exact queries with generation-based
+//!   invalidation: [`TwigService::apply_update`] runs an index
+//!   maintenance closure under the engine write lock and bumps the
+//!   generation, atomically staling every cached result.
+//! * **Batched execution** — [`TwigService::submit_batch`] evaluates a
+//!   group of queries with a shared probe memo, so queries sharing a
+//!   PCsubpath (same tags/anchoring/value) hit the indexes once.
+//! * **Stats** — [`TwigService::stats`] snapshots cache hit rates,
+//!   queue depth, and per-strategy latency histograms, and renders them
+//!   as JSON for the bench harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xtwig_service::{ServiceOptions, TwigService};
+//! use xtwig_core::{parse_xpath, Strategy};
+//! use xtwig_core::engine::EngineOptions;
+//! use xtwig_xml::tree::fig1_book_document;
+//!
+//! let service = TwigService::build(
+//!     fig1_book_document(),
+//!     EngineOptions { pool_pages: 256, ..Default::default() },
+//!     ServiceOptions { workers: 4, ..Default::default() },
+//! );
+//! let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+//! let ticket = service.submit(&twig, Strategy::RootPaths).unwrap();
+//! let answer = ticket.wait().unwrap();
+//! assert_eq!(answer.ids.len(), 1);
+//! service.shutdown();
+//! ```
+
+pub mod cache;
+pub mod service;
+pub mod shape;
+pub mod stats;
+
+pub use cache::{CacheStats, PlanCache, ResultCache};
+pub use service::{
+    BatchTicket, ServiceAnswer, ServiceError, ServiceOptions, SharedEngine, Ticket, TwigService,
+};
+pub use shape::{exact_key, shape_key};
+pub use stats::{LatencySnapshot, ServiceSnapshot, ServiceStats};

@@ -1,0 +1,732 @@
+//! The concurrent query service: submission API, worker pool, deadlines,
+//! graceful shutdown, and the update path that invalidates cached
+//! results.
+//!
+//! Threading model: `submit*` clones the query into a [`Job`] and sends
+//! it down an MPSC channel; `workers` std threads share the receiver
+//! behind a mutex (at most one worker blocks in `recv` at a time — the
+//! others queue briefly on the mutex, which is the textbook shared-
+//! consumer pattern over `std::sync::mpsc`). Each job carries a
+//! [`Ticket`] slot (mutex + condvar) the submitter waits on. Workers
+//! answer queries under the engine's **read** lock, so queries run
+//! genuinely in parallel; [`TwigService::apply_update`] takes the
+//! **write** lock, mutates the indexes, and bumps the invalidation
+//! generation before releasing it.
+
+use crate::cache::{PlanCache, ResultCache};
+use crate::shape::exact_key;
+use crate::stats::{ServiceSnapshot, ServiceStats};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xtwig_core::engine::{EngineOptions, ProbeMemo, QueryMetrics};
+use xtwig_core::plan::PlanKind;
+use xtwig_core::{QueryEngine, Strategy};
+use xtwig_xml::{TwigPattern, XmlForest};
+
+/// The engine type a service shares across worker threads.
+pub type SharedEngine = QueryEngine<Arc<XmlForest>>;
+
+/// Why a submission or wait failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The requested strategy's structures were not built.
+    StrategyNotBuilt(Strategy),
+    /// The query was still queued when its deadline passed.
+    DeadlineExceeded,
+    /// The job was dropped without an answer (worker panic or teardown).
+    Canceled,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::StrategyNotBuilt(s) => write!(f, "strategy {s} was not built"),
+            ServiceError::DeadlineExceeded => write!(f, "query deadline exceeded while queued"),
+            ServiceError::Canceled => write!(f, "query canceled without an answer"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Service construction options.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Worker threads (minimum 1; default 4).
+    pub workers: usize,
+    /// Enable the shape-keyed plan cache (default true).
+    pub plan_cache: bool,
+    /// Distinct shapes the plan cache may hold (default 4096).
+    pub plan_cache_capacity: usize,
+    /// Result-cache entries; 0 disables result caching (default 1024).
+    pub result_cache_capacity: usize,
+    /// Deadline applied to submissions that don't carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            workers: 4,
+            plan_cache: true,
+            plan_cache_capacity: 4096,
+            result_cache_capacity: 1024,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct ServiceAnswer {
+    /// Distinct ids bound to the twig's output node (shared: cache hits
+    /// hand out the same allocation).
+    pub ids: Arc<BTreeSet<u64>>,
+    /// The plan kind that ran (or originally ran, for cache hits).
+    pub plan: PlanKind,
+    /// Strategy that answered.
+    pub strategy: Strategy,
+    /// True when served from the result cache.
+    pub from_cache: bool,
+    /// Execution metrics; zeroed for cache hits (no index work done).
+    pub metrics: QueryMetrics,
+}
+
+// ---------------------------------------------------------------------------
+// Tickets
+// ---------------------------------------------------------------------------
+
+type JobResult = Result<Vec<ServiceAnswer>, ServiceError>;
+
+struct Slot {
+    state: StdMutex<Option<JobResult>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot { state: StdMutex::new(None), cv: Condvar::new() })
+    }
+
+    /// First resolution wins; later calls (e.g. the cancel-on-drop
+    /// guard after a normal resolve) are no-ops.
+    fn resolve(&self, result: JobResult) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.is_none() {
+            *state = Some(result);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> JobResult {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Slot::wait`] but gives up after `timeout`, leaving the
+    /// slot intact (a later wait can still take the result).
+    fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = state.take() {
+                return Some(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _) =
+                self.cv.wait_timeout(state, deadline - now).unwrap_or_else(|e| e.into_inner());
+            state = s;
+        }
+    }
+}
+
+/// Handle to one in-flight query.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the worker resolves the query.
+    pub fn wait(self) -> Result<ServiceAnswer, ServiceError> {
+        self.slot.wait().map(|mut answers| answers.pop().expect("single job has one answer"))
+    }
+
+    /// Waits at most `timeout` for the answer; `None` leaves the ticket
+    /// usable for a later `wait`/`wait_timeout`. This is the caller-side
+    /// bound — the submission deadline only rejects work still *queued*
+    /// when it expires, it cannot preempt an executing worker.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServiceAnswer, ServiceError>> {
+        self.slot
+            .wait_timeout(timeout)
+            .map(|r| r.map(|mut answers| answers.pop().expect("single job has one answer")))
+    }
+}
+
+/// Handle to one in-flight batch.
+pub struct BatchTicket {
+    slot: Arc<Slot>,
+}
+
+impl BatchTicket {
+    /// Blocks until the worker resolves the batch; answers are in
+    /// submission order.
+    pub fn wait(self) -> Result<Vec<ServiceAnswer>, ServiceError> {
+        self.slot.wait()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs and workers
+// ---------------------------------------------------------------------------
+
+enum JobKind {
+    Single(TwigPattern, Strategy),
+    Batch(Vec<TwigPattern>, Strategy),
+}
+
+struct Job {
+    kind: JobKind,
+    deadline: Option<Instant>,
+    slot: Arc<Slot>,
+}
+
+impl JobKind {
+    /// Queries this job carries (stats count queries, not jobs).
+    fn query_count(&self) -> u64 {
+        match self {
+            JobKind::Single(..) => 1,
+            JobKind::Batch(twigs, _) => twigs.len() as u64,
+        }
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        // Covers worker panics and teardown paths: a job never resolved
+        // by execution resolves to Canceled instead of hanging waiters.
+        self.slot.resolve(Err(ServiceError::Canceled));
+    }
+}
+
+struct Shared {
+    engine: RwLock<SharedEngine>,
+    plan_cache: PlanCache,
+    result_cache: ResultCache,
+    generation: AtomicU64,
+    stats: ServiceStats,
+    available: [bool; Strategy::ALL.len()],
+}
+
+/// A multi-threaded twig query service over one shared [`SharedEngine`].
+pub struct TwigService {
+    shared: Arc<Shared>,
+    sender: Mutex<Option<Sender<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+    default_deadline: Option<Duration>,
+}
+
+impl TwigService {
+    /// Builds the engine over `forest` and starts the worker pool.
+    pub fn build(forest: XmlForest, engine: EngineOptions, options: ServiceOptions) -> Self {
+        TwigService::over(QueryEngine::build(Arc::new(forest), engine), options)
+    }
+
+    /// Starts a worker pool over an already-built shared engine.
+    pub fn over(engine: SharedEngine, options: ServiceOptions) -> Self {
+        let mut available = [false; Strategy::ALL.len()];
+        for (i, s) in Strategy::ALL.iter().enumerate() {
+            available[i] = engine.has_strategy(*s);
+        }
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(engine),
+            plan_cache: PlanCache::new(options.plan_cache, options.plan_cache_capacity),
+            result_cache: ResultCache::new(options.result_cache_capacity),
+            generation: AtomicU64::new(0),
+            stats: ServiceStats::default(),
+            available,
+        });
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let rx = Arc::new(StdMutex::new(rx));
+        let workers = (0..options.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("xtwig-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        TwigService {
+            shared,
+            sender: Mutex::new(Some(tx)),
+            workers,
+            default_deadline: options.default_deadline,
+        }
+    }
+
+    /// Submits one query; the returned [`Ticket`] resolves when a
+    /// worker answers it.
+    pub fn submit(&self, twig: &TwigPattern, strategy: Strategy) -> Result<Ticket, ServiceError> {
+        self.submit_with_deadline(twig, strategy, self.default_deadline)
+    }
+
+    /// [`TwigService::submit`] with an explicit queueing deadline,
+    /// enforced when a worker dequeues the job: a query still queued
+    /// past its deadline resolves to [`ServiceError::DeadlineExceeded`]
+    /// at that point. It bounds queue residence, not the caller's wait —
+    /// `Ticket::wait` still blocks until a worker picks the job up (use
+    /// [`Ticket::wait_timeout`] for a caller-side bound), and a query
+    /// already executing runs to completion (workers are not preempted).
+    pub fn submit_with_deadline(
+        &self,
+        twig: &TwigPattern,
+        strategy: Strategy,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        let slot = self.enqueue(JobKind::Single(twig.clone(), strategy), strategy, deadline)?;
+        Ok(Ticket { slot })
+    }
+
+    /// Submits a batch answered as one unit on one worker, with index
+    /// probes deduplicated across the batch's shared PCsubpaths.
+    pub fn submit_batch(
+        &self,
+        twigs: &[TwigPattern],
+        strategy: Strategy,
+    ) -> Result<BatchTicket, ServiceError> {
+        let slot = self.enqueue(
+            JobKind::Batch(twigs.to_vec(), strategy),
+            strategy,
+            self.default_deadline,
+        )?;
+        Ok(BatchTicket { slot })
+    }
+
+    fn enqueue(
+        &self,
+        kind: JobKind,
+        strategy: Strategy,
+        deadline: Option<Duration>,
+    ) -> Result<Arc<Slot>, ServiceError> {
+        let idx = strategy_index(strategy);
+        if !self.shared.available[idx] {
+            return Err(ServiceError::StrategyNotBuilt(strategy));
+        }
+        let sender = self.sender.lock();
+        let Some(tx) = sender.as_ref() else {
+            return Err(ServiceError::ShuttingDown);
+        };
+        let slot = Slot::new();
+        let queries = kind.query_count();
+        let job = Job { kind, deadline: deadline.map(|d| Instant::now() + d), slot: slot.clone() };
+        self.shared.stats.enqueue(queries);
+        if tx.send(job).is_err() {
+            // Unreachable while we hold a live sender, but be safe.
+            self.shared.stats.dequeue();
+            return Err(ServiceError::ShuttingDown);
+        }
+        Ok(slot)
+    }
+
+    /// Runs an index-maintenance closure under the engine's write lock
+    /// (no query executes concurrently), then bumps the invalidation
+    /// generation so every previously cached result goes stale.
+    pub fn apply_update<R>(&self, f: impl FnOnce(&mut SharedEngine) -> R) -> R {
+        let mut engine = self.shared.engine.write();
+        let r = f(&mut engine);
+        // Bump while still holding the write lock: a query can only
+        // observe the new index state together with the new generation.
+        self.shared.generation.fetch_add(1, Ordering::SeqCst);
+        self.shared.stats.updates.fetch_add(1, Ordering::Relaxed);
+        drop(engine);
+        r
+    }
+
+    /// Runs a read-only closure against the engine (sequential-baseline
+    /// comparisons, stats reporting).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&SharedEngine) -> R) -> R {
+        f(&self.shared.engine.read())
+    }
+
+    /// Current invalidation generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of every service metric.
+    pub fn stats(&self) -> ServiceSnapshot {
+        let s = &self.shared.stats;
+        ServiceSnapshot {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            deadline_missed: s.deadline_missed.load(Ordering::Relaxed),
+            updates: s.updates.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            batch_queries: s.batch_queries.load(Ordering::Relaxed),
+            memo_hits: s.memo_hits.load(Ordering::Relaxed),
+            memo_misses: s.memo_misses.load(Ordering::Relaxed),
+            queue_depth: s.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: s.queue_high_water.load(Ordering::Relaxed),
+            generation: self.generation(),
+            plan_cache: self.shared.plan_cache.stats(),
+            result_cache: self.shared.result_cache.stats(),
+            latency: s.latency_snapshots(),
+        }
+    }
+
+    /// Worker threads serving the queue.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Graceful shutdown: stop accepting submissions, let the workers
+    /// drain every queued job, then join them.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        *self.sender.lock() = None; // closes the channel once workers drain it
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TwigService {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn strategy_index(strategy: Strategy) -> usize {
+    Strategy::ALL.iter().position(|s| *s == strategy).expect("strategy in ALL")
+}
+
+fn worker_loop(shared: &Shared, rx: &StdMutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        let Ok(job) = job else {
+            return; // channel closed and drained: shutdown
+        };
+        shared.stats.dequeue();
+        run_job(shared, job);
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    let queries = job.kind.query_count();
+    if job.deadline.is_some_and(|d| Instant::now() > d) {
+        shared.stats.deadline_missed.fetch_add(queries, Ordering::Relaxed);
+        shared.stats.failed.fetch_add(queries, Ordering::Relaxed);
+        job.slot.resolve(Err(ServiceError::DeadlineExceeded));
+        return;
+    }
+    match &job.kind {
+        JobKind::Single(twig, strategy) => {
+            let answer = answer_one(shared, twig, *strategy);
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            job.slot.resolve(Ok(vec![answer]));
+        }
+        JobKind::Batch(twigs, strategy) => {
+            // One generation and ONE engine read lock for the whole
+            // batch: the memo must not straddle an update, or matches
+            // memoized before it could be re-served — and cached —
+            // under the post-update generation. Holding the lock also
+            // gives the batch one consistent index snapshot.
+            let generation = shared.generation.load(Ordering::SeqCst);
+            let mut memo = ProbeMemo::new();
+            let answers: Vec<ServiceAnswer> = {
+                let engine = shared.engine.read();
+                twigs
+                    .iter()
+                    .map(|t| {
+                        answer_locked(shared, &engine, t, *strategy, Some(&mut memo), generation)
+                    })
+                    .collect()
+            };
+            let memo_stats = memo.stats();
+            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            shared.stats.batch_queries.fetch_add(queries, Ordering::Relaxed);
+            shared.stats.memo_hits.fetch_add(memo_stats.hits, Ordering::Relaxed);
+            shared.stats.memo_misses.fetch_add(memo_stats.misses, Ordering::Relaxed);
+            shared.stats.completed.fetch_add(queries, Ordering::Relaxed);
+            job.slot.resolve(Ok(answers));
+        }
+    }
+}
+
+/// Answers one single-submission query. The generation is captured
+/// *before* execution: an update racing with the computation commits a
+/// result tagged with the old generation, which the next lookup treats
+/// as stale — conservative, never wrong. Result-cache hits return
+/// without touching the engine lock at all.
+fn answer_one(shared: &Shared, twig: &TwigPattern, strategy: Strategy) -> ServiceAnswer {
+    let generation = shared.generation.load(Ordering::SeqCst);
+    let key = exact_key(twig);
+    if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
+        return ServiceAnswer {
+            ids,
+            plan,
+            strategy,
+            from_cache: true,
+            metrics: QueryMetrics::default(),
+        };
+    }
+    let engine = shared.engine.read();
+    answer_miss(shared, &engine, twig, strategy, None, generation, key)
+}
+
+/// Answers one query of a batch under the batch's engine read guard and
+/// generation (see `run_job`'s batch arm for why both are shared).
+fn answer_locked(
+    shared: &Shared,
+    engine: &SharedEngine,
+    twig: &TwigPattern,
+    strategy: Strategy,
+    memo: Option<&mut ProbeMemo>,
+    generation: u64,
+) -> ServiceAnswer {
+    let key = exact_key(twig);
+    if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
+        return ServiceAnswer {
+            ids,
+            plan,
+            strategy,
+            from_cache: true,
+            metrics: QueryMetrics::default(),
+        };
+    }
+    answer_miss(shared, engine, twig, strategy, memo, generation, key)
+}
+
+/// The cache-miss path: compile (through the plan cache), execute,
+/// record latency, insert into the result cache under `generation`.
+fn answer_miss(
+    shared: &Shared,
+    engine: &SharedEngine,
+    twig: &TwigPattern,
+    strategy: Strategy,
+    memo: Option<&mut ProbeMemo>,
+    generation: u64,
+    key: String,
+) -> ServiceAnswer {
+    let answer = match shared.plan_cache.compile(engine, twig) {
+        // Unknown tag: the answer is necessarily empty (§2.2); still
+        // cacheable under the current generation, but nothing executed,
+        // so it contributes no latency sample.
+        Err(_) => xtwig_core::QueryAnswer::empty(),
+        Ok((compiled, plan)) => {
+            let answer = engine.answer_compiled_with(&compiled, &plan, strategy, memo);
+            shared.stats.record_latency(strategy, answer.metrics.elapsed);
+            answer
+        }
+    };
+    let ids = Arc::new(answer.ids);
+    shared.result_cache.insert(key, strategy, ids.clone(), answer.plan, generation);
+    ServiceAnswer { ids, plan: answer.plan, strategy, from_cache: false, metrics: answer.metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_core::parse_xpath;
+    use xtwig_xml::tree::fig1_book_document;
+
+    fn small_service(workers: usize) -> TwigService {
+        TwigService::build(
+            fig1_book_document(),
+            EngineOptions { pool_pages: 256, ..Default::default() },
+            ServiceOptions { workers, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn submit_and_wait_roundtrip() {
+        let svc = small_service(2);
+        let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+        let a = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert_eq!(a.ids.len(), 1);
+        assert!(!a.from_cache);
+        // Resubmission: result-cache hit with the same shared ids.
+        let b = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert!(b.from_cache);
+        assert!(Arc::ptr_eq(&a.ids, &b.ids));
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.result_cache.hits, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn plan_cache_reuses_shapes_across_literals() {
+        let svc = small_service(1);
+        for v in ["jane", "john", "nobody"] {
+            let twig = parse_xpath(&format!("//author[fn='{v}']")).unwrap();
+            svc.submit(&twig, Strategy::DataPaths).unwrap().wait().unwrap();
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.plan_cache.misses, 1, "one shape compiled once");
+        assert_eq!(stats.plan_cache.hits, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn strategy_not_built_is_rejected_at_submit() {
+        let svc = TwigService::build(
+            fig1_book_document(),
+            EngineOptions {
+                strategies: vec![Strategy::RootPaths],
+                pool_pages: 256,
+                ..Default::default()
+            },
+            ServiceOptions { workers: 1, ..Default::default() },
+        );
+        let twig = parse_xpath("//author").unwrap();
+        assert_eq!(
+            svc.submit(&twig, Strategy::Edge).err(),
+            Some(ServiceError::StrategyNotBuilt(Strategy::Edge))
+        );
+        assert!(svc.submit(&twig, Strategy::RootPaths).is_ok());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn update_bumps_generation_and_invalidates_results() {
+        let svc = small_service(2);
+        let twig = parse_xpath("//author[fn='ada']").unwrap();
+        let before = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert!(before.ids.is_empty());
+        // §7 maintenance: insert a new author path into ROOTPATHS.
+        svc.apply_update(|engine| {
+            let dict = engine.forest().dict();
+            let tags: Vec<_> = ["book", "allauthors", "author", "fn"]
+                .iter()
+                .map(|t| dict.lookup(t).unwrap())
+                .collect();
+            let rp = engine.rootpaths_mut().unwrap();
+            rp.insert_path(&tags[..3], &[1, 5, 900], None);
+            rp.insert_path(&tags, &[1, 5, 900, 901], Some("ada"));
+        });
+        assert_eq!(svc.generation(), 1);
+        let after = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert!(!after.from_cache, "stale cached empty answer must not be served");
+        assert_eq!(after.ids.iter().copied().collect::<Vec<_>>(), vec![900]);
+        assert_eq!(svc.stats().result_cache.invalidated, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batch_resolves_in_order_and_dedupes_probes() {
+        let svc = small_service(2);
+        // Distinct queries (identical ones would hit the result cache
+        // before reaching the engine) sharing the //author/fn='jane'
+        // PCsubpath: the batch memo answers it once.
+        let twigs: Vec<TwigPattern> = ["//author[fn='jane']/ln", "//author[fn='jane']"]
+            .iter()
+            .map(|q| parse_xpath(q).unwrap())
+            .collect();
+        let answers = svc.submit_batch(&twigs, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert_eq!(answers.len(), 2);
+        let sequential: Vec<_> = svc
+            .with_engine(|e| twigs.iter().map(|t| e.answer(t, Strategy::RootPaths).ids).collect());
+        for (a, s) in answers.iter().zip(&sequential) {
+            assert_eq!(*a.ids, *s);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batch_queries, 2);
+        assert!(stats.memo_hits > 0, "shared subpath memoized across the batch");
+        // Batch members count as queries on both sides of the ledger.
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, stats.submitted);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_rejects_queued_query() {
+        let svc = small_service(1);
+        // A deadline already in the past when the worker dequeues.
+        let twig = parse_xpath("//author").unwrap();
+        let t = svc.submit_with_deadline(&twig, Strategy::RootPaths, Some(Duration::ZERO)).unwrap();
+        match t.wait() {
+            Err(ServiceError::DeadlineExceeded) => {
+                assert_eq!(svc.stats().deadline_missed, 1);
+            }
+            Ok(_) => {
+                // Scheduling race: the worker dequeued within the same
+                // instant. Either outcome is legal; an answer must be
+                // correct though.
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_leaves_ticket_usable() {
+        let svc = small_service(1);
+        let twig = parse_xpath("//author").unwrap();
+        let t = svc.submit(&twig, Strategy::RootPaths).unwrap();
+        // Whether or not the first bounded wait wins the race, a
+        // follow-up wait must deliver the answer exactly once.
+        let first = t.wait_timeout(Duration::from_millis(200));
+        match first {
+            Some(r) => assert!(!r.unwrap().ids.is_empty()),
+            None => assert!(!t.wait().unwrap().ids.is_empty()),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_and_rejects_new() {
+        let svc = small_service(2);
+        let twig = parse_xpath("//section/head").unwrap();
+        let tickets: Vec<Ticket> =
+            (0..32).map(|_| svc.submit(&twig, Strategy::Edge).unwrap()).collect();
+        svc.shutdown();
+        for t in tickets {
+            let a = t.wait().expect("queued work drains during graceful shutdown");
+            assert!(!a.ids.is_empty());
+        }
+    }
+
+    #[test]
+    fn dropped_service_cancels_nothing_silently() {
+        // Drop without explicit shutdown must still drain (Drop calls
+        // do_shutdown) — tickets all resolve.
+        let twig = parse_xpath("//title").unwrap();
+        let tickets: Vec<Ticket> = {
+            let svc = small_service(2);
+            (0..8).map(|_| svc.submit(&twig, Strategy::RootPaths).unwrap()).collect()
+            // svc dropped here
+        };
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+}

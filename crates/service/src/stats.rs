@@ -1,0 +1,287 @@
+//! Service-level statistics: counters, queue gauges, and per-strategy
+//! latency histograms, all lock-free atomics so the hot path never
+//! blocks on bookkeeping.
+
+use crate::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+use xtwig_core::Strategy;
+
+/// Power-of-two latency buckets: bucket `i` counts queries whose
+/// latency in microseconds lies in `[2^(i-1), 2^i)` (bucket 0: < 1 µs).
+const BUCKETS: usize = 26; // up to ~33 s, far beyond any twig query
+
+struct StrategyLatency {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl StrategyLatency {
+    fn new() -> Self {
+        StrategyLatency {
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, strategy: Strategy) -> LatencySnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let total = self.total_micros.load(Ordering::Relaxed);
+        LatencySnapshot {
+            strategy,
+            count,
+            mean_micros: if count == 0 { 0.0 } else { total as f64 / count as f64 },
+            p50_micros: percentile_upper_bound(&buckets, count, 0.50),
+            p95_micros: percentile_upper_bound(&buckets, count, 0.95),
+            buckets,
+        }
+    }
+}
+
+/// Upper bound (bucket boundary) of the requested percentile.
+fn percentile_upper_bound(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (count as f64 * q).ceil() as u64;
+    let mut seen = 0;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return 1u64 << i;
+        }
+    }
+    1u64 << (buckets.len() - 1)
+}
+
+/// Internal live counters of a [`crate::TwigService`].
+pub struct ServiceStats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) deadline_missed: AtomicU64,
+    pub(crate) updates: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batch_queries: AtomicU64,
+    pub(crate) memo_hits: AtomicU64,
+    pub(crate) memo_misses: AtomicU64,
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) queue_high_water: AtomicUsize,
+    latency: Vec<StrategyLatency>, // indexed by position in Strategy::ALL
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_queries: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            latency: Strategy::ALL.iter().map(|_| StrategyLatency::new()).collect(),
+        }
+    }
+}
+
+impl ServiceStats {
+    /// Accounts one enqueued job carrying `queries` queries (batches
+    /// count every member, so `submitted`/`completed`/`failed` share
+    /// query units; the queue gauges count jobs).
+    pub(crate) fn enqueue(&self, queries: u64) {
+        self.submitted.fetch_add(queries, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, strategy: Strategy, elapsed: Duration) {
+        let idx = Strategy::ALL.iter().position(|s| *s == strategy).expect("known strategy");
+        self.latency[idx].record(elapsed);
+    }
+
+    pub(crate) fn latency_snapshots(&self) -> Vec<LatencySnapshot> {
+        Strategy::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.latency[*i].count.load(Ordering::Relaxed) > 0)
+            .map(|(i, s)| self.latency[i].snapshot(*s))
+            .collect()
+    }
+}
+
+/// Latency distribution of one strategy.
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    /// The strategy measured.
+    pub strategy: Strategy,
+    /// Queries executed (cache hits are not latency-measured).
+    pub count: u64,
+    /// Mean execution latency in microseconds.
+    pub mean_micros: f64,
+    /// Median upper bound (power-of-two bucket boundary).
+    pub p50_micros: u64,
+    /// 95th-percentile upper bound.
+    pub p95_micros: u64,
+    /// Raw power-of-two bucket counts.
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time view of every service metric, renderable as JSON for
+/// the bench harness.
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// Queries accepted (single submissions plus batch members).
+    pub submitted: u64,
+    /// Queries answered successfully.
+    pub completed: u64,
+    /// Queries resolved with an error.
+    pub failed: u64,
+    /// Queries rejected for missing their deadline while queued.
+    pub deadline_missed: u64,
+    /// Index-maintenance transactions applied.
+    pub updates: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Queries submitted through batches.
+    pub batch_queries: u64,
+    /// FreeIndex probes answered from a batch memo.
+    pub memo_hits: u64,
+    /// FreeIndex probes a batch actually issued.
+    pub memo_misses: u64,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Highest queue depth observed.
+    pub queue_high_water: usize,
+    /// Current invalidation generation.
+    pub generation: u64,
+    /// Plan-cache counters.
+    pub plan_cache: CacheStats,
+    /// Result-cache counters.
+    pub result_cache: CacheStats,
+    /// Per-strategy execution latency (strategies with traffic only).
+    pub latency: Vec<LatencySnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Renders the snapshot as a JSON object (hand-rolled: the build
+    /// has no crates.io access for serde; schema is flat and stable).
+    pub fn to_json(&self, indent: &str) -> String {
+        let lat: Vec<String> = self
+            .latency
+            .iter()
+            .map(|l| {
+                format!(
+                    "{indent}    {{\"strategy\": \"{}\", \"count\": {}, \"mean_micros\": {:.1}, \
+                     \"p50_micros\": {}, \"p95_micros\": {}}}",
+                    l.strategy, l.count, l.mean_micros, l.p50_micros, l.p95_micros
+                )
+            })
+            .collect();
+        format!(
+            "{indent}{{\n\
+             {indent}  \"submitted\": {},\n\
+             {indent}  \"completed\": {},\n\
+             {indent}  \"failed\": {},\n\
+             {indent}  \"deadline_missed\": {},\n\
+             {indent}  \"updates\": {},\n\
+             {indent}  \"batches\": {},\n\
+             {indent}  \"batch_queries\": {},\n\
+             {indent}  \"memo_hits\": {},\n\
+             {indent}  \"memo_misses\": {},\n\
+             {indent}  \"queue_depth\": {},\n\
+             {indent}  \"queue_high_water\": {},\n\
+             {indent}  \"generation\": {},\n\
+             {indent}  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n\
+             {indent}  \"result_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidated\": {}, \"hit_rate\": {:.4}}},\n\
+             {indent}  \"latency\": [\n{}\n{indent}  ]\n\
+             {indent}}}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.deadline_missed,
+            self.updates,
+            self.batches,
+            self.batch_queries,
+            self.memo_hits,
+            self.memo_misses,
+            self.queue_depth,
+            self.queue_high_water,
+            self.generation,
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache.hit_rate(),
+            self.result_cache.hits,
+            self.result_cache.misses,
+            self.result_cache.invalidated,
+            self.result_cache.hit_rate(),
+            lat.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_and_percentiles() {
+        let l = StrategyLatency::new();
+        for micros in [1u64, 2, 3, 700, 900, 1_500] {
+            l.record(Duration::from_micros(micros));
+        }
+        let s = l.snapshot(Strategy::RootPaths);
+        assert_eq!(s.count, 6);
+        assert!(s.mean_micros > 100.0);
+        // p50 falls in the small buckets, p95 in the ~2ms bucket.
+        assert!(s.p50_micros <= 16, "{}", s.p50_micros);
+        assert!(s.p95_micros >= 1_024, "{}", s.p95_micros);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_enough() {
+        let stats = ServiceStats::default();
+        stats.record_latency(Strategy::Edge, Duration::from_micros(42));
+        let snap = ServiceSnapshot {
+            submitted: 1,
+            completed: 1,
+            failed: 0,
+            deadline_missed: 0,
+            updates: 0,
+            batches: 0,
+            batch_queries: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            queue_depth: 0,
+            queue_high_water: 1,
+            generation: 0,
+            plan_cache: CacheStats { hits: 1, misses: 1, invalidated: 0 },
+            result_cache: CacheStats::default(),
+            latency: stats.latency_snapshots(),
+        };
+        let json = snap.to_json("");
+        assert!(json.contains("\"plan_cache\""));
+        assert!(json.contains("\"hit_rate\": 0.5000"));
+        assert!(json.contains("\"strategy\": \"Edge\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -10,6 +10,22 @@
 //! so a resident, in-use page is never evicted. Eviction picks the
 //! least-recently-used unpinned frame (timestamp scan — O(frames), which
 //! is fine at the pool sizes used here).
+//!
+//! Read-path concurrency audit (the invariants `xtwig-service` relies
+//! on; guarded by `tests/pool_stress.rs`):
+//!
+//! * A frame's pin count only rises 0→1 under the table mutex (hit path
+//!   in `lookup_or_load`, install path in `install`), so `pick_victim`
+//!   — also under the mutex — can never evict a frame that a guard is
+//!   about to reference.
+//! * Page-content locks are only acquired while holding the table mutex
+//!   for frames with **zero** pins (eviction write-back, `flush_all`),
+//!   where no outstanding guard can hold the content lock — otherwise a
+//!   reader that holds a page guard and fetches a second page (which
+//!   needs the mutex) could deadlock against the mutex holder waiting
+//!   on its page lock. This is why `flush_all` skips pinned frames.
+//! * `clear_cache` requires quiescence (it panics on pinned pages); it
+//!   is a bench/ablation facility, not a serving-path operation.
 
 use crate::disk::DiskManager;
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
@@ -138,7 +154,12 @@ impl BufferPool {
         PageWriteGuard { guard, _pin: PinToken { pool: self, frame_idx }, pool: self, frame_idx }
     }
 
-    /// Writes all dirty resident pages back to disk.
+    /// Writes all dirty **unpinned** resident pages back to disk.
+    ///
+    /// Pinned frames are skipped: their content lock may be held by an
+    /// outstanding guard whose owner could be blocked on the table
+    /// mutex we hold here (see the module-level audit) — and they stay
+    /// dirty, so eviction or a later flush still writes them back.
     pub fn flush_all(&self) {
         let inner = self.inner.lock();
         for (idx, &pid) in inner.resident.iter().enumerate() {
@@ -146,6 +167,9 @@ impl BufferPool {
                 continue;
             }
             let frame = &self.frames[idx];
+            if frame.pin.load(Ordering::SeqCst) != 0 {
+                continue;
+            }
             if frame.dirty.swap(false, Ordering::Relaxed) {
                 let data = frame.data.read();
                 self.disk.write_page(pid, data.bytes());

@@ -1,0 +1,161 @@
+//! Multi-threaded `BufferPool` stress: guards the read-path concurrency
+//! audit (see `src/buffer.rs` module docs) that `xtwig-service` relies
+//! on for serving concurrent queries over shared index pools.
+//!
+//! Shape: a deliberately small pool (so eviction churns constantly)
+//! under N reader threads doing pin/verify/unpin cycles, one writer
+//! thread mutating a disjoint set of pages, and one thread hammering
+//! `flush_all` (which must skip pinned frames rather than deadlock).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xtwig_storage::page::{get_u64, put_u64, PageId};
+use xtwig_storage::BufferPool;
+
+/// Tiny deterministic generator (the vendored `rand` stub is aimed at
+/// datagen; an LCG is all the churn schedule needs).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn seed_pages(pool: &BufferPool, n: u64, tag: u64) -> Vec<PageId> {
+    (0..n)
+        .map(|i| {
+            let (pid, mut g) = pool.allocate();
+            put_u64(&mut g, 0, tag + i * 17);
+            pid
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_readers_writer_and_flush_over_small_pool() {
+    // 8 frames, 48 resident pages: every fetch is likely an eviction.
+    let pool = Arc::new(BufferPool::in_memory(8));
+    let read_pages = Arc::new(seed_pages(&pool, 32, 1_000));
+    let write_pages = Arc::new(seed_pages(&pool, 16, 9_000));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    // Readers: pin, verify, occasionally hold a second pin (two guards
+    // per thread at most — 4 threads * 2 pins < 8 frames, so the pool
+    // can always make progress).
+    for t in 0..4u64 {
+        let pool = pool.clone();
+        let pages = read_pages.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Lcg(0xC0FFEE ^ t);
+            for round in 0..2_000 {
+                let i = (rng.next() as usize) % pages.len();
+                let g = pool.fetch(pages[i]);
+                assert_eq!(get_u64(&g, 0), 1_000 + i as u64 * 17, "round {round}");
+                if rng.next().is_multiple_of(4) {
+                    let j = (rng.next() as usize) % pages.len();
+                    let g2 = pool.fetch(pages[j]);
+                    assert_eq!(get_u64(&g2, 0), 1_000 + j as u64 * 17);
+                }
+            }
+        }));
+    }
+    // Writer: bump counters on its own pages; values stay self-consistent.
+    {
+        let pool = pool.clone();
+        let pages = write_pages.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Lcg(0xBEEF);
+            for _ in 0..2_000 {
+                let i = (rng.next() as usize) % pages.len();
+                let mut g = pool.fetch_mut(pages[i]);
+                let v = get_u64(&g, 0);
+                assert_eq!((v - 9_000 - i as u64 * 17) % 1_000_000, 0);
+                put_u64(&mut g, 0, v + 1_000_000);
+            }
+        }));
+    }
+    // Flusher: flush_all concurrently with held pins must neither
+    // deadlock nor panic (pinned frames are skipped).
+    let flusher = {
+        let pool = pool.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                pool.flush_all();
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    flusher.join().unwrap();
+
+    // Post-churn: every page still readable with its final value intact.
+    for (i, &pid) in read_pages.iter().enumerate() {
+        let g = pool.fetch(pid);
+        assert_eq!(get_u64(&g, 0), 1_000 + i as u64 * 17);
+    }
+    let mut writes = 0u64;
+    for (i, &pid) in write_pages.iter().enumerate() {
+        let g = pool.fetch(pid);
+        let v = get_u64(&g, 0);
+        assert_eq!((v - 9_000 - i as u64 * 17) % 1_000_000, 0);
+        writes += (v - 9_000 - i as u64 * 17) / 1_000_000;
+    }
+    assert_eq!(writes, 2_000, "every write landed exactly once");
+    let snap = pool.stats().snapshot();
+    assert!(snap.evictions > 0, "small pool must churn");
+    assert!(snap.logical_reads >= snap.physical_reads);
+}
+
+#[test]
+fn flush_all_with_pinned_dirty_page_skips_it() {
+    let pool = BufferPool::in_memory(4);
+    let (pid, mut g) = pool.allocate();
+    put_u64(&mut g, 0, 7);
+    // Dirty + pinned: flush_all must return without touching it.
+    pool.flush_all();
+    put_u64(&mut g, 0, 8);
+    drop(g);
+    // Unpinned now: the page is still dirty and a flush writes it back.
+    let before = pool.stats().snapshot().physical_writes;
+    pool.flush_all();
+    assert!(pool.stats().snapshot().physical_writes > before);
+    assert_eq!(get_u64(&pool.fetch(pid), 0), 8);
+}
+
+#[test]
+fn pin_unpin_churn_many_threads_exact_counts() {
+    // Pure pin/unpin churn on a pool exactly the size of the hot set:
+    // no evictions, every fetch a hit, pins balancing back to zero.
+    let pool = Arc::new(BufferPool::in_memory(8));
+    let pages = Arc::new(seed_pages(&pool, 8, 100));
+    pool.stats().reset();
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let pool = pool.clone();
+        let pages = pages.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Lcg(t + 1);
+            for _ in 0..5_000 {
+                let i = (rng.next() as usize) % pages.len();
+                let g = pool.fetch(pages[i]);
+                assert_eq!(get_u64(&g, 0), 100 + i as u64 * 17);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = pool.stats().snapshot();
+    assert_eq!(snap.logical_reads, 8 * 5_000);
+    assert_eq!(snap.physical_reads, 0, "hot set fits: all hits");
+    // All pins released: clear_cache's pin==0 assertion must pass.
+    pool.clear_cache();
+}

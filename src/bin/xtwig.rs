@@ -26,16 +26,7 @@ fn usage() -> ExitCode {
 }
 
 fn strategy_from(label: &str) -> Option<Strategy> {
-    match label.to_uppercase().as_str() {
-        "RP" | "ROOTPATHS" => Some(Strategy::RootPaths),
-        "DP" | "DATAPATHS" => Some(Strategy::DataPaths),
-        "EDGE" => Some(Strategy::Edge),
-        "DG" | "DG+EDGE" | "DATAGUIDE" => Some(Strategy::DataGuideEdge),
-        "IF" | "IF+EDGE" | "FABRIC" => Some(Strategy::IndexFabricEdge),
-        "ASR" => Some(Strategy::Asr),
-        "JI" | "JOININDEX" => Some(Strategy::JoinIndex),
-        _ => None,
-    }
+    label.parse().ok()
 }
 
 fn load(path: &str) -> Result<XmlForest, String> {

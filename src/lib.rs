@@ -49,6 +49,7 @@
 //! | [`btree`] | `xtwig-btree` | disk-format B+-tree with prefix scans and bulk load |
 //! | [`rel`] | `xtwig-rel` | values, order-preserving codec, heap files, join operators |
 //! | [`core`] | `xtwig-core` | ROOTPATHS, DATAPATHS, the index family, baselines, planner, engine |
+//! | [`service`] | `xtwig-service` | concurrent query service: worker pool, plan/result caches, batching |
 //! | [`datagen`] | `xtwig-datagen` | XMark-like and DBLP-like generators, the Q1–Q15 workload |
 //! | [`bench`] | `xtwig-bench` | shared measurement harness behind the figure-reproduction binaries |
 
@@ -57,11 +58,13 @@ pub use xtwig_btree as btree;
 pub use xtwig_core as core;
 pub use xtwig_datagen as datagen;
 pub use xtwig_rel as rel;
+pub use xtwig_service as service;
 pub use xtwig_storage as storage;
 pub use xtwig_xml as xml;
 
 pub use xtwig_core::engine::EngineOptions;
 pub use xtwig_core::{parse_xpath, QueryAnswer, QueryEngine, Strategy};
+pub use xtwig_service::{ServiceAnswer, ServiceError, ServiceOptions, TwigService};
 pub use xtwig_xml::{TwigPattern, XmlForest};
 
 /// Common imports for applications.
@@ -69,5 +72,6 @@ pub mod prelude {
     pub use crate::core::engine::{EngineOptions, QueryAnswer, QueryEngine, Strategy};
     pub use crate::core::family::{BoundIndex, FreeIndex, PathIndex, PcSubpathQuery};
     pub use crate::core::parse_xpath;
+    pub use crate::service::{ServiceAnswer, ServiceError, ServiceOptions, TwigService};
     pub use crate::xml::{Axis, NodeId, TwigPattern, XmlForest};
 }

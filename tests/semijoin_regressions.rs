@@ -9,11 +9,11 @@ use std::collections::BTreeSet;
 use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
 use xtwig::xml::{naive, XmlForest};
 
-fn engine(forest: &XmlForest) -> QueryEngine<'_> {
+fn engine(forest: &XmlForest) -> QueryEngine<&XmlForest> {
     QueryEngine::build(forest, EngineOptions { pool_pages: 1024, ..Default::default() })
 }
 
-fn check(forest: &XmlForest, e: &QueryEngine<'_>, xpath: &str) {
+fn check(forest: &XmlForest, e: &QueryEngine<&XmlForest>, xpath: &str) {
     let twig = xtwig::parse_xpath(xpath).unwrap();
     let expected: BTreeSet<u64> = naive::select(forest, &twig).into_iter().map(|n| n.0).collect();
     for s in Strategy::ALL {

@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
 use xtwig::xml::{naive, XmlForest};
 
-fn check_all(forest: &XmlForest, engine: &QueryEngine<'_>, xpath: &str) {
+fn check_all(forest: &XmlForest, engine: &QueryEngine<&XmlForest>, xpath: &str) {
     let twig = xtwig::parse_xpath(xpath).unwrap();
     let expected: BTreeSet<u64> = naive::select(forest, &twig).into_iter().map(|n| n.0).collect();
     for s in Strategy::ALL {
