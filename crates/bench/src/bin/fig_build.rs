@@ -1,0 +1,189 @@
+//! `fig_build` — cold-start figure (no paper counterpart; the ROADMAP's
+//! production north star): sequential vs. shard-parallel index build
+//! time per structure and for the full seven-strategy engine.
+//!
+//! Before any timing row is recorded, the sharded engine is verified
+//! **byte-identical** to the sequential one (`structure_digest` over
+//! every strategy's buffer-pool page image) — a sharded build that
+//! diverged would abort the figure. JSON lands in
+//! `target/xtwig-results/fig_build.json`; the repo's `BENCH_build.json`
+//! is a snapshot of that file, and `host_parallelism` is recorded so
+//! cross-host comparisons stay honest (on a 1-core container the
+//! sharded rows measure sharding overhead, not speedup).
+//!
+//! Flags: `--scale <f>` (default 0.01), `--shards <n>` (default
+//! `host_parallelism().max(2)`), `--quick` (one run, smaller default
+//! scale — the CI smoke).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xtwig_bench::{host_parallelism, scale_from_args, shards_from_args, xmark_forest, POOL_PAGES};
+use xtwig_core::asr::AccessSupportRelations;
+use xtwig_core::datapaths::{DataPaths, DataPathsOptions};
+use xtwig_core::edge::EdgeTable;
+use xtwig_core::engine::{EngineOptions, QueryEngine};
+use xtwig_core::joinindex::JoinIndices;
+use xtwig_core::parallel::ShardPlan;
+use xtwig_core::rootpaths::{RootPaths, RootPathsOptions};
+use xtwig_core::Strategy;
+use xtwig_storage::BufferPool;
+
+struct Row {
+    structure: &'static str,
+    mode: &'static str,
+    shards: usize,
+    build_micros: u128,
+    runs: usize,
+}
+
+fn best_of<F: FnMut()>(runs: usize, mut f: F) -> Duration {
+    let mut best = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        let t = start.elapsed();
+        if best.is_none_or(|b| t < b) {
+            best = Some(t);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if args.iter().any(|a| a == "--scale") || std::env::var_os("XTWIG_SCALE").is_some()
+    {
+        scale_from_args()
+    } else if quick {
+        0.002
+    } else {
+        0.01
+    };
+    // Same `--shards`/`XTWIG_SHARDS` handling as every fig binary, but
+    // defaulting to a genuinely sharded build (the figure compares
+    // sequential vs sharded) instead of the library's sequential 1.
+    let shards =
+        if args.iter().any(|a| a == "--shards") || std::env::var_os("XTWIG_SHARDS").is_some() {
+            shards_from_args()
+        } else {
+            host_parallelism().max(2)
+        };
+    let runs = if quick { 1 } else { 3 };
+    let cores = host_parallelism();
+    println!("# fig_build: index build time, sequential vs {shards} shards (XMark scale {scale}, {cores} core(s))");
+
+    let (forest, profile) = xmark_forest(scale);
+    println!("dataset: {} nodes", profile.nodes);
+    let plan = ShardPlan::new(&forest, shards);
+    println!("plan: {} shard(s) on {} worker(s)", plan.shard_count(), plan.workers());
+
+    // Byte-identity gate: a sharded build that diverges from the
+    // sequential one invalidates every timing row below.
+    let opts = |strategies: Vec<Strategy>| EngineOptions {
+        strategies,
+        pool_pages: POOL_PAGES,
+        ..Default::default()
+    };
+    {
+        let seq = QueryEngine::build(&forest, opts(Strategy::ALL.to_vec()));
+        let par = QueryEngine::build_parallel(&forest, opts(Strategy::ALL.to_vec()), shards);
+        for s in Strategy::ALL {
+            assert_eq!(
+                par.structure_digest(s),
+                seq.structure_digest(s),
+                "sharded build diverged from sequential for {s}"
+            );
+        }
+        println!("byte-identity check: all {} strategies OK", Strategy::ALL.len());
+    }
+
+    let pool = || Arc::new(BufferPool::in_memory(POOL_PAGES));
+    let mut rows: Vec<Row> = Vec::new();
+    let mut record = |structure: &'static str, mode: &'static str, n: usize, t: Duration| {
+        println!("{structure:<12} {mode:<10} {:>10.1} ms", t.as_secs_f64() * 1e3);
+        rows.push(Row { structure, mode, shards: n, build_micros: t.as_micros(), runs });
+    };
+
+    let seq_plan = ShardPlan::sequential(&forest);
+    let build_with = |p: &ShardPlan, which: &str| match which {
+        "rootpaths" => {
+            RootPaths::build_sharded(&forest, pool(), RootPathsOptions::default(), p);
+        }
+        "datapaths" => {
+            DataPaths::build_sharded(&forest, pool(), DataPathsOptions::default(), p);
+        }
+        "edge" => {
+            EdgeTable::build_sharded(&forest, pool(), p);
+        }
+        "asr" => {
+            AccessSupportRelations::build_sharded(&forest, pool(), p);
+        }
+        "join_indices" => {
+            JoinIndices::build_sharded(&forest, pool(), p);
+        }
+        other => unreachable!("unknown structure {other}"),
+    };
+    for name in ["rootpaths", "datapaths", "edge", "asr", "join_indices"] {
+        let t = best_of(runs, || build_with(&seq_plan, name));
+        record(name, "sequential", 1, t);
+        let t = best_of(runs, || build_with(&plan, name));
+        record(name, "sharded", plan.shard_count(), t);
+    }
+    {
+        let t = best_of(runs, || {
+            QueryEngine::build(&forest, opts(Strategy::ALL.to_vec()));
+        });
+        record("engine_all", "sequential", 1, t);
+        let t = best_of(runs, || {
+            QueryEngine::build_parallel(&forest, opts(Strategy::ALL.to_vec()), shards);
+        });
+        record("engine_all", "sharded", plan.shard_count(), t);
+    }
+
+    let speedup = |structure: &str| -> f64 {
+        let get = |mode: &str| {
+            rows.iter()
+                .find(|r| r.structure == structure && r.mode == mode)
+                .map(|r| r.build_micros as f64)
+                .unwrap_or(0.0)
+        };
+        if get("sharded") > 0.0 {
+            get("sequential") / get("sharded")
+        } else {
+            0.0
+        }
+    };
+    println!("\nengine_all speedup sequential -> sharded: {:.2}x", speedup("engine_all"));
+    if cores < 2 {
+        println!(
+            "(single-core host: the sharded rows measure sharding overhead; \
+             rerun on a multicore machine for the scaling figure)"
+        );
+    }
+
+    // Hand-rolled JSON (no serde in the offline build).
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\n    \"structure\": \"{}\",\n    \"mode\": \"{}\",\n    \"shards\": {},\n    \
+                 \"build_micros\": {},\n    \"runs\": {}\n  }}",
+                r.structure, r.mode, r.shards, r.build_micros, r.runs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale\": {scale},\n  \"host_parallelism\": {cores},\n  \"shards\": {},\n  \
+         \"byte_identical\": true,\n  \"engine_all_speedup\": {:.4},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        plan.shard_count(),
+        speedup("engine_all"),
+        body.join(",\n"),
+    );
+    let dir = std::path::Path::new("target/xtwig-results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("fig_build.json");
+        let _ = std::fs::write(&path, &json);
+        println!("[results written to {}]", path.display());
+    }
+}

@@ -35,6 +35,49 @@ pub fn scale_from_args() -> f64 {
     std::env::var("XTWIG_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SCALE)
 }
 
+/// Reads the index-build shard count from argv/env (`--shards <n>` or
+/// `XTWIG_SHARDS`; default 1 = the sequential build). Every figure
+/// binary builds its engine through [`engine`], so the flag applies
+/// uniformly; sharded and sequential builds produce byte-identical
+/// indexes (`QueryEngine::build_parallel`), so measurements are
+/// comparable either way.
+///
+/// A present-but-unparsable value exits with an error rather than
+/// silently falling back to the sequential build — a typo must not
+/// produce a "parallel" measurement that secretly ran sequentially.
+pub fn shards_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--shards") {
+        match args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            Some(v) if v >= 1 => return v,
+            _ => {
+                eprintln!(
+                    "--shards requires a positive integer, got {:?}",
+                    args.get(pos + 1).map(String::as_str).unwrap_or("<missing>")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    match std::env::var("XTWIG_SHARDS") {
+        Err(_) => 1,
+        Ok(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("XTWIG_SHARDS must be a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Threads the host makes available — recorded in bench snapshots
+/// (`BENCH_build.json`, `BENCH_service.json`) so cross-host comparisons
+/// of parallel results stay honest.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
 /// Generates the XMark-like dataset at `scale`.
 pub fn xmark_forest(scale: f64) -> (XmlForest, XmarkProfile) {
     let mut forest = XmlForest::new();
@@ -49,15 +92,18 @@ pub fn dblp_forest(scale: f64) -> (XmlForest, DblpProfile) {
     (forest, profile)
 }
 
-/// Builds an engine with the given strategies and the 40 MiB pool.
+/// Builds an engine with the given strategies and the 40 MiB pool,
+/// honoring the `--shards` / `XTWIG_SHARDS` build-parallelism flag
+/// (shard count 1 is the sequential build).
 pub fn engine<'f>(forest: &'f XmlForest, strategies: &[Strategy]) -> QueryEngine<&'f XmlForest> {
-    QueryEngine::build(
+    QueryEngine::build_parallel(
         forest,
         EngineOptions {
             strategies: strategies.to_vec(),
             pool_pages: POOL_PAGES,
             ..Default::default()
         },
+        shards_from_args(),
     )
 }
 

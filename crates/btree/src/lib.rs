@@ -19,8 +19,10 @@
 //! experiments also rebuild indexes per configuration).
 
 pub mod builder;
+pub mod merge;
 pub mod node;
 pub mod tree;
 
 pub use builder::bulk_build;
+pub use merge::{merge_sorted_runs, MergeRuns};
 pub use tree::{BTree, BTreeOptions, BTreeStats, RangeScan};

@@ -1,0 +1,124 @@
+//! K-way merge of sorted entry runs, for sharded bulk loads.
+//!
+//! A parallel index build enumerates and sorts its rows per shard, then
+//! needs the union as one strictly increasing key sequence to feed
+//! [`crate::bulk_build`]. [`merge_sorted_runs`] streams that union
+//! without concatenating and re-sorting: the merged order over sorted
+//! runs is exactly the order a single global sort would produce, so a
+//! tree bulk-loaded from the merge is byte-identical to one loaded from
+//! the sequential build's sorted vector.
+//!
+//! Ties across runs yield the lower-indexed run's entry first (a stable
+//! merge); the index builders never produce duplicate keys, so in
+//! practice `bulk_build`'s strictly-increasing assertion still guards
+//! the merged stream.
+
+/// Streaming merge over sorted runs; see the module docs.
+pub struct MergeRuns {
+    runs: Vec<std::vec::IntoIter<(Vec<u8>, Vec<u8>)>>,
+    heads: Vec<Option<(Vec<u8>, Vec<u8>)>>,
+}
+
+/// Merges runs that are each sorted by key into one sorted stream.
+///
+/// The number of runs is expected to be small (one per build shard), so
+/// the merge scans run heads linearly instead of maintaining a heap.
+pub fn merge_sorted_runs(runs: Vec<Vec<(Vec<u8>, Vec<u8>)>>) -> MergeRuns {
+    let mut iters: Vec<std::vec::IntoIter<(Vec<u8>, Vec<u8>)>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let heads = iters.iter_mut().map(Iterator::next).collect();
+    MergeRuns { runs: iters, heads }
+}
+
+impl Iterator for MergeRuns {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut best: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            let Some((key, _)) = head else { continue };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let (best_key, _) = self.heads[b].as_ref().unwrap();
+                    if key < best_key {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let i = best?;
+        let out = self.heads[i].take();
+        self.heads[i] = self.runs[i].next();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: &str) -> (Vec<u8>, Vec<u8>) {
+        (k.as_bytes().to_vec(), Vec::new())
+    }
+
+    #[test]
+    fn merge_equals_global_sort() {
+        let runs = vec![
+            vec![e("a"), e("d"), e("g")],
+            vec![e("b"), e("c")],
+            Vec::new(),
+            vec![e("e"), e("f"), e("h")],
+        ];
+        let mut expected: Vec<_> = runs.iter().flatten().cloned().collect();
+        expected.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let merged: Vec<_> = merge_sorted_runs(runs).collect();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn empty_and_single_run() {
+        assert_eq!(merge_sorted_runs(Vec::new()).count(), 0);
+        assert_eq!(merge_sorted_runs(vec![Vec::new()]).count(), 0);
+        let one: Vec<_> = merge_sorted_runs(vec![vec![e("x"), e("y")]]).collect();
+        assert_eq!(one, vec![e("x"), e("y")]);
+    }
+
+    #[test]
+    fn ties_prefer_lower_run() {
+        let runs =
+            vec![vec![(b"k".to_vec(), b"run0".to_vec())], vec![(b"k".to_vec(), b"run1".to_vec())]];
+        let merged: Vec<_> = merge_sorted_runs(runs).collect();
+        assert_eq!(merged[0].1, b"run0");
+        assert_eq!(merged[1].1, b"run1");
+    }
+
+    #[test]
+    fn bulk_build_from_merge_matches_sorted_vec() {
+        use crate::builder::bulk_build;
+        use crate::tree::BTreeOptions;
+        use std::sync::Arc;
+        use xtwig_storage::BufferPool;
+
+        let all: Vec<_> = (0..5_000u32)
+            .map(|i| (format!("k{i:06}").into_bytes(), i.to_le_bytes().to_vec()))
+            .collect();
+        // Deal entries round-robin into 3 runs, keeping each sorted.
+        let mut runs = vec![Vec::new(), Vec::new(), Vec::new()];
+        for (i, ent) in all.iter().enumerate() {
+            runs[i % 3].push(ent.clone());
+        }
+        let merged = bulk_build(
+            Arc::new(BufferPool::in_memory(4096)),
+            BTreeOptions::default(),
+            merge_sorted_runs(runs),
+        );
+        let sorted =
+            bulk_build(Arc::new(BufferPool::in_memory(4096)), BTreeOptions::default(), all.clone());
+        assert_eq!(merged.len(), sorted.len());
+        let a: Vec<_> = merged.scan_all().collect();
+        let b: Vec<_> = sorted.scan_all().collect();
+        assert_eq!(a, b);
+        assert_eq!(merged.stats().pages, sorted.stats().pages);
+    }
+}

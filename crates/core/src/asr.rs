@@ -20,11 +20,12 @@ use crate::family::{
     value_key_prefix, FamilyPosition, IdListSublist, IndexedColumn, PathIndex, PathMatch,
     PcSubpathQuery, SchemaPathSubset,
 };
-use crate::paths::for_each_root_path;
+use crate::parallel::{map_shards, ShardPlan};
+use crate::paths::for_each_root_path_in;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_btree::{bulk_build, merge_sorted_runs, BTree, BTreeOptions};
 use xtwig_rel::codec::{self, IdListCodec, KeyBuf};
 use xtwig_storage::BufferPool;
 use xtwig_xml::{TagId, XmlForest};
@@ -38,29 +39,53 @@ pub struct AccessSupportRelations {
 impl AccessSupportRelations {
     /// Materializes one ASR per distinct root-anchored schema path.
     pub fn build(forest: &XmlForest, pool: Arc<BufferPool>) -> Self {
+        Self::build_sharded(forest, pool, &ShardPlan::sequential(forest))
+    }
+
+    /// Shard-parallel [`Self::build`]: workers group and sort their own
+    /// shard's rows per path; tables are then bulk-loaded from the
+    /// merged runs **in sorted path order**, so page allocation — and
+    /// the pool image — is deterministic regardless of shard count (the
+    /// pre-sharding builder iterated a `HashMap` here, which made even
+    /// two sequential builds lay out pages differently).
+    pub fn build_sharded(forest: &XmlForest, pool: Arc<BufferPool>, plan: &ShardPlan) -> Self {
         type Entries = Vec<(Vec<u8>, Vec<u8>)>;
-        let mut grouped: HashMap<Vec<TagId>, Entries> = HashMap::new();
-        for_each_root_path(forest, |tags, ids, value| {
-            let mut key = KeyBuf::new();
-            match value {
-                None => {
-                    key.push_null();
+        let mut shard_groups: Vec<HashMap<Vec<TagId>, Entries>> = map_shards(plan, |range| {
+            let mut grouped: HashMap<Vec<TagId>, Entries> = HashMap::new();
+            for_each_root_path_in(forest, range, |tags, ids, value| {
+                let mut key = KeyBuf::new();
+                match value {
+                    None => {
+                        key.push_null();
+                    }
+                    Some(v) => {
+                        key.push_str(value_key_prefix(v));
+                    }
                 }
-                Some(v) => {
-                    key.push_str(value_key_prefix(v));
-                }
+                key.push_u64(*ids.last().unwrap());
+                grouped.entry(tags.to_vec()).or_default().push((
+                    key.finish(),
+                    // Ids as separate columns -> no delta compression (§5.2.6).
+                    codec::encode_idlist(IdListCodec::Plain, ids),
+                ));
+            });
+            for run in grouped.values_mut() {
+                run.sort_unstable_by(|a, b| a.0.cmp(&b.0));
             }
-            key.push_u64(*ids.last().unwrap());
-            grouped.entry(tags.to_vec()).or_default().push((
-                key.finish(),
-                // Ids as separate columns -> no delta compression (§5.2.6).
-                codec::encode_idlist(IdListCodec::Plain, ids),
-            ));
+            grouped
         });
-        let mut tables = HashMap::with_capacity(grouped.len());
-        for (path, mut entries) in grouped {
-            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            tables.insert(path, bulk_build(pool.clone(), BTreeOptions::default(), entries));
+        let mut paths: Vec<Vec<TagId>> =
+            shard_groups.iter().flat_map(|g| g.keys().cloned()).collect();
+        paths.sort_unstable();
+        paths.dedup();
+        let mut tables = HashMap::with_capacity(paths.len());
+        for path in paths {
+            let runs: Vec<Entries> =
+                shard_groups.iter_mut().filter_map(|g| g.remove(&path)).collect();
+            tables.insert(
+                path,
+                bulk_build(pool.clone(), BTreeOptions::default(), merge_sorted_runs(runs)),
+            );
         }
         AccessSupportRelations { tables, lookups: AtomicU64::new(0) }
     }

@@ -29,18 +29,19 @@ use crate::family::{
     BoundIndex, FamilyPosition, FreeIndex, IdListSublist, IndexedColumn, PathIndex, PathMatch,
     PcSubpathQuery, SchemaPathSubset,
 };
-use crate::paths::{for_each_root_path, for_each_subpath};
+use crate::parallel::{map_shards, ShardPlan};
+use crate::paths::{for_each_root_path_in, for_each_subpath_in};
 use crate::rootpaths::{push_value_part, skip_value_part};
 use std::sync::Arc;
-use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_btree::{bulk_build, merge_sorted_runs, BTree, BTreeOptions};
 use xtwig_rel::codec::{self, IdListCodec, KeyBuf};
 use xtwig_storage::BufferPool;
 use xtwig_xml::{TagId, XmlForest};
 
 /// Head-id pruning predicate (paper §4.3): rows whose head is not a
 /// potential query branch point may be dropped, trading INLJ coverage for
-/// space.
-pub type HeadFilter<'a> = dyn Fn(u64, &[TagId]) -> bool + 'a;
+/// space. `Sync` so sharded builds can apply it from worker threads.
+pub type HeadFilter<'a> = dyn Fn(u64, &[TagId]) -> bool + Sync + 'a;
 
 /// Build options.
 #[derive(Clone, Copy, Default)]
@@ -75,23 +76,55 @@ impl DataPaths {
         options: DataPathsOptions,
         filter: Option<&HeadFilter<'_>>,
     ) -> Self {
-        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        // FreeIndex rows: head = virtual root, IdList = full root path.
-        for_each_root_path(forest, |tags, ids, value| {
-            entries.push(Self::encode_row(options.idlist, 0, tags, ids, ids, value));
-        });
-        // BoundIndex rows: every subpath; stored IdList excludes the head.
-        for_each_subpath(forest, |head, tags, ids, value| {
-            if let Some(f) = filter {
-                if !f(head, tags) {
-                    return;
+        Self::build_filtered_sharded(forest, pool, options, filter, &ShardPlan::sequential(forest))
+    }
+
+    /// Shard-parallel [`Self::build`]; see
+    /// [`RootPaths::build_sharded`](crate::rootpaths::RootPaths::build_sharded)
+    /// for the run-merge argument that makes the output byte-identical.
+    pub fn build_sharded(
+        forest: &XmlForest,
+        pool: Arc<BufferPool>,
+        options: DataPathsOptions,
+        plan: &ShardPlan,
+    ) -> Self {
+        Self::build_filtered_sharded(forest, pool, options, None, plan)
+    }
+
+    /// Shard-parallel [`Self::build_filtered`]. The head filter runs on
+    /// the worker threads, and because shard boundaries may fall
+    /// mid-subtree, rows sharing one head can be delivered on
+    /// *different* threads (a head's descendants may span shards). That
+    /// is only sound because the filter must be a pure function of
+    /// `(head, path_tags)` — a filter keeping cross-row state would
+    /// diverge from the sequential build.
+    pub fn build_filtered_sharded(
+        forest: &XmlForest,
+        pool: Arc<BufferPool>,
+        options: DataPathsOptions,
+        filter: Option<&HeadFilter<'_>>,
+        plan: &ShardPlan,
+    ) -> Self {
+        let runs = map_shards(plan, |range| {
+            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            // FreeIndex rows: head = virtual root, IdList = full root path.
+            for_each_root_path_in(forest, range, |tags, ids, value| {
+                entries.push(Self::encode_row(options.idlist, 0, tags, ids, ids, value));
+            });
+            // BoundIndex rows: every subpath; stored IdList excludes the head.
+            for_each_subpath_in(forest, range, |head, tags, ids, value| {
+                if let Some(f) = filter {
+                    if !f(head, tags) {
+                        return;
+                    }
                 }
-            }
-            entries.push(Self::encode_row(options.idlist, head, tags, ids, &ids[1..], value));
+                entries.push(Self::encode_row(options.idlist, head, tags, ids, &ids[1..], value));
+            });
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            entries
         });
-        let rows = entries.len() as u64;
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        let tree = bulk_build(pool, options.btree, entries);
+        let rows = runs.iter().map(|r| r.len() as u64).sum();
+        let tree = bulk_build(pool, options.btree, merge_sorted_runs(runs));
         DataPaths { tree, idlist: options.idlist, rows, pruned: filter.is_some() }
     }
 

@@ -17,9 +17,10 @@ use crate::family::{
     value_key_prefix, FamilyPosition, FreeIndex, IdListSublist, IndexedColumn, PathIndex,
     PathMatch, PcSubpathQuery, SchemaPathSubset,
 };
+use crate::parallel::{map_shards, ShardPlan};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_btree::{bulk_build, merge_sorted_runs, BTree, BTreeOptions};
 use xtwig_rel::codec::KeyBuf;
 use xtwig_rel::value::{serialize_tuple, Value};
 use xtwig_rel::HeapFile;
@@ -87,34 +88,85 @@ fn decode_blink(bytes: &[u8]) -> (u64, TagId) {
 impl EdgeTable {
     /// Builds the Edge table and its indexes from `forest` into `pool`.
     pub fn build(forest: &XmlForest, pool: Arc<BufferPool>) -> Self {
+        Self::build_sharded(forest, pool, &ShardPlan::sequential(forest))
+    }
+
+    /// Shard-parallel [`Self::build`]: workers serialize each shard's
+    /// heap tuples and sort its index-entry runs; the calling thread
+    /// then appends the tuples in shard (= document) order and
+    /// bulk-loads the merged runs, reproducing the sequential page
+    /// image exactly (heap pages first, then the three trees).
+    ///
+    /// With one shard (or one worker) the heap tuples stream straight
+    /// into the heap file instead of being buffered — holding the whole
+    /// serialized tuple set in memory is the price of cross-thread
+    /// enumeration and must not be paid by the sequential path.
+    pub fn build_sharded(forest: &XmlForest, pool: Arc<BufferPool>, plan: &ShardPlan) -> Self {
         let mut heap = HeapFile::new(pool.clone());
-        let mut node_entries = Vec::new();
-        let mut flink_entries = Vec::new();
-        let mut blink_entries = Vec::new();
-        for node in forest.iter_nodes() {
-            let parent = forest.parent(node).unwrap_or(NodeId::VIRTUAL_ROOT);
-            let tag = forest.tag(node);
-            let value = forest.value_str(node);
-            heap.append(&serialize_tuple(&[
-                Value::id(node.0),
-                Value::id(parent.0),
-                Value::Int(i64::from(tag.0)),
-                value.map_or(Value::Null, |v| Value::Str(v.to_owned())),
-            ]));
-            node_entries.push((node_key(tag, value, node.0), Vec::new()));
-            flink_entries.push((flink_key(parent.0, tag, node.0), Vec::new()));
-            let parent_tag = forest.tag(parent);
-            blink_entries.push((blink_key(node.0), blink_payload(parent.0, parent_tag)));
+        let buffered = plan.workers() > 1 && plan.shard_count() > 1;
+        type ShardOut = (
+            Vec<Vec<u8>>,
+            Vec<(Vec<u8>, Vec<u8>)>,
+            Vec<(Vec<u8>, Vec<u8>)>,
+            Vec<(Vec<u8>, Vec<u8>)>,
+        );
+        let enumerate = |range, sink: &mut dyn FnMut(Vec<u8>)| {
+            let mut node_entries = Vec::new();
+            let mut flink_entries = Vec::new();
+            let mut blink_entries = Vec::new();
+            for node in forest.iter_range(range) {
+                let parent = forest.parent(node).unwrap_or(NodeId::VIRTUAL_ROOT);
+                let tag = forest.tag(node);
+                let value = forest.value_str(node);
+                sink(serialize_tuple(&[
+                    Value::id(node.0),
+                    Value::id(parent.0),
+                    Value::Int(i64::from(tag.0)),
+                    value.map_or(Value::Null, |v| Value::Str(v.to_owned())),
+                ]));
+                node_entries.push((node_key(tag, value, node.0), Vec::new()));
+                flink_entries.push((flink_key(parent.0, tag, node.0), Vec::new()));
+                let parent_tag = forest.tag(parent);
+                blink_entries.push((blink_key(node.0), blink_payload(parent.0, parent_tag)));
+            }
+            node_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            flink_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            blink_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            (node_entries, flink_entries, blink_entries)
+        };
+        let mut node_runs = Vec::with_capacity(plan.shard_count());
+        let mut flink_runs = Vec::with_capacity(plan.shard_count());
+        let mut blink_runs = Vec::with_capacity(plan.shard_count());
+        if buffered {
+            let shards: Vec<ShardOut> = map_shards(plan, |range| {
+                let mut tuples = Vec::new();
+                let (n, f, b) = enumerate(range, &mut |t| tuples.push(t));
+                (tuples, n, f, b)
+            });
+            for (tuples, node_entries, flink_entries, blink_entries) in shards {
+                for t in &tuples {
+                    heap.append(t);
+                }
+                node_runs.push(node_entries);
+                flink_runs.push(flink_entries);
+                blink_runs.push(blink_entries);
+            }
+        } else {
+            for &range in plan.ranges() {
+                let (n, f, b) = enumerate(range, &mut |t| {
+                    heap.append(&t);
+                });
+                node_runs.push(n);
+                flink_runs.push(f);
+                blink_runs.push(b);
+            }
         }
-        node_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        flink_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        blink_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let opts = BTreeOptions::default();
         EdgeTable {
             heap,
-            node_idx: bulk_build(pool.clone(), opts, node_entries),
-            flink: bulk_build(pool.clone(), opts, flink_entries),
-            blink: bulk_build(pool, opts, blink_entries),
+            node_idx: bulk_build(pool.clone(), opts, merge_sorted_runs(node_runs)),
+            flink: bulk_build(pool.clone(), opts, merge_sorted_runs(flink_runs)),
+            blink: bulk_build(pool, opts, merge_sorted_runs(blink_runs)),
             lookups: AtomicU64::new(0),
         }
     }

@@ -24,6 +24,7 @@ use crate::family::{
     value_needs_recheck, BoundIndex, FreeIndex, PathIndex, PathMatch, PcSubpathQuery,
 };
 use crate::joinindex::JoinIndices;
+use crate::parallel::ShardPlan;
 use crate::paths::PathStats;
 use crate::plan::{choose_plan, JoinHow, PlanKind, ProbeSpec, QueryPlan};
 use crate::rootpaths::{RootPaths, RootPathsOptions};
@@ -286,6 +287,27 @@ impl Row {
 impl<F: Borrow<XmlForest>> QueryEngine<F> {
     /// Builds the selected index configurations over `forest`.
     pub fn build(forest: F, options: EngineOptions) -> Self {
+        let plan = ShardPlan::sequential(forest.borrow());
+        Self::build_with_plan(forest, options, &plan)
+    }
+
+    /// Builds the selected configurations with a shard-parallel pass:
+    /// the forest is partitioned into up to `shards` whole-document
+    /// ranges and each structure's rows are enumerated and sorted on a
+    /// worker pool, then merged into one deterministic bulk load per
+    /// B+-tree. The resulting structures are **byte-identical** to
+    /// [`QueryEngine::build`]'s — same page images, same answers — as
+    /// asserted via [`QueryEngine::structure_digest`] in the
+    /// `parallel_build` suite. `shards <= 1` degenerates to the
+    /// sequential build.
+    pub fn build_parallel(forest: F, options: EngineOptions, shards: usize) -> Self {
+        let plan = ShardPlan::new(forest.borrow(), shards);
+        Self::build_with_plan(forest, options, &plan)
+    }
+
+    /// [`QueryEngine::build_parallel`] with an explicit [`ShardPlan`]
+    /// (tests pin shard boundaries and worker counts through this).
+    pub fn build_with_plan(forest: F, options: EngineOptions, plan: &ShardPlan) -> Self {
         let f: &XmlForest = forest.borrow();
         let want = |s: Strategy| options.strategies.contains(&s);
         let needs_edge = want(Strategy::Edge)
@@ -293,7 +315,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
             || want(Strategy::IndexFabricEdge)
             || want(Strategy::JoinIndex);
         let pool = || Arc::new(BufferPool::in_memory(options.pool_pages));
-        let stats = PathStats::build(f);
+        let stats = PathStats::build_sharded(f, plan);
         let pruned_tags = options
             .head_filter_tags
             .as_ref()
@@ -301,39 +323,40 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         let dp = want(Strategy::DataPaths).then(|| {
             let p = pool();
             let dp = match &pruned_tags {
-                None => DataPaths::build(f, p.clone(), options.dp),
-                Some(tags) => DataPaths::build_filtered(
+                None => DataPaths::build_sharded(f, p.clone(), options.dp, plan),
+                Some(tags) => DataPaths::build_filtered_sharded(
                     f,
                     p.clone(),
                     options.dp,
                     Some(&|_head, path_tags: &[TagId]| tags.contains(&path_tags[0])),
+                    plan,
                 ),
             };
             (dp, p)
         });
         let rp = want(Strategy::RootPaths).then(|| {
             let p = pool();
-            (RootPaths::build(f, p.clone(), options.rp), p)
+            (RootPaths::build_sharded(f, p.clone(), options.rp, plan), p)
         });
         let edge = needs_edge.then(|| {
             let p = pool();
-            (EdgeTable::build(f, p.clone()), p)
+            (EdgeTable::build_sharded(f, p.clone(), plan), p)
         });
         let dg = want(Strategy::DataGuideEdge).then(|| {
             let p = pool();
-            (DataGuide::build(f, p.clone()), p)
+            (DataGuide::build_sharded(f, p.clone(), plan), p)
         });
         let fab = want(Strategy::IndexFabricEdge).then(|| {
             let p = pool();
-            (IndexFabric::build(f, p.clone()), p)
+            (IndexFabric::build_sharded(f, p.clone(), plan), p)
         });
         let asr = want(Strategy::Asr).then(|| {
             let p = pool();
-            (AccessSupportRelations::build(f, p.clone()), p)
+            (AccessSupportRelations::build_sharded(f, p.clone(), plan), p)
         });
         let ji = want(Strategy::JoinIndex).then(|| {
             let p = pool();
-            (JoinIndices::build(f, p.clone()), p)
+            (JoinIndices::build_sharded(f, p.clone(), plan), p)
         });
         QueryEngine {
             forest,
@@ -353,6 +376,16 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
     /// The forest under query.
     pub fn forest(&self) -> &XmlForest {
         self.forest.borrow()
+    }
+
+    /// A clone of the forest handle — e.g. the `Arc<XmlForest>` a
+    /// background rebuild shares without copying the data (see
+    /// `TwigService::rebuild_parallel`).
+    pub fn forest_handle(&self) -> F
+    where
+        F: Clone,
+    {
+        self.forest.clone()
     }
 
     /// True when `strategy`'s structures were built (querying an
@@ -467,6 +500,21 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
             }
         }
         pools
+    }
+
+    /// FNV-1a digest over the raw page images of every buffer pool
+    /// backing `strategy` (the primary structure's pool, plus the Edge
+    /// pool for the strategies that lean on it). Two engines built from
+    /// the same forest and options digest equal iff their index pages
+    /// are byte-identical — the acceptance check for
+    /// [`QueryEngine::build_parallel`].
+    pub fn structure_digest(&self, strategy: Strategy) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in self.pools_for(strategy) {
+            h ^= p.content_hash();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// Drops every cached page of the strategy's pools (flushes dirty
@@ -1517,6 +1565,40 @@ mod tests {
                 let expected: BTreeSet<u64> =
                     naive::select(&f, t).into_iter().map(|n| n.0).collect();
                 assert_eq!(a.ids, expected, "{s} on {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_and_answers_agree() {
+        let mut f = XmlForest::new();
+        for i in 0..7 {
+            let mut b = f.builder();
+            b.open("book");
+            b.leaf("title", if i % 2 == 0 { "XML" } else { "SQL" });
+            b.open("allauthors");
+            b.open("author");
+            b.leaf("fn", "jane");
+            b.leaf("ln", if i == 3 { "doe" } else { "poe" });
+            b.close();
+            b.close();
+            b.close();
+            b.finish();
+        }
+        let opts = || EngineOptions { pool_pages: 1024, ..Default::default() };
+        let seq = QueryEngine::build(&f, opts());
+        for shards in [1, 2, 3, 7] {
+            let par = QueryEngine::build_parallel(&f, opts(), shards);
+            for s in Strategy::ALL {
+                assert_eq!(
+                    par.structure_digest(s),
+                    seq.structure_digest(s),
+                    "{s} pages differ at {shards} shards"
+                );
+            }
+            let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+            for s in Strategy::ALL {
+                assert_eq!(par.answer(&twig, s).ids, seq.answer(&twig, s).ids, "{s}");
             }
         }
     }

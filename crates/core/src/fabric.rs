@@ -16,10 +16,11 @@ use crate::designator;
 use crate::family::{
     value_key_prefix, FamilyPosition, IdListSublist, IndexedColumn, PathIndex, SchemaPathSubset,
 };
-use crate::paths::for_each_root_path;
+use crate::parallel::{map_shards, ShardPlan};
+use crate::paths::for_each_root_path_in;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_btree::{bulk_build, merge_sorted_runs, BTree, BTreeOptions};
 use xtwig_rel::codec::KeyBuf;
 use xtwig_storage::BufferPool;
 use xtwig_xml::{TagId, XmlForest};
@@ -33,21 +34,30 @@ pub struct IndexFabric {
 impl IndexFabric {
     /// Builds the fabric (valued root-to-leaf paths only) from `forest`.
     pub fn build(forest: &XmlForest, pool: Arc<BufferPool>) -> Self {
-        let mut entries = Vec::new();
-        for_each_root_path(forest, |tags, ids, value| {
-            let Some(v) = value else { return };
-            let mut key = KeyBuf::new();
-            let mut path = Vec::with_capacity(tags.len() + 1);
-            designator::push_path(&mut path, tags);
-            path.push(designator::TERMINATOR);
-            key.push_raw(&path);
-            key.push_str(value_key_prefix(v));
-            key.push_u64(*ids.last().unwrap());
-            entries.push((key.finish(), Vec::new()));
+        Self::build_sharded(forest, pool, &ShardPlan::sequential(forest))
+    }
+
+    /// Shard-parallel [`Self::build`] (sorted per-shard runs merged into
+    /// one bulk load; byte-identical to the sequential build).
+    pub fn build_sharded(forest: &XmlForest, pool: Arc<BufferPool>, plan: &ShardPlan) -> Self {
+        let runs = map_shards(plan, |range| {
+            let mut entries = Vec::new();
+            for_each_root_path_in(forest, range, |tags, ids, value| {
+                let Some(v) = value else { return };
+                let mut key = KeyBuf::new();
+                let mut path = Vec::with_capacity(tags.len() + 1);
+                designator::push_path(&mut path, tags);
+                path.push(designator::TERMINATOR);
+                key.push_raw(&path);
+                key.push_str(value_key_prefix(v));
+                key.push_u64(*ids.last().unwrap());
+                entries.push((key.finish(), Vec::new()));
+            });
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            entries
         });
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         IndexFabric {
-            tree: bulk_build(pool, BTreeOptions::default(), entries),
+            tree: bulk_build(pool, BTreeOptions::default(), merge_sorted_runs(runs)),
             lookups: AtomicU64::new(0),
         }
     }

@@ -22,11 +22,12 @@ use crate::family::{
     FamilyPosition, IdListSublist, IndexedColumn, PathIndex, PathMatch, PcSubpathQuery,
     SchemaPathSubset,
 };
-use crate::paths::for_each_root_path;
+use crate::parallel::{map_shards, ShardPlan};
+use crate::paths::for_each_root_path_in;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_btree::{bulk_build, merge_sorted_runs, BTree, BTreeOptions};
 use xtwig_rel::codec::KeyBuf;
 use xtwig_storage::BufferPool;
 use xtwig_xml::{TagId, XmlForest};
@@ -61,29 +62,56 @@ fn trailing_u64(k: &[u8]) -> u64 {
 impl JoinIndices {
     /// Materializes all join indices from `forest`.
     pub fn build(forest: &XmlForest, pool: Arc<BufferPool>) -> Self {
+        Self::build_sharded(forest, pool, &ShardPlan::sequential(forest))
+    }
+
+    /// Shard-parallel [`Self::build`]: per-shard grouping and sorting on
+    /// the worker pool, then one merged bulk load per `(path, split)`
+    /// table pair **in sorted expression order** — deterministic page
+    /// layout, identical table contents (see
+    /// [`AccessSupportRelations::build_sharded`](crate::asr::AccessSupportRelations::build_sharded)).
+    pub fn build_sharded(forest: &XmlForest, pool: Arc<BufferPool>, plan: &ShardPlan) -> Self {
         type Entries = (Vec<(Vec<u8>, Vec<u8>)>, Vec<(Vec<u8>, Vec<u8>)>);
-        let mut grouped: HashMap<(Vec<TagId>, usize), Entries> = HashMap::new();
-        for_each_root_path(forest, |tags, ids, value| {
-            if value.is_some() {
-                return; // endpoints only; values live in the base data
-            }
-            let last = *ids.last().unwrap();
-            for (j, &start) in ids.iter().enumerate() {
-                let e = grouped.entry((tags.to_vec(), j)).or_default();
-                e.0.push((pair_key(start, last), Vec::new()));
-                e.1.push((pair_key(last, start), Vec::new()));
-            }
-        });
-        let mut tables = HashMap::with_capacity(grouped.len());
+        let mut shard_groups: Vec<HashMap<(Vec<TagId>, usize), Entries>> =
+            map_shards(plan, |range| {
+                let mut grouped: HashMap<(Vec<TagId>, usize), Entries> = HashMap::new();
+                for_each_root_path_in(forest, range, |tags, ids, value| {
+                    if value.is_some() {
+                        return; // endpoints only; values live in the base data
+                    }
+                    let last = *ids.last().unwrap();
+                    for (j, &start) in ids.iter().enumerate() {
+                        let e = grouped.entry((tags.to_vec(), j)).or_default();
+                        e.0.push((pair_key(start, last), Vec::new()));
+                        e.1.push((pair_key(last, start), Vec::new()));
+                    }
+                });
+                for (fwd, bwd) in grouped.values_mut() {
+                    fwd.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    bwd.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                }
+                grouped
+            });
+        let mut exprs: Vec<(Vec<TagId>, usize)> =
+            shard_groups.iter().flat_map(|g| g.keys().cloned()).collect();
+        exprs.sort_unstable();
+        exprs.dedup();
+        let mut tables = HashMap::with_capacity(exprs.len());
         let opts = BTreeOptions::default();
-        for (key, (mut fwd, mut bwd)) in grouped {
-            fwd.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            bwd.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for expr in exprs {
+            let mut fwd_runs = Vec::new();
+            let mut bwd_runs = Vec::new();
+            for g in &mut shard_groups {
+                if let Some((fwd, bwd)) = g.remove(&expr) {
+                    fwd_runs.push(fwd);
+                    bwd_runs.push(bwd);
+                }
+            }
             tables.insert(
-                key,
+                expr,
                 JiPair {
-                    forward: bulk_build(pool.clone(), opts, fwd),
-                    backward: bulk_build(pool.clone(), opts, bwd),
+                    forward: bulk_build(pool.clone(), opts, merge_sorted_runs(fwd_runs)),
+                    backward: bulk_build(pool.clone(), opts, merge_sorted_runs(bwd_runs)),
                 },
             );
         }

@@ -40,6 +40,7 @@ pub mod engine;
 pub mod fabric;
 pub mod family;
 pub mod joinindex;
+pub mod parallel;
 pub mod paths;
 pub mod plan;
 pub mod rootpaths;
@@ -50,4 +51,5 @@ pub use engine::{
     ParseStrategyError, ProbeMemo, ProbeMemoStats, QueryAnswer, QueryEngine, QueryMetrics, Strategy,
 };
 pub use family::{BoundIndex, FamilyPosition, FreeIndex, PathIndex, PathMatch, PcSubpathQuery};
+pub use parallel::ShardPlan;
 pub use xpath::parse_xpath;

@@ -1,0 +1,192 @@
+//! Shard-parallel index construction support.
+//!
+//! The paper builds every index with a single `CREATE INDEX`-style pass;
+//! at production scale the cold start dominates (native XML stores treat
+//! bulk index construction as a first-class parallel phase). The model
+//! here keeps the sequential builders' *output* while parallelizing the
+//! dominant cost:
+//!
+//! 1. [`ShardPlan`] partitions the forest into contiguous pre-order
+//!    ranges of near-equal node count ([`XmlForest::partition_nodes`]);
+//!    a range may start mid-subtree because the ranged enumerators
+//!    reseed their ancestor stack from the boundary node's root path,
+//!    so row enumeration needs no coordination — and shards stay
+//!    balanced even for single-document datasets like XMark/DBLP.
+//! 2. [`map_shards`] runs one enumerate-and-sort job per range on a
+//!    fixed worker pool and returns the per-shard results **in shard
+//!    order**.
+//! 3. Each builder merges its sorted shard runs with
+//!    [`xtwig_btree::merge_sorted_runs`] and bulk-loads exactly the
+//!    entry sequence the sequential sort would have produced — which is
+//!    why the resulting pages are byte-identical (asserted by
+//!    `QueryEngine::structure_digest` in the `parallel_build` suite).
+//!
+//! Only row enumeration and sorting run concurrently; final bulk loads
+//! stay on the calling thread so buffer-pool page allocation order (and
+//! therefore the page image) is deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use xtwig_xml::{NodeRange, XmlForest};
+
+/// How a parallel build partitions the forest and how many worker
+/// threads execute the shard jobs.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    ranges: Vec<NodeRange>,
+    workers: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `forest` into up to `shards` pre-order ranges of
+    /// near-equal node count, with one worker per shard capped at the
+    /// host's available parallelism.
+    pub fn new(forest: &XmlForest, shards: usize) -> Self {
+        let ranges = forest.partition_nodes(shards.max(1));
+        let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        let workers = ranges.len().clamp(1, hw.max(1));
+        ShardPlan { ranges, workers }
+    }
+
+    /// The degenerate single-shard plan: one range covering the whole
+    /// forest, executed inline. Sequential builders use this, which is
+    /// what makes `build` and `build_sharded` share one code path.
+    pub fn sequential(forest: &XmlForest) -> Self {
+        ShardPlan { ranges: forest.full_range().into_iter().collect(), workers: 1 }
+    }
+
+    /// Overrides the worker count (tests pin it to exercise the pool
+    /// independently of the host's core count).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The shard ranges, in document order.
+    pub fn ranges(&self) -> &[NodeRange] {
+        &self.ranges
+    }
+
+    /// Number of shards (≤ the requested count when the forest has too
+    /// few documents to split further).
+    pub fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Worker threads the shard jobs run on.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+/// Runs `f` over every shard range on the plan's worker pool, returning
+/// the results in shard order. With one worker (or at most one shard)
+/// the jobs run inline on the calling thread — no spawn overhead, same
+/// results. A panicking job propagates to the caller when the scope
+/// joins.
+pub fn map_shards<T, F>(plan: &ShardPlan, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(NodeRange) -> T + Sync,
+{
+    let ranges = plan.ranges();
+    if plan.workers() <= 1 || ranges.len() <= 1 {
+        return ranges.iter().map(|&r| f(r)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..plan.workers().min(ranges.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ranges.len() {
+                    break;
+                }
+                let out = f(ranges[i]);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner().unwrap_or_else(|e| e.into_inner()).expect("every shard job completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtwig_xml::NodeId;
+
+    fn forest_with_docs(sizes: &[usize]) -> XmlForest {
+        let mut f = XmlForest::new();
+        for &n in sizes {
+            let mut b = f.builder();
+            b.open("doc");
+            for i in 0..n {
+                b.leaf("item", &format!("v{i}"));
+            }
+            b.close();
+            b.finish();
+        }
+        f
+    }
+
+    #[test]
+    fn partition_covers_forest_without_gaps() {
+        let f = forest_with_docs(&[10, 3, 3, 3, 20, 1]);
+        for shards in 1..=8 {
+            let ranges = f.partition_nodes(shards);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges[0].first, NodeId(1));
+            assert_eq!(ranges.last().unwrap().last, f.full_range().unwrap().last);
+            for w in ranges.windows(2) {
+                assert_eq!(w[1].first.0, w[0].last.0 + 1, "contiguous, no overlap");
+            }
+            // Balanced: ranges differ by at most one node.
+            let lens: Vec<u64> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "{lens:?}");
+        }
+    }
+
+    #[test]
+    fn partition_of_empty_forest_is_empty() {
+        let f = XmlForest::new();
+        assert!(f.partition_nodes(4).is_empty());
+        assert!(f.full_range().is_none());
+    }
+
+    #[test]
+    fn single_document_splits_mid_subtree() {
+        // The paper's datasets are one big document each; arbitrary
+        // pre-order boundaries are what make sharding useful there.
+        let f = forest_with_docs(&[25]);
+        let ranges = f.partition_nodes(8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges[0].first, NodeId(1));
+        assert_eq!(ranges.last().unwrap().last, f.full_range().unwrap().last);
+    }
+
+    #[test]
+    fn map_shards_preserves_shard_order() {
+        let f = forest_with_docs(&[4; 12]);
+        let plan = ShardPlan::new(&f, 5).with_workers(3);
+        assert!(plan.shard_count() >= 2);
+        let firsts = map_shards(&plan, |r| r.first.0);
+        let expected: Vec<u64> = plan.ranges().iter().map(|r| r.first.0).collect();
+        assert_eq!(firsts, expected);
+    }
+
+    #[test]
+    fn sequential_plan_is_one_inline_shard() {
+        let f = forest_with_docs(&[4, 4]);
+        let plan = ShardPlan::sequential(&f);
+        assert_eq!(plan.shard_count(), 1);
+        assert_eq!(plan.workers(), 1);
+        let total: u64 = map_shards(&plan, |r| r.len()).iter().sum();
+        assert_eq!(total, f.node_count() as u64 - 1);
+    }
+}

@@ -17,21 +17,53 @@
 //! branch selectivities (paper §5.1.1 collects DB2 statistics the same
 //! way).
 
+use crate::parallel::{map_shards, ShardPlan};
 use std::collections::HashMap;
-use xtwig_xml::{TagId, XmlForest};
+use xtwig_xml::{NodeRange, TagId, XmlForest};
 
 /// Streams `(tags, ids, value)` for the root-to-node path of every node.
 ///
 /// The callback runs once per node with `value = None`, and — when the
 /// node carries a leaf value — a second time with `value = Some(..)`,
 /// mirroring the paired `null` / valued rows of Fig. 2.
-pub fn for_each_root_path<F>(forest: &XmlForest, mut f: F)
+pub fn for_each_root_path<F>(forest: &XmlForest, f: F)
+where
+    F: FnMut(&[TagId], &[u64], Option<&str>),
+{
+    if let Some(range) = forest.full_range() {
+        for_each_root_path_in(forest, range, f);
+    }
+}
+
+/// Seeds the enumeration stacks with the proper ancestors of a range's
+/// first node: the range may start mid-document (see
+/// [`xtwig_xml::XmlForest::partition_nodes`]), and pre-order iteration
+/// from there only needs the ancestor chain to resume exactly where a
+/// full-forest walk would have been.
+fn seed_stacks(
+    forest: &XmlForest,
+    first: xtwig_xml::NodeId,
+    tags: &mut Vec<TagId>,
+    ids: &mut Vec<u64>,
+) {
+    let path = forest.root_path_ids(first);
+    for &n in &path[..path.len().saturating_sub(1)] {
+        tags.push(forest.tag(n));
+        ids.push(n.0);
+    }
+}
+
+/// [`for_each_root_path`] over one shard range (any contiguous
+/// pre-order span; the ancestor stack is seeded from the first node's
+/// root path).
+pub fn for_each_root_path_in<F>(forest: &XmlForest, range: NodeRange, mut f: F)
 where
     F: FnMut(&[TagId], &[u64], Option<&str>),
 {
     let mut tags: Vec<TagId> = Vec::with_capacity(32);
     let mut ids: Vec<u64> = Vec::with_capacity(32);
-    for node in forest.iter_nodes() {
+    seed_stacks(forest, range.first, &mut tags, &mut ids);
+    for node in forest.iter_range(range) {
         let depth = forest.depth(node);
         tags.truncate(depth - 1);
         ids.truncate(depth - 1);
@@ -49,13 +81,25 @@ where
 /// the head's own tag and `ids[0]` its id, matching Fig. 5 (where the
 /// stored IdList excludes the head — builders drop `ids[0]` at encode
 /// time).
-pub fn for_each_subpath<F>(forest: &XmlForest, mut f: F)
+pub fn for_each_subpath<F>(forest: &XmlForest, f: F)
+where
+    F: FnMut(u64, &[TagId], &[u64], Option<&str>),
+{
+    if let Some(range) = forest.full_range() {
+        for_each_subpath_in(forest, range, f);
+    }
+}
+
+/// [`for_each_subpath`] over one shard range (any contiguous pre-order
+/// span, as with [`for_each_root_path_in`]).
+pub fn for_each_subpath_in<F>(forest: &XmlForest, range: NodeRange, mut f: F)
 where
     F: FnMut(u64, &[TagId], &[u64], Option<&str>),
 {
     let mut tags: Vec<TagId> = Vec::with_capacity(32);
     let mut ids: Vec<u64> = Vec::with_capacity(32);
-    for node in forest.iter_nodes() {
+    seed_stacks(forest, range.first, &mut tags, &mut ids);
+    for node in forest.iter_range(range) {
         let depth = forest.depth(node);
         tags.truncate(depth - 1);
         ids.truncate(depth - 1);
@@ -87,8 +131,24 @@ pub struct PathStats {
 impl PathStats {
     /// Collects statistics from `forest`.
     pub fn build(forest: &XmlForest) -> Self {
+        Self::build_sharded(forest, &ShardPlan::sequential(forest))
+    }
+
+    /// Collects statistics shard-parallel, merging the per-shard counts.
+    /// Counts are additive, so the merge is exact: the result equals
+    /// [`PathStats::build`] on any shard plan.
+    pub fn build_sharded(forest: &XmlForest, plan: &ShardPlan) -> Self {
+        let shards = map_shards(plan, |range| Self::build_range(forest, range));
         let mut stats = PathStats::default();
-        for_each_root_path(forest, |tags, _ids, value| match value {
+        for shard in shards {
+            stats.merge(shard);
+        }
+        stats
+    }
+
+    fn build_range(forest: &XmlForest, range: NodeRange) -> Self {
+        let mut stats = PathStats::default();
+        for_each_root_path_in(forest, range, |tags, _ids, value| match value {
             None => {
                 *stats.path_counts.entry(tags.to_vec()).or_insert(0) += 1;
                 *stats.tag_counts.entry(*tags.last().unwrap()).or_insert(0) += 1;
@@ -102,6 +162,20 @@ impl PathStats {
             }
         });
         stats
+    }
+
+    /// Adds another shard's counts into this one.
+    pub fn merge(&mut self, other: PathStats) {
+        for (k, v) in other.path_counts {
+            *self.path_counts.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.tag_value_counts {
+            *self.tag_value_counts.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.tag_counts {
+            *self.tag_counts.entry(k).or_insert(0) += v;
+        }
+        self.nodes += other.nodes;
     }
 
     /// Number of distinct root-anchored schema paths (the paper reports
@@ -259,6 +333,33 @@ mod tests {
             ["book", "allauthors", "author"].iter().map(|t| dict.lookup(t).unwrap()).collect();
         assert_eq!(s.path_count(&path), 3);
         assert!(s.distinct_schema_paths() >= 10);
+    }
+
+    #[test]
+    fn sharded_stats_equal_sequential() {
+        let mut f = XmlForest::new();
+        for i in 0..9 {
+            let mut b = f.builder();
+            b.open("book");
+            b.leaf("title", if i % 3 == 0 { "XML" } else { "SQL" });
+            b.open("author");
+            b.leaf("fn", "jane");
+            b.close();
+            b.close();
+            b.finish();
+        }
+        let seq = PathStats::build(&f);
+        for shards in [2, 3, 4, 9] {
+            let plan = crate::parallel::ShardPlan::new(&f, shards);
+            let par = PathStats::build_sharded(&f, &plan);
+            assert_eq!(par.node_count(), seq.node_count());
+            assert_eq!(par.distinct_schema_paths(), seq.distinct_schema_paths());
+            for (path, count) in seq.iter_paths() {
+                assert_eq!(par.path_count(path), count, "{shards} shards");
+            }
+            let title = f.dict().lookup("title").unwrap();
+            assert_eq!(par.tag_value_count(title, "XML"), seq.tag_value_count(title, "XML"));
+        }
     }
 
     #[test]

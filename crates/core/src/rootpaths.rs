@@ -25,9 +25,10 @@ use crate::family::{
     value_key_prefix, FamilyPosition, FreeIndex, IdListSublist, IndexedColumn, PathIndex,
     PathMatch, PcSubpathQuery, SchemaPathSubset,
 };
-use crate::paths::for_each_root_path;
+use crate::parallel::{map_shards, ShardPlan};
+use crate::paths::for_each_root_path_in;
 use std::sync::Arc;
-use xtwig_btree::{bulk_build, BTree, BTreeOptions};
+use xtwig_btree::{bulk_build, merge_sorted_runs, BTree, BTreeOptions};
 use xtwig_rel::codec::{self, IdListCodec, KeyBuf};
 use xtwig_storage::BufferPool;
 use xtwig_xml::{TagId, XmlForest};
@@ -93,24 +94,40 @@ pub(crate) fn skip_value_part(bytes: &[u8], pos: usize) -> (Option<String>, usiz
 impl RootPaths {
     /// Builds the index from `forest` into `pool`.
     pub fn build(forest: &XmlForest, pool: Arc<BufferPool>, options: RootPathsOptions) -> Self {
-        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        for_each_root_path(forest, |tags, ids, value| {
-            let mut key = KeyBuf::new();
-            push_value_part(&mut key, value);
-            let mut path = Vec::with_capacity(tags.len() + 1);
-            designator::push_path_reversed(&mut path, tags);
-            path.push(designator::TERMINATOR);
-            key.push_raw(&path);
-            key.push_u64(*ids.last().unwrap());
-            let stored: &[u64] = match options.keep {
-                IdListKeep::Full => ids,
-                IdListKeep::LastOnly => &ids[ids.len() - 1..],
-            };
-            entries.push((key.finish(), codec::encode_idlist(options.idlist, stored)));
+        Self::build_sharded(forest, pool, options, &ShardPlan::sequential(forest))
+    }
+
+    /// Builds the index shard-parallel: each shard enumerates and sorts
+    /// its own entry run on the plan's worker pool, and the merged runs
+    /// are bulk-loaded in one pass — the same strictly increasing entry
+    /// sequence (and therefore the same page image) as [`Self::build`].
+    pub fn build_sharded(
+        forest: &XmlForest,
+        pool: Arc<BufferPool>,
+        options: RootPathsOptions,
+        plan: &ShardPlan,
+    ) -> Self {
+        let runs = map_shards(plan, |range| {
+            let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            for_each_root_path_in(forest, range, |tags, ids, value| {
+                let mut key = KeyBuf::new();
+                push_value_part(&mut key, value);
+                let mut path = Vec::with_capacity(tags.len() + 1);
+                designator::push_path_reversed(&mut path, tags);
+                path.push(designator::TERMINATOR);
+                key.push_raw(&path);
+                key.push_u64(*ids.last().unwrap());
+                let stored: &[u64] = match options.keep {
+                    IdListKeep::Full => ids,
+                    IdListKeep::LastOnly => &ids[ids.len() - 1..],
+                };
+                entries.push((key.finish(), codec::encode_idlist(options.idlist, stored)));
+            });
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            entries
         });
-        let rows = entries.len() as u64;
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        let tree = bulk_build(pool, options.btree, entries);
+        let rows = runs.iter().map(|r| r.len() as u64).sum();
+        let tree = bulk_build(pool, options.btree, merge_sorted_runs(runs));
         RootPaths { tree, idlist: options.idlist, keep: options.keep, rows }
     }
 

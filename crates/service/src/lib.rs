@@ -23,6 +23,11 @@
 //! * **Batched execution** — [`TwigService::submit_batch`] evaluates a
 //!   group of queries with a shared probe memo, so queries sharing a
 //!   PCsubpath (same tags/anchoring/value) hit the indexes once.
+//! * **Rebuild-and-swap** — [`TwigService::rebuild_parallel`] rebuilds
+//!   every index with the shard-parallel builder
+//!   (`QueryEngine::build_parallel`) while readers keep serving from
+//!   the old engine, then swaps the new engine in under a brief write
+//!   lock and bumps the invalidation generation.
 //! * **Stats** — [`TwigService::stats`] snapshots cache hit rates,
 //!   queue depth, and per-strategy latency histograms, and renders them
 //!   as JSON for the bench harness.

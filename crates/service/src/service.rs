@@ -19,7 +19,7 @@ use crate::stats::{ServiceSnapshot, ServiceStats};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex as StdMutex};
@@ -232,7 +232,18 @@ struct Shared {
     result_cache: ResultCache,
     generation: AtomicU64,
     stats: ServiceStats,
-    available: [bool; Strategy::ALL.len()],
+    /// Which strategies the *current* engine has built — atomic because
+    /// [`TwigService::rebuild_parallel`] may swap in an engine with a
+    /// different strategy set while submissions race the check.
+    available: [AtomicBool; Strategy::ALL.len()],
+}
+
+impl Shared {
+    fn set_available(&self, engine: &SharedEngine) {
+        for (i, s) in Strategy::ALL.iter().enumerate() {
+            self.available[i].store(engine.has_strategy(*s), Ordering::SeqCst);
+        }
+    }
 }
 
 /// A multi-threaded twig query service over one shared [`SharedEngine`].
@@ -251,10 +262,8 @@ impl TwigService {
 
     /// Starts a worker pool over an already-built shared engine.
     pub fn over(engine: SharedEngine, options: ServiceOptions) -> Self {
-        let mut available = [false; Strategy::ALL.len()];
-        for (i, s) in Strategy::ALL.iter().enumerate() {
-            available[i] = engine.has_strategy(*s);
-        }
+        let available =
+            std::array::from_fn(|i| AtomicBool::new(engine.has_strategy(Strategy::ALL[i])));
         let shared = Arc::new(Shared {
             engine: RwLock::new(engine),
             plan_cache: PlanCache::new(options.plan_cache, options.plan_cache_capacity),
@@ -328,7 +337,7 @@ impl TwigService {
         deadline: Option<Duration>,
     ) -> Result<Arc<Slot>, ServiceError> {
         let idx = strategy_index(strategy);
-        if !self.shared.available[idx] {
+        if !self.shared.available[idx].load(Ordering::SeqCst) {
             return Err(ServiceError::StrategyNotBuilt(strategy));
         }
         let sender = self.sender.lock();
@@ -361,6 +370,38 @@ impl TwigService {
         r
     }
 
+    /// Rebuilds every index configuration with the shard-parallel
+    /// builder and swaps the new engine in — **without draining
+    /// readers**: the build runs over the shared `Arc<XmlForest>`
+    /// handle with no engine lock held, so queries keep executing
+    /// against the old indexes for the whole build; only the final swap
+    /// takes the write lock (it waits for in-flight readers, as any
+    /// update does, but holds the lock for a pointer swap rather than a
+    /// build). The invalidation generation is bumped under that lock,
+    /// staling every cached result, and the strategy-availability flags
+    /// are refreshed for the new engine's strategy set.
+    ///
+    /// Concurrent [`TwigService::apply_update`]s that commit *during*
+    /// the build are overwritten by the swap (the rebuild re-reads the
+    /// forest, not the old indexes); callers who interleave updates with
+    /// rebuilds serialize them at a higher level.
+    pub fn rebuild_parallel(&self, options: EngineOptions, shards: usize) {
+        let forest = self.shared.engine.read().forest_handle();
+        let new_engine = QueryEngine::build_parallel(forest, options, shards);
+        let old_engine = {
+            let mut engine = self.shared.engine.write();
+            let old = std::mem::replace(&mut *engine, new_engine);
+            self.shared.set_available(&engine);
+            self.shared.generation.fetch_add(1, Ordering::SeqCst);
+            self.shared.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+            old
+        };
+        // Tear the old engine down (up to seven strategies' pools and
+        // trees) only after releasing the write lock — readers must not
+        // stall behind the deallocation.
+        drop(old_engine);
+    }
+
     /// Runs a read-only closure against the engine (sequential-baseline
     /// comparisons, stats reporting).
     pub fn with_engine<R>(&self, f: impl FnOnce(&SharedEngine) -> R) -> R {
@@ -381,6 +422,7 @@ impl TwigService {
             failed: s.failed.load(Ordering::Relaxed),
             deadline_missed: s.deadline_missed.load(Ordering::Relaxed),
             updates: s.updates.load(Ordering::Relaxed),
+            rebuilds: s.rebuilds.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             batch_queries: s.batch_queries.load(Ordering::Relaxed),
             memo_hits: s.memo_hits.load(Ordering::Relaxed),
@@ -446,11 +488,16 @@ fn run_job(shared: &Shared, job: Job) {
         return;
     }
     match &job.kind {
-        JobKind::Single(twig, strategy) => {
-            let answer = answer_one(shared, twig, *strategy);
-            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-            job.slot.resolve(Ok(vec![answer]));
-        }
+        JobKind::Single(twig, strategy) => match answer_one(shared, twig, *strategy) {
+            Ok(answer) => {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                job.slot.resolve(Ok(vec![answer]));
+            }
+            Err(e) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                job.slot.resolve(Err(e));
+            }
+        },
         JobKind::Batch(twigs, strategy) => {
             // One generation and ONE engine read lock for the whole
             // batch: the memo must not straddle an update, or matches
@@ -459,22 +506,44 @@ fn run_job(shared: &Shared, job: Job) {
             // gives the batch one consistent index snapshot.
             let generation = shared.generation.load(Ordering::SeqCst);
             let mut memo = ProbeMemo::new();
-            let answers: Vec<ServiceAnswer> = {
+            let answers: Result<Vec<ServiceAnswer>, ServiceError> = {
                 let engine = shared.engine.read();
-                twigs
-                    .iter()
-                    .map(|t| {
-                        answer_locked(shared, &engine, t, *strategy, Some(&mut memo), generation)
-                    })
-                    .collect()
+                // Recheck against the engine actually executing: a
+                // rebuild may have dropped the strategy after submit's
+                // availability check passed (see `answer_one`).
+                if engine.has_strategy(*strategy) {
+                    Ok(twigs
+                        .iter()
+                        .map(|t| {
+                            answer_locked(
+                                shared,
+                                &engine,
+                                t,
+                                *strategy,
+                                Some(&mut memo),
+                                generation,
+                            )
+                        })
+                        .collect())
+                } else {
+                    Err(ServiceError::StrategyNotBuilt(*strategy))
+                }
             };
-            let memo_stats = memo.stats();
-            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-            shared.stats.batch_queries.fetch_add(queries, Ordering::Relaxed);
-            shared.stats.memo_hits.fetch_add(memo_stats.hits, Ordering::Relaxed);
-            shared.stats.memo_misses.fetch_add(memo_stats.misses, Ordering::Relaxed);
-            shared.stats.completed.fetch_add(queries, Ordering::Relaxed);
-            job.slot.resolve(Ok(answers));
+            match answers {
+                Ok(answers) => {
+                    let memo_stats = memo.stats();
+                    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.batch_queries.fetch_add(queries, Ordering::Relaxed);
+                    shared.stats.memo_hits.fetch_add(memo_stats.hits, Ordering::Relaxed);
+                    shared.stats.memo_misses.fetch_add(memo_stats.misses, Ordering::Relaxed);
+                    shared.stats.completed.fetch_add(queries, Ordering::Relaxed);
+                    job.slot.resolve(Ok(answers));
+                }
+                Err(e) => {
+                    shared.stats.failed.fetch_add(queries, Ordering::Relaxed);
+                    job.slot.resolve(Err(e));
+                }
+            }
         }
     }
 }
@@ -483,21 +552,38 @@ fn run_job(shared: &Shared, job: Job) {
 /// *before* execution: an update racing with the computation commits a
 /// result tagged with the old generation, which the next lookup treats
 /// as stale — conservative, never wrong. Result-cache hits return
-/// without touching the engine lock at all.
-fn answer_one(shared: &Shared, twig: &TwigPattern, strategy: Strategy) -> ServiceAnswer {
+/// without touching the engine lock at all. (A rebuild that dropped
+/// the strategy also bumped the generation; a worker that captured the
+/// old generation *before* the swap may still serve one cached
+/// pre-rebuild answer — correct data for the engine that was live when
+/// the query was accepted, after which the entry is stale.)
+///
+/// Errs with [`ServiceError::StrategyNotBuilt`] when a rebuild dropped
+/// the strategy between submit's availability check and execution —
+/// the recheck is against the engine this worker actually holds, so a
+/// query never reaches an unbuilt structure (whose accessor would
+/// panic and kill the worker thread).
+fn answer_one(
+    shared: &Shared,
+    twig: &TwigPattern,
+    strategy: Strategy,
+) -> Result<ServiceAnswer, ServiceError> {
     let generation = shared.generation.load(Ordering::SeqCst);
     let key = exact_key(twig);
     if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
-        return ServiceAnswer {
+        return Ok(ServiceAnswer {
             ids,
             plan,
             strategy,
             from_cache: true,
             metrics: QueryMetrics::default(),
-        };
+        });
     }
     let engine = shared.engine.read();
-    answer_miss(shared, &engine, twig, strategy, None, generation, key)
+    if !engine.has_strategy(strategy) {
+        return Err(ServiceError::StrategyNotBuilt(strategy));
+    }
+    Ok(answer_miss(shared, &engine, twig, strategy, None, generation, key))
 }
 
 /// Answers one query of a batch under the batch's engine read guard and
@@ -638,6 +724,141 @@ mod tests {
         assert_eq!(after.ids.iter().copied().collect::<Vec<_>>(), vec![900]);
         assert_eq!(svc.stats().result_cache.invalidated, 1);
         svc.shutdown();
+    }
+
+    #[test]
+    fn rebuild_swaps_engine_and_invalidates_results() {
+        let svc = small_service(2);
+        let twig = parse_xpath("//author[fn='jane']").unwrap();
+        let before = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert_eq!(before.ids.len(), 2);
+        // Cached now; a rebuild must stale the cache even though the
+        // answer set is unchanged (the indexes were reconstructed).
+        svc.rebuild_parallel(EngineOptions { pool_pages: 256, ..Default::default() }, 4);
+        assert_eq!(svc.generation(), 1);
+        assert_eq!(svc.stats().rebuilds, 1);
+        let after = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert!(!after.from_cache, "rebuild must invalidate cached results");
+        assert_eq!(*after.ids, *before.ids);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn rebuild_can_change_the_strategy_set() {
+        let svc = TwigService::build(
+            fig1_book_document(),
+            EngineOptions {
+                strategies: vec![Strategy::RootPaths],
+                pool_pages: 256,
+                ..Default::default()
+            },
+            ServiceOptions { workers: 2, ..Default::default() },
+        );
+        let twig = parse_xpath("//author").unwrap();
+        assert!(svc.submit(&twig, Strategy::DataPaths).is_err());
+        svc.rebuild_parallel(
+            EngineOptions {
+                strategies: vec![Strategy::RootPaths, Strategy::DataPaths],
+                pool_pages: 256,
+                ..Default::default()
+            },
+            2,
+        );
+        let a = svc.submit(&twig, Strategy::DataPaths).unwrap().wait().unwrap();
+        assert_eq!(a.ids.len(), 3);
+        // Dropping a strategy makes it unavailable again.
+        svc.rebuild_parallel(
+            EngineOptions {
+                strategies: vec![Strategy::RootPaths],
+                pool_pages: 256,
+                ..Default::default()
+            },
+            2,
+        );
+        assert_eq!(
+            svc.submit(&twig, Strategy::DataPaths).err(),
+            Some(ServiceError::StrategyNotBuilt(Strategy::DataPaths))
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn queued_query_against_dropped_strategy_cannot_kill_the_worker() {
+        // TOCTOU guard: a query can pass submit's availability check,
+        // queue, and only reach a worker after a rebuild dropped its
+        // strategy. The worker must resolve it (StrategyNotBuilt) via
+        // the engine recheck — never touch the unbuilt structure, whose
+        // accessor would panic and permanently kill the worker thread.
+        let both = || EngineOptions {
+            strategies: vec![Strategy::RootPaths, Strategy::DataPaths],
+            pool_pages: 256,
+            ..Default::default()
+        };
+        let svc = TwigService::over(
+            QueryEngine::build(Arc::new(fig1_book_document()), both()),
+            ServiceOptions { workers: 1, result_cache_capacity: 0, ..Default::default() },
+        );
+        // Occupy the single worker so the DP query sits in the queue.
+        let filler: Vec<TwigPattern> =
+            (0..64).map(|_| parse_xpath("//section/head").unwrap()).collect();
+        let batch = svc.submit_batch(&filler, Strategy::RootPaths).unwrap();
+        let twig = parse_xpath("//author").unwrap();
+        let queued = svc.submit(&twig, Strategy::DataPaths).unwrap();
+        // Drop DataPaths while the query is (likely still) queued.
+        svc.rebuild_parallel(
+            EngineOptions {
+                strategies: vec![Strategy::RootPaths],
+                pool_pages: 256,
+                ..Default::default()
+            },
+            2,
+        );
+        match queued.wait() {
+            // Worker dequeued after the swap: rejected by the recheck.
+            Err(ServiceError::StrategyNotBuilt(Strategy::DataPaths)) => {}
+            // Worker won the race and executed against the old engine.
+            Ok(a) => assert_eq!(a.ids.len(), 3),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        batch.wait().unwrap();
+        // Either way the worker must still be alive and serving.
+        let alive = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert_eq!(alive.ids.len(), 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn queries_keep_serving_across_concurrent_rebuilds() {
+        // Readers and rebuilds interleave: every answer must come from
+        // either the old or the new engine — both correct — and nothing
+        // deadlocks or errors.
+        let svc = Arc::new(small_service(3));
+        let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+        let expected = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap().ids;
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let rebuilder = {
+            let svc = svc.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    svc.rebuild_parallel(
+                        EngineOptions { pool_pages: 256, ..Default::default() },
+                        3,
+                    );
+                }
+            })
+        };
+        for _ in 0..60 {
+            let a = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+            assert_eq!(*a.ids, *expected);
+        }
+        stop.store(true, Ordering::SeqCst);
+        rebuilder.join().unwrap();
+        assert!(svc.stats().rebuilds >= 1);
+        match Arc::try_unwrap(svc) {
+            Ok(svc) => svc.shutdown(),
+            Err(_) => panic!("service still shared"),
+        }
     }
 
     #[test]

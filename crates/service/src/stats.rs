@@ -72,6 +72,7 @@ pub struct ServiceStats {
     pub(crate) failed: AtomicU64,
     pub(crate) deadline_missed: AtomicU64,
     pub(crate) updates: AtomicU64,
+    pub(crate) rebuilds: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batch_queries: AtomicU64,
     pub(crate) memo_hits: AtomicU64,
@@ -89,6 +90,7 @@ impl Default for ServiceStats {
             failed: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             updates: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_queries: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
@@ -160,6 +162,8 @@ pub struct ServiceSnapshot {
     pub deadline_missed: u64,
     /// Index-maintenance transactions applied.
     pub updates: u64,
+    /// Full engine rebuild-and-swap operations completed.
+    pub rebuilds: u64,
     /// Batches executed.
     pub batches: u64,
     /// Queries submitted through batches.
@@ -204,6 +208,7 @@ impl ServiceSnapshot {
              {indent}  \"failed\": {},\n\
              {indent}  \"deadline_missed\": {},\n\
              {indent}  \"updates\": {},\n\
+             {indent}  \"rebuilds\": {},\n\
              {indent}  \"batches\": {},\n\
              {indent}  \"batch_queries\": {},\n\
              {indent}  \"memo_hits\": {},\n\
@@ -220,6 +225,7 @@ impl ServiceSnapshot {
             self.failed,
             self.deadline_missed,
             self.updates,
+            self.rebuilds,
             self.batches,
             self.batch_queries,
             self.memo_hits,
@@ -267,6 +273,7 @@ mod tests {
             failed: 0,
             deadline_missed: 0,
             updates: 0,
+            rebuilds: 0,
             batches: 0,
             batch_queries: 0,
             memo_hits: 0,

@@ -26,6 +26,18 @@
 //!   on its page lock. This is why `flush_all` skips pinned frames.
 //! * `clear_cache` requires quiescence (it panics on pinned pages); it
 //!   is a bench/ablation facility, not a serving-path operation.
+//!
+//! Write-path concurrency audit (for the sharded index builds in
+//! `xtwig-core::parallel`): `allocate` is safe to call from any number
+//! of threads — the backend hands out ids under its own mutex/atomic,
+//! `install` pins the fresh frame under the table mutex before the
+//! guard is handed out, and the returned write guard owns the content
+//! lock. What concurrent allocation does **not** give is a
+//! deterministic id order, which is why the sharded builders
+//! deliberately keep all allocation on the calling thread (workers only
+//! enumerate and sort rows) so a parallel build's page image stays
+//! byte-identical to the sequential one. `pool_stress` exercises the
+//! multi-threaded allocate path.
 
 use crate::disk::DiskManager;
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
@@ -115,6 +127,24 @@ impl BufferPool {
     /// Bytes allocated in the underlying disk manager.
     pub fn allocated_bytes(&self) -> u64 {
         self.disk.allocated_bytes()
+    }
+
+    /// FNV-1a hash over the byte content of every allocated page, in
+    /// page-id order. Dirty resident frames are read through the pool,
+    /// so the hash reflects the latest content even before write-back.
+    /// Two pools built the same way hash equal iff their page images
+    /// are byte-identical — the assertion behind the sharded-build
+    /// equivalence tests (`QueryEngine::structure_digest`).
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for pid in 0..self.num_pages() {
+            let guard = self.fetch(PageId(pid));
+            for &b in guard.iter() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
     }
 
     /// Allocates a fresh zeroed page and returns it pinned for writing.

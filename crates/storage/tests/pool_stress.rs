@@ -131,6 +131,43 @@ fn flush_all_with_pinned_dirty_page_skips_it() {
 }
 
 #[test]
+fn concurrent_allocation_hands_out_distinct_pages() {
+    // The write-path audit in `buffer.rs`: allocate from many threads
+    // must hand out distinct ids, never lose a page, and leave each
+    // thread's writes intact. (The sharded index builders keep
+    // allocation single-threaded for deterministic layout, but the pool
+    // itself must stay correct under concurrent allocation.)
+    let pool = Arc::new(BufferPool::in_memory(64));
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let pool = pool.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut mine = Vec::new();
+            for i in 0..200u64 {
+                let (pid, mut g) = pool.allocate();
+                put_u64(&mut g, 0, t * 1_000_000 + i);
+                drop(g);
+                mine.push((pid, t * 1_000_000 + i));
+            }
+            mine
+        }));
+    }
+    let mut all: Vec<(xtwig_storage::PageId, u64)> = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    assert_eq!(all.len(), 6 * 200);
+    let mut ids: Vec<u32> = all.iter().map(|(p, _)| p.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 6 * 200, "no page id handed out twice");
+    assert_eq!(pool.num_pages(), 6 * 200);
+    for (pid, expected) in all {
+        assert_eq!(get_u64(&pool.fetch(pid), 0), expected);
+    }
+}
+
+#[test]
 fn pin_unpin_churn_many_threads_exact_counts() {
     // Pure pin/unpin churn on a pool exactly the size of the hot set:
     // no evictions, every fetch a hit, pins balancing back to zero.

@@ -30,5 +30,5 @@ pub mod twig;
 
 pub use dictionary::{TagDict, TagId};
 pub use parser::{parse_document, ParseError};
-pub use tree::{NodeId, NodeKind, SymbolId, TreeBuilder, XmlForest};
+pub use tree::{NodeId, NodeKind, NodeRange, SymbolId, TreeBuilder, XmlForest};
 pub use twig::{Axis, TwigNode, TwigPattern};

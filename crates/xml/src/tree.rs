@@ -68,6 +68,35 @@ pub struct XmlForest {
     roots: Vec<NodeId>,
 }
 
+/// A contiguous pre-order span of nodes, produced by
+/// [`XmlForest::partition_nodes`]. A range may start anywhere — mid
+/// document, mid subtree — because pre-order enumeration over it can be
+/// resumed by seeding the ancestor stack with the first node's root
+/// path (`xtwig-core`'s `for_each_root_path_in` does exactly that).
+/// Splitting at arbitrary boundaries is what keeps shards balanced even
+/// for the paper's single-document datasets (XMark and DBLP are each
+/// one big document, so a whole-document partitioner could never split
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRange {
+    /// First node id of the range.
+    pub first: NodeId,
+    /// Last node id of the range, inclusive.
+    pub last: NodeId,
+}
+
+impl NodeRange {
+    /// Nodes covered by the range.
+    pub fn len(&self) -> u64 {
+        self.last.0 - self.first.0 + 1
+    }
+
+    /// Never true: ranges always cover at least one node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
 impl Default for XmlForest {
     fn default() -> Self {
         Self::new()
@@ -226,6 +255,46 @@ impl XmlForest {
     /// virtual root).
     pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (1..self.nodes.len() as u64).map(NodeId)
+    }
+
+    /// The range covering every document, or `None` for an empty forest.
+    pub fn full_range(&self) -> Option<NodeRange> {
+        if self.nodes.len() <= 1 {
+            None
+        } else {
+            Some(NodeRange { first: NodeId(1), last: NodeId(self.nodes.len() as u64 - 1) })
+        }
+    }
+
+    /// Pre-order iterator over one [`NodeRange`].
+    pub fn iter_range(&self, range: NodeRange) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert!(range.last.idx() < self.nodes.len());
+        (range.first.0..=range.last.0).map(NodeId)
+    }
+
+    /// Partitions the forest into at most `max_shards` contiguous
+    /// pre-order ranges of (near-)equal node count. Boundaries fall
+    /// anywhere — shard enumeration reseeds its ancestor stack from the
+    /// boundary node's root path — so even a forest holding one huge
+    /// document splits evenly. Returns an empty vector for an empty
+    /// forest; otherwise the ranges concatenate to
+    /// [`XmlForest::full_range`].
+    pub fn partition_nodes(&self, max_shards: usize) -> Vec<NodeRange> {
+        let Some(full) = self.full_range() else {
+            return Vec::new();
+        };
+        let total = full.last.0 - full.first.0 + 1;
+        let shards = (max_shards.max(1) as u64).min(total);
+        let mut out = Vec::with_capacity(shards as usize);
+        let mut start = full.first.0;
+        for s in 1..=shards {
+            let end = full.first.0 + (total * s) / shards - 1;
+            out.push(NodeRange { first: NodeId(start), last: NodeId(end) });
+            start = end + 1;
+        }
+        debug_assert_eq!(out.first().map(|r| r.first), Some(full.first));
+        debug_assert_eq!(out.last().map(|r| r.last), Some(full.last));
+        out
     }
 
     /// Pre-order iterator over `root`'s subtree, including `root` itself.

@@ -5,11 +5,16 @@
 //! queries, printing results, the chosen plan, and cost metrics.
 //!
 //! ```text
-//! xtwig query  <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain]
-//! xtwig bench  <file.xml> '<xpath>'             # run against every strategy
-//! xtwig stats  <file.xml>                       # dataset + index statistics
-//! xtwig demo   ['<xpath>']                      # generated XMark data
+//! xtwig query  <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]
+//! xtwig bench  <file.xml> '<xpath>' [--shards N]   # run against every strategy
+//! xtwig stats  <file.xml> [--shards N]             # dataset + index statistics
+//! xtwig demo   ['<xpath>'] [--shards N]            # generated XMark data
 //! ```
+//!
+//! `--shards N` builds the indexes with the shard-parallel builder
+//! (`QueryEngine::build_parallel`); the resulting indexes are
+//! byte-identical to the sequential build, so query results and
+//! metrics are unaffected — only the build is parallelized.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -20,9 +25,17 @@ use xtwig::xml::{parse_document, NodeId, XmlForest};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain]\n  xtwig bench <file.xml> '<xpath>'\n  xtwig stats <file.xml>\n  xtwig demo ['<xpath>']"
+        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]"
     );
     ExitCode::from(2)
+}
+
+/// Build-parallelism shard count: delegates to the shared
+/// `--shards`/`XTWIG_SHARDS` parser every fig binary uses (default 1 =
+/// sequential; an unparsable value exits with an error instead of
+/// silently building sequentially).
+fn shards_from() -> usize {
+    xtwig::bench::shards_from_args()
 }
 
 fn strategy_from(label: &str) -> Option<Strategy> {
@@ -56,7 +69,13 @@ fn print_answer(forest: &XmlForest, ids: &BTreeSet<u64>, verbose_limit: usize) {
     }
 }
 
-fn run_query(forest: &XmlForest, xpath: &str, strategy: Strategy, explain: bool) -> ExitCode {
+fn run_query(
+    forest: &XmlForest,
+    xpath: &str,
+    strategy: Strategy,
+    explain: bool,
+    shards: usize,
+) -> ExitCode {
     let twig = match xtwig::parse_xpath(xpath) {
         Ok(t) => t,
         Err(e) => {
@@ -64,9 +83,10 @@ fn run_query(forest: &XmlForest, xpath: &str, strategy: Strategy, explain: bool)
             return ExitCode::FAILURE;
         }
     };
-    let engine = QueryEngine::build(
+    let engine = QueryEngine::build_parallel(
         forest,
         EngineOptions { strategies: vec![strategy], pool_pages: 5_120, ..Default::default() },
+        shards,
     );
     if explain {
         if let Some(plan) = engine.plan(&twig) {
@@ -99,7 +119,7 @@ fn run_query(forest: &XmlForest, xpath: &str, strategy: Strategy, explain: bool)
     ExitCode::SUCCESS
 }
 
-fn run_bench(forest: &XmlForest, xpath: &str) -> ExitCode {
+fn run_bench(forest: &XmlForest, xpath: &str, shards: usize) -> ExitCode {
     let twig = match xtwig::parse_xpath(xpath) {
         Ok(t) => t,
         Err(e) => {
@@ -108,8 +128,11 @@ fn run_bench(forest: &XmlForest, xpath: &str) -> ExitCode {
         }
     };
     println!("building all seven configurations …");
-    let engine =
-        QueryEngine::build(forest, EngineOptions { pool_pages: 5_120, ..Default::default() });
+    let engine = QueryEngine::build_parallel(
+        forest,
+        EngineOptions { pool_pages: 5_120, ..Default::default() },
+        shards,
+    );
     println!(
         "{:<8} {:>8} {:>9} {:>9} {:>12} {:>12}  plan",
         "strategy", "results", "probes", "rows", "logical I/O", "time"
@@ -130,7 +153,7 @@ fn run_bench(forest: &XmlForest, xpath: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_stats(forest: &XmlForest) -> ExitCode {
+fn run_stats(forest: &XmlForest, shards: usize) -> ExitCode {
     let stats = PathStats::build(forest);
     println!("documents:            {}", forest.roots().len());
     println!("element/attr nodes:   {}", forest.node_count() - 1);
@@ -138,13 +161,14 @@ fn run_stats(forest: &XmlForest) -> ExitCode {
     println!("distinct tags:        {}", forest.dict().len() - 1);
     println!("distinct schema paths: {}", stats.distinct_schema_paths());
     println!("approx text size:     {:.2} MB", forest.approx_text_bytes() as f64 / 1048576.0);
-    let engine = QueryEngine::build(
+    let engine = QueryEngine::build_parallel(
         forest,
         EngineOptions {
             strategies: vec![Strategy::RootPaths, Strategy::DataPaths],
             pool_pages: 16_384,
             ..Default::default()
         },
+        shards,
     );
     if let Some(rp) = engine.rootpaths() {
         println!("ROOTPATHS: {} rows, {:.2} MB", rp.rows(), rp.space_bytes() as f64 / 1048576.0);
@@ -173,7 +197,7 @@ fn main() -> ExitCode {
             };
             let explain = args.iter().any(|a| a == "--explain");
             match load(path) {
-                Ok(forest) => run_query(&forest, xpath, strategy, explain),
+                Ok(forest) => run_query(&forest, xpath, strategy, explain, shards_from()),
                 Err(e) => {
                     eprintln!("{e}");
                     ExitCode::FAILURE
@@ -183,7 +207,7 @@ fn main() -> ExitCode {
         "bench" => {
             let (Some(path), Some(xpath)) = (args.get(1), args.get(2)) else { return usage() };
             match load(path) {
-                Ok(forest) => run_bench(&forest, xpath),
+                Ok(forest) => run_bench(&forest, xpath, shards_from()),
                 Err(e) => {
                     eprintln!("{e}");
                     ExitCode::FAILURE
@@ -193,7 +217,7 @@ fn main() -> ExitCode {
         "stats" => {
             let Some(path) = args.get(1) else { return usage() };
             match load(path) {
-                Ok(forest) => run_stats(&forest),
+                Ok(forest) => run_stats(&forest, shards_from()),
                 Err(e) => {
                     eprintln!("{e}");
                     ExitCode::FAILURE
@@ -206,12 +230,30 @@ fn main() -> ExitCode {
                 &mut forest,
                 xtwig::datagen::XmarkConfig { scale: 0.005, seed: 1 },
             );
-            let xpath = args
-                .get(1)
+            // The xpath is the first non-flag operand after `demo`,
+            // wherever it sits relative to flags (`demo --shards 4
+            // '/q'` and `demo '/q' --shards 4` both work). `--shards`
+            // consumes its value.
+            let mut operands = args[1..].iter().filter({
+                let mut skip_value = false;
+                move |a| {
+                    if skip_value {
+                        skip_value = false;
+                        return false;
+                    }
+                    if *a == "--shards" {
+                        skip_value = true;
+                        return false;
+                    }
+                    !a.starts_with("--")
+                }
+            });
+            let xpath = operands
+                .next()
                 .cloned()
                 .unwrap_or_else(|| "/site//item[quantity = '2']/location".to_owned());
             println!("generated XMark demo data ({} nodes)\nquery: {xpath}\n", forest.node_count());
-            run_bench(&forest, &xpath)
+            run_bench(&forest, &xpath, shards_from())
         }
         _ => usage(),
     }

@@ -5,11 +5,14 @@
 //! could be used to speed up the lookup of the entries to update."
 
 use std::sync::Arc;
-use xtwig::core::family::{FreeIndex, PcSubpathQuery};
+use xtwig::core::datapaths::{DataPaths, DataPathsOptions};
+use xtwig::core::family::{BoundIndex, FreeIndex, PcSubpathQuery};
 use xtwig::core::rootpaths::{RootPaths, RootPathsOptions};
+use xtwig::parse_xpath;
 use xtwig::storage::BufferPool;
 use xtwig::xml::tree::fig1_book_document;
 use xtwig::xml::TagId;
+use xtwig::{EngineOptions, ServiceOptions, Strategy, TwigService};
 
 #[test]
 fn inserting_an_author_adds_all_prefix_entries() {
@@ -90,4 +93,140 @@ fn update_cost_scales_with_path_depth() {
     rp.insert_path(&deep_tags, &[1, 800, 801, 802], Some("text"));
     assert_eq!(rp.rows(), rows0 + 4); // 3 structural + 1 valued
     rp.tree().check_invariants();
+}
+
+// ---------------------------------------------------------------------------
+// DATAPATHS maintenance (§7) — the ROADMAP flagged this path as untested
+// relative to ROOTPATHS. A DATAPATHS insertion touches one FreeIndex row
+// plus one BoundIndex row per ancestor position, and both probe shapes
+// must observe the change.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn datapaths_insertion_adds_free_and_bound_rows() {
+    let mut forest = fig1_book_document();
+    let tags: Vec<TagId> = ["book", "allauthors", "author", "fn"]
+        .iter()
+        .map(|t| forest.dict_mut().intern(t))
+        .collect();
+    let mut dp = DataPaths::build(
+        &forest,
+        Arc::new(BufferPool::in_memory(4096)),
+        DataPathsOptions::default(),
+    );
+    let rows0 = dp.rows();
+    // New author (id 900) with fn "ada" (id 901) under allauthors (5).
+    dp.insert_path(&tags[..3], &[1, 5, 900], None);
+    dp.insert_path(&tags, &[1, 5, 900, 901], Some("ada"));
+    // author: 1 free + 3 bound; fn: (1 free + 4 bound) x2 value variants.
+    assert_eq!(dp.rows(), rows0 + 4 + 10);
+    dp.tree().check_invariants();
+
+    let q = PcSubpathQuery::resolve(forest.dict(), &["author", "fn"], false, Some("ada")).unwrap();
+    // FreeIndex probe sees the new path with its full root IdList.
+    let free = dp.lookup_free(&q);
+    assert_eq!(free.len(), 1);
+    assert_eq!(free[0].ids, vec![1, 5, 900, 901]);
+    // BoundIndex probes see it from every ancestor position.
+    let allauthors = forest.dict().lookup("allauthors").unwrap();
+    let bound = dp.lookup_bound(5, allauthors, &q);
+    assert_eq!(bound.len(), 1);
+    assert_eq!(bound[0].ids, vec![5, 900, 901]);
+    let book = forest.dict().lookup("book").unwrap();
+    let bound = dp.lookup_bound(1, book, &q);
+    assert_eq!(bound.len(), 1);
+    // The stored row is the full path from the head, so the match
+    // carries every step book/allauthors/author/fn.
+    assert_eq!(bound[0].ids, vec![1, 5, 900, 901]);
+}
+
+#[test]
+fn datapaths_deletes_are_self_locating() {
+    // §7's argument applies to DATAPATHS too: the value plus schema path
+    // locate every row of the victim without any join.
+    let forest = fig1_book_document();
+    let tags: Vec<TagId> = ["book", "allauthors", "author", "fn"]
+        .iter()
+        .map(|t| forest.dict().lookup(t).unwrap())
+        .collect();
+    let mut dp = DataPaths::build(
+        &forest,
+        Arc::new(BufferPool::in_memory(4096)),
+        DataPathsOptions::default(),
+    );
+    let rows0 = dp.rows();
+    let q = PcSubpathQuery::resolve(forest.dict(), &["author", "fn"], false, Some("jane")).unwrap();
+    let before = dp.lookup_free(&q);
+    assert_eq!(before.len(), 2);
+    let victim = before.iter().find(|m| m.ids[2] == 41).unwrap().ids.clone();
+    assert!(dp.delete_path(&tags, &victim, Some("jane")));
+    // fn at depth 4: (1 free + 4 bound) x2 value variants removed.
+    assert_eq!(dp.rows(), rows0 - 10);
+    let after = dp.lookup_free(&q);
+    assert_eq!(after.len(), 1);
+    assert_eq!(after[0].ids[2], 6, "the other jane remains");
+    // The bound view agrees.
+    let allauthors = forest.dict().lookup("allauthors").unwrap();
+    assert_eq!(dp.lookup_bound(5, allauthors, &q).len(), 1);
+    assert!(dp.lookup_bound(41, tags[2], &q).is_empty());
+    // Deleting again is a no-op.
+    assert!(!dp.delete_path(&tags, &victim, Some("jane")));
+    dp.tree().check_invariants();
+}
+
+#[test]
+fn datapaths_maintenance_under_service_apply_update() {
+    // The serving-layer path: apply_update mutates ROOTPATHS and
+    // DATAPATHS under the engine write lock, bumps the generation, and
+    // both strategies must answer consistently afterwards.
+    let svc = TwigService::build(
+        fig1_book_document(),
+        EngineOptions {
+            strategies: vec![Strategy::RootPaths, Strategy::DataPaths],
+            pool_pages: 512,
+            ..Default::default()
+        },
+        ServiceOptions { workers: 2, ..Default::default() },
+    );
+    let twig = parse_xpath("//author[fn='ada']").unwrap();
+    for s in [Strategy::RootPaths, Strategy::DataPaths] {
+        assert!(svc.submit(&twig, s).unwrap().wait().unwrap().ids.is_empty());
+    }
+    let tags: Vec<TagId> = svc.with_engine(|e| {
+        ["book", "allauthors", "author", "fn"]
+            .iter()
+            .map(|t| e.forest().dict().lookup(t).unwrap())
+            .collect()
+    });
+    svc.apply_update(|engine| {
+        let rp = engine.rootpaths_mut().unwrap();
+        rp.insert_path(&tags[..3], &[1, 5, 900], None);
+        rp.insert_path(&tags, &[1, 5, 900, 901], Some("ada"));
+        let dp = engine.datapaths_mut().unwrap();
+        dp.insert_path(&tags[..3], &[1, 5, 900], None);
+        dp.insert_path(&tags, &[1, 5, 900, 901], Some("ada"));
+    });
+    for s in [Strategy::RootPaths, Strategy::DataPaths] {
+        let a = svc.submit(&twig, s).unwrap().wait().unwrap();
+        assert!(!a.from_cache, "{s}: stale cached empty answer served");
+        assert_eq!(a.ids.iter().copied().collect::<Vec<_>>(), vec![900], "{s}");
+    }
+    // Branching query exercising the join paths over the updated index.
+    let branching = parse_xpath("/book[title='XML']//author[fn='ada']").unwrap();
+    for s in [Strategy::RootPaths, Strategy::DataPaths] {
+        let a = svc.submit(&branching, s).unwrap().wait().unwrap();
+        assert_eq!(a.ids.iter().copied().collect::<Vec<_>>(), vec![900], "{s}");
+    }
+    // Delete through the same path; both strategies converge to empty.
+    svc.apply_update(|engine| {
+        let rp = engine.rootpaths_mut().unwrap();
+        assert!(rp.delete_path(&tags, &[1, 5, 900, 901], Some("ada")));
+        let dp = engine.datapaths_mut().unwrap();
+        assert!(dp.delete_path(&tags, &[1, 5, 900, 901], Some("ada")));
+    });
+    for s in [Strategy::RootPaths, Strategy::DataPaths] {
+        assert!(svc.submit(&twig, s).unwrap().wait().unwrap().ids.is_empty(), "{s}");
+    }
+    assert_eq!(svc.generation(), 2);
+    svc.shutdown();
 }
