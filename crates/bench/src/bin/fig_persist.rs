@@ -1,0 +1,181 @@
+//! `fig_persist` — index persistence figure (no paper counterpart; the
+//! ROADMAP's durable-storage item): build-vs-reopen cost and the real
+//! cold-vs-warm-cache query behaviour the paper could only simulate.
+//!
+//! The run builds the full seven-strategy engine over XMark, persists
+//! it to a `.xtwig` file, reopens it, and verifies byte-identity
+//! (`structure_digest` per strategy, plus answer equality on the probe
+//! workload) before recording any row. Timing rows:
+//!
+//! * `build` / `persist` / `open` — engine construction vs. writing the
+//!   file vs. reattaching it (the "restart without rebuild" win);
+//! * `<strategy>/cold` — first query after a cache drop, pages come off
+//!   the file backend (physical reads recorded alongside);
+//! * `<strategy>/warm` — the same query again, served from the pool.
+//!
+//! Rows are emitted with `group`/`bench`/`min_ns` fields so
+//! `bench_check` can gate them against the committed
+//! `BENCH_persist.json` snapshot (the gate tolerates a missing snapshot
+//! via `--allow-missing-baseline`, keeping CI green on first run).
+//!
+//! Flags: `--scale <f>` (default 0.01), `--quick` (one run, smaller
+//! scale — the CI smoke).
+
+use std::time::{Duration, Instant};
+use xtwig_bench::{host_parallelism, scale_from_args, xmark_forest, POOL_PAGES};
+use xtwig_core::engine::{EngineOptions, QueryEngine};
+use xtwig_core::{parse_xpath, Strategy};
+
+struct Row {
+    bench: String,
+    min_ns: u128,
+    physical_reads: u64,
+}
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
+    let mut best: Option<(Duration, T)> = None;
+    for _ in 0..runs {
+        let (t, v) = f();
+        if best.as_ref().is_none_or(|(b, _)| t < *b) {
+            best = Some((t, v));
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if args.iter().any(|a| a == "--scale") || std::env::var_os("XTWIG_SCALE").is_some()
+    {
+        scale_from_args()
+    } else if quick {
+        0.002
+    } else {
+        0.01
+    };
+    let runs = if quick { 1 } else { 3 };
+    let cores = host_parallelism();
+    println!(
+        "# fig_persist: build once, reopen without rebuild (XMark scale {scale}, {cores} core(s))"
+    );
+
+    let (forest, profile) = xmark_forest(scale);
+    println!("dataset: {} nodes", profile.nodes);
+    let queries = [
+        "/site//item[quantity = '2']/location",
+        "//person/name",
+        "/site/regions/namerica/item/name",
+    ];
+
+    let idx_path = std::env::temp_dir().join(format!("fig-persist-{}.xtwig", std::process::id()));
+    let opts = || EngineOptions { pool_pages: POOL_PAGES, ..Default::default() };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut record = |bench: String, t: Duration, physical: u64| {
+        println!("{bench:<24} {:>10.2} ms   {:>6} physical reads", t.as_secs_f64() * 1e3, physical);
+        rows.push(Row { bench, min_ns: t.as_nanos(), physical_reads: physical });
+    };
+
+    // Build and persist (the one-time cost).
+    let (build_t, built) = best_of(runs, || {
+        let start = Instant::now();
+        let e = QueryEngine::build(&forest, opts());
+        (start.elapsed(), e)
+    });
+    record("build".into(), build_t, 0);
+    let (persist_t, report) = best_of(runs, || {
+        let start = Instant::now();
+        let r = built.persist(&idx_path).expect("persist");
+        (start.elapsed(), r)
+    });
+    record("persist".into(), persist_t, 0);
+    println!(
+        "index file: {} pages ({:.2} MB), {} strategies",
+        report.file_pages,
+        report.file_bytes as f64 / 1048576.0,
+        report.strategies.len()
+    );
+
+    // Reopen (the every-restart cost — digest verification included).
+    let (open_t, opened) = best_of(runs, || {
+        let start = Instant::now();
+        let (e, r) = QueryEngine::open_with_report(&idx_path).expect("open");
+        let t = start.elapsed();
+        assert_eq!(r.open_allocations, 0, "reopen must not build anything");
+        (t, e)
+    });
+    record("open".into(), open_t, 0);
+
+    // Byte-identity gate: every strategy's reopened page image must
+    // digest equal, and every probe answer must match the in-memory
+    // engine. A divergence invalidates the figure.
+    for s in Strategy::ALL {
+        assert_eq!(
+            opened.structure_digest(s),
+            built.structure_digest(s),
+            "reopened {s} diverged from the built engine"
+        );
+    }
+    for q in &queries {
+        let twig = parse_xpath(q).expect("query parses");
+        for s in Strategy::ALL {
+            assert_eq!(
+                opened.answer(&twig, s).ids,
+                built.answer(&twig, s).ids,
+                "{s} answers differ on {q}"
+            );
+        }
+    }
+    println!("byte-identity check: all {} strategies OK", Strategy::ALL.len());
+
+    // Cold vs warm: the paper's omitted cold-cache experiment, now
+    // against a real file backend. Cold = first run after a cache drop
+    // (min over runs of the *cold* time — each run re-drops the cache);
+    // warm = the same query re-run against the warmed pool.
+    let twig = parse_xpath(queries[0]).expect("query parses");
+    for s in Strategy::ALL {
+        let (cold_t, cold_reads) = best_of(runs, || {
+            opened.clear_caches(s);
+            let a = opened.answer(&twig, s);
+            (a.metrics.elapsed, a.metrics.physical_reads)
+        });
+        assert!(cold_reads > 0, "{s}: cold query must read the file");
+        record(format!("{}/cold", s.label()), cold_t, cold_reads);
+        let (warm_t, warm_reads) = best_of(runs, || {
+            let a = opened.answer(&twig, s);
+            (a.metrics.elapsed, a.metrics.physical_reads)
+        });
+        assert_eq!(warm_reads, 0, "{s}: warm query must be served from the pool");
+        record(format!("{}/warm", s.label()), warm_t, 0);
+    }
+
+    let open_speedup = build_t.as_secs_f64() / open_t.as_secs_f64().max(1e-9);
+    println!("\nbuild -> open speedup: {open_speedup:.2}x (restart without rebuild)");
+
+    // Hand-rolled JSON (no serde in the offline build); `group`/`bench`/
+    // `min_ns` match the bench_check scanner.
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\n    \"group\": \"fig_persist\",\n    \"bench\": \"{}\",\n    \
+                 \"min_ns\": {},\n    \"physical_reads\": {},\n    \"runs\": {runs}\n  }}",
+                r.bench, r.min_ns, r.physical_reads
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale\": {scale},\n  \"host_parallelism\": {cores},\n  \"file_pages\": {},\n  \
+         \"open_speedup\": {open_speedup:.4},\n  \"results\": [\n{}\n  ]\n}}\n",
+        report.file_pages,
+        body.join(",\n"),
+    );
+    let dir = std::path::Path::new("target/xtwig-results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("fig_persist.json");
+        let _ = std::fs::write(&path, &json);
+        println!("[results written to {}]", path.display());
+    }
+    std::fs::remove_file(&idx_path).ok();
+}

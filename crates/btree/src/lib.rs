@@ -14,9 +14,12 @@
 //!   of the key prefix compression the paper cites in DB2, §3.1), and
 //! * sorted bulk loading, used to build every index in one pass.
 //!
-//! Trees are session-scoped: they are built into a buffer pool and
-//! queried; durable catalog persistence is out of scope (the paper's
-//! experiments also rebuild indexes per configuration).
+//! Trees carry no on-page catalog of their own: the root page id and
+//! shape counters live in the `BTree` struct, exposed via
+//! [`tree::BTree::root`]/[`tree::BTree::stats`] and reattachable with
+//! [`tree::BTree::from_parts`] — which is how `xtwig-core`'s index
+//! persistence stores trees in its catalog page and reopens them from
+//! disk without a rebuild.
 
 pub mod builder;
 pub mod merge;

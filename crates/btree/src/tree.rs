@@ -64,7 +64,13 @@ impl BTree {
         BTree { pool, options, root, height: 1, entries: 0, pages: 1 }
     }
 
-    pub(crate) fn from_parts(
+    /// Reattaches a tree from its persisted shape: the root page id and
+    /// the `height`/`entries`/`pages` counters recorded when the tree
+    /// was built (bulk load keeps them exact; `xtwig-core`'s index
+    /// persistence stores them in its catalog). The caller must hand
+    /// back a pool whose page image contains the tree unchanged —
+    /// nothing is validated here beyond what later operations assert.
+    pub fn from_parts(
         pool: Arc<BufferPool>,
         options: BTreeOptions,
         root: PageId,
@@ -78,6 +84,12 @@ impl BTree {
     /// The buffer pool backing this tree.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The root page id (persisted by the index catalog and fed back to
+    /// [`BTree::from_parts`] on reopen).
+    pub fn root(&self) -> PageId {
+        self.root
     }
 
     /// Build/behaviour options.

@@ -137,6 +137,38 @@ impl AccessSupportRelations {
     }
 }
 
+impl AccessSupportRelations {
+    /// Writes the catalog metadata a reopen needs (see
+    /// [`crate::persist`]): every per-path table's key and tree shape,
+    /// in sorted path order (deterministic catalog bytes).
+    pub(crate) fn write_meta(&self, w: &mut crate::persist::ByteWriter) {
+        let mut paths: Vec<&Vec<TagId>> = self.tables.keys().collect();
+        paths.sort_unstable();
+        w.push_u32(paths.len() as u32);
+        for path in paths {
+            crate::persist::write_tag_path(w, path);
+            crate::persist::write_tree_meta(w, &self.tables[path]);
+        }
+    }
+
+    /// Reattaches persisted Access Support Relations over `pool`.
+    pub(crate) fn open_meta(
+        r: &mut crate::persist::ByteReader<'_>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, crate::persist::FormatError> {
+        let n = r.u32()? as usize;
+        let mut tables = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let path = crate::persist::read_tag_path(r)?;
+            let tree = crate::persist::read_tree_meta(r, pool.clone())?;
+            if tables.insert(path, tree).is_some() {
+                return crate::persist::format_err("duplicate ASR table path");
+            }
+        }
+        Ok(AccessSupportRelations { tables, lookups: AtomicU64::new(0) })
+    }
+}
+
 impl PathIndex for AccessSupportRelations {
     fn name(&self) -> &'static str {
         "ASR"

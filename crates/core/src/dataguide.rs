@@ -89,6 +89,22 @@ impl DataGuide {
     }
 }
 
+impl DataGuide {
+    /// Writes the catalog metadata a reopen needs (see
+    /// [`crate::persist`]).
+    pub(crate) fn write_meta(&self, w: &mut crate::persist::ByteWriter) {
+        crate::persist::write_tree_meta(w, &self.tree);
+    }
+
+    /// Reattaches a persisted DataGuide over `pool`.
+    pub(crate) fn open_meta(
+        r: &mut crate::persist::ByteReader<'_>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, crate::persist::FormatError> {
+        Ok(DataGuide { tree: crate::persist::read_tree_meta(r, pool)?, lookups: AtomicU64::new(0) })
+    }
+}
+
 impl PathIndex for DataGuide {
     fn name(&self) -> &'static str {
         "DataGuide"

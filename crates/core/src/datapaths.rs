@@ -228,6 +228,29 @@ impl DataPaths {
     }
 }
 
+impl DataPaths {
+    /// Writes the catalog metadata a reopen needs (see
+    /// [`crate::persist`]).
+    pub(crate) fn write_meta(&self, w: &mut crate::persist::ByteWriter) {
+        crate::persist::write_codec(w, self.idlist);
+        w.push_bool(self.pruned);
+        w.push_u64(self.rows);
+        crate::persist::write_tree_meta(w, &self.tree);
+    }
+
+    /// Reattaches a persisted DATAPATHS index over `pool`.
+    pub(crate) fn open_meta(
+        r: &mut crate::persist::ByteReader<'_>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, crate::persist::FormatError> {
+        let idlist = crate::persist::read_codec(r)?;
+        let pruned = r.bool()?;
+        let rows = r.u64()?;
+        let tree = crate::persist::read_tree_meta(r, pool)?;
+        Ok(DataPaths { tree, idlist, rows, pruned })
+    }
+}
+
 impl PathIndex for DataPaths {
     fn name(&self) -> &'static str {
         "DATAPATHS"

@@ -274,6 +274,44 @@ impl EdgeTable {
     }
 }
 
+impl EdgeTable {
+    /// Writes the catalog metadata a reopen needs (see
+    /// [`crate::persist`]): the heap's page list and row count plus the
+    /// three index trees' shapes.
+    pub(crate) fn write_meta(&self, w: &mut crate::persist::ByteWriter) {
+        w.push_u32(self.heap.page_ids().len() as u32);
+        for &p in self.heap.page_ids() {
+            w.push_u32(p.0);
+        }
+        w.push_u64(self.heap.len());
+        crate::persist::write_tree_meta(w, &self.node_idx);
+        crate::persist::write_tree_meta(w, &self.flink);
+        crate::persist::write_tree_meta(w, &self.blink);
+    }
+
+    /// Reattaches a persisted Edge configuration over `pool`.
+    pub(crate) fn open_meta(
+        r: &mut crate::persist::ByteReader<'_>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, crate::persist::FormatError> {
+        let n = r.u32()? as usize;
+        let mut pages = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let p = xtwig_storage::PageId(r.u32()?);
+            if p.0 >= pool.num_pages() {
+                return crate::persist::format_err(format!("heap page {p} outside its pool"));
+            }
+            pages.push(p);
+        }
+        let rows = r.u64()?;
+        let heap = HeapFile::from_parts(pool.clone(), pages, rows);
+        let node_idx = crate::persist::read_tree_meta(r, pool.clone())?;
+        let flink = crate::persist::read_tree_meta(r, pool.clone())?;
+        let blink = crate::persist::read_tree_meta(r, pool)?;
+        Ok(EdgeTable { heap, node_idx, flink, blink, lookups: AtomicU64::new(0) })
+    }
+}
+
 impl PathIndex for EdgeTable {
     fn name(&self) -> &'static str {
         "Edge"

@@ -251,17 +251,20 @@ pub struct ProbeMemoStats {
 /// counters, so it is only exact when queries against the *same*
 /// strategy do not overlap in time.
 pub struct QueryEngine<F: Borrow<XmlForest> = Arc<XmlForest>> {
-    forest: F,
-    stats: PathStats,
-    rp: Option<(RootPaths, Arc<BufferPool>)>,
-    dp: Option<(DataPaths, Arc<BufferPool>)>,
-    pruned_tags: Option<HashSet<TagId>>,
-    edge: Option<(EdgeTable, Arc<BufferPool>)>,
-    dg: Option<(DataGuide, Arc<BufferPool>)>,
-    fab: Option<(IndexFabric, Arc<BufferPool>)>,
-    asr: Option<(AccessSupportRelations, Arc<BufferPool>)>,
-    ji: Option<(JoinIndices, Arc<BufferPool>)>,
-    structural_ad_joins: bool,
+    // Fields are crate-visible for `crate::persist`, which flushes each
+    // structure's pool into an index file and reconstructs the engine
+    // from the stored catalog on open.
+    pub(crate) forest: F,
+    pub(crate) stats: PathStats,
+    pub(crate) rp: Option<(RootPaths, Arc<BufferPool>)>,
+    pub(crate) dp: Option<(DataPaths, Arc<BufferPool>)>,
+    pub(crate) pruned_tags: Option<HashSet<TagId>>,
+    pub(crate) edge: Option<(EdgeTable, Arc<BufferPool>)>,
+    pub(crate) dg: Option<(DataGuide, Arc<BufferPool>)>,
+    pub(crate) fab: Option<(IndexFabric, Arc<BufferPool>)>,
+    pub(crate) asr: Option<(AccessSupportRelations, Arc<BufferPool>)>,
+    pub(crate) ji: Option<(JoinIndices, Arc<BufferPool>)>,
+    pub(crate) structural_ad_joins: bool,
 }
 
 /// A partial result row: per-twig-node bindings plus captured ancestor
@@ -451,7 +454,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         }
     }
 
-    fn pools_for(&self, strategy: Strategy) -> Vec<&Arc<BufferPool>> {
+    pub(crate) fn pools_for(&self, strategy: Strategy) -> Vec<&Arc<BufferPool>> {
         let mut pools = Vec::new();
         match strategy {
             Strategy::RootPaths => {

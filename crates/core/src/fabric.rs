@@ -93,6 +93,25 @@ impl IndexFabric {
     }
 }
 
+impl IndexFabric {
+    /// Writes the catalog metadata a reopen needs (see
+    /// [`crate::persist`]).
+    pub(crate) fn write_meta(&self, w: &mut crate::persist::ByteWriter) {
+        crate::persist::write_tree_meta(w, &self.tree);
+    }
+
+    /// Reattaches a persisted Index Fabric over `pool`.
+    pub(crate) fn open_meta(
+        r: &mut crate::persist::ByteReader<'_>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, crate::persist::FormatError> {
+        Ok(IndexFabric {
+            tree: crate::persist::read_tree_meta(r, pool)?,
+            lookups: AtomicU64::new(0),
+        })
+    }
+}
+
 impl PathIndex for IndexFabric {
     fn name(&self) -> &'static str {
         "IndexFabric"

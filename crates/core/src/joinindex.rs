@@ -249,6 +249,49 @@ impl JoinIndices {
     }
 }
 
+impl JoinIndices {
+    /// Writes the catalog metadata a reopen needs (see
+    /// [`crate::persist`]): every `(path, split)` expression's key and
+    /// both trees' shapes, in sorted expression order.
+    pub(crate) fn write_meta(&self, w: &mut crate::persist::ByteWriter) {
+        let mut exprs: Vec<&(Vec<TagId>, usize)> = self.tables.keys().collect();
+        exprs.sort_unstable();
+        w.push_u32(exprs.len() as u32);
+        for expr in exprs {
+            crate::persist::write_tag_path(w, &expr.0);
+            w.push_u32(expr.1 as u32);
+            let pair = &self.tables[expr];
+            crate::persist::write_tree_meta(w, &pair.forward);
+            crate::persist::write_tree_meta(w, &pair.backward);
+        }
+    }
+
+    /// Reattaches persisted Join Indices over `pool`.
+    pub(crate) fn open_meta(
+        r: &mut crate::persist::ByteReader<'_>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, crate::persist::FormatError> {
+        let n = r.u32()? as usize;
+        let mut tables = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let path = crate::persist::read_tag_path(r)?;
+            let split = r.u32()? as usize;
+            if split >= path.len().max(1) {
+                return crate::persist::format_err(format!(
+                    "join-index split {split} outside its {}-step path",
+                    path.len()
+                ));
+            }
+            let forward = crate::persist::read_tree_meta(r, pool.clone())?;
+            let backward = crate::persist::read_tree_meta(r, pool.clone())?;
+            if tables.insert((path, split), JiPair { forward, backward }).is_some() {
+                return crate::persist::format_err("duplicate join-index expression");
+            }
+        }
+        Ok(JoinIndices { tables, lookups: AtomicU64::new(0) })
+    }
+}
+
 impl PathIndex for JoinIndices {
     fn name(&self) -> &'static str {
         "JoinIndex"

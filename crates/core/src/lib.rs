@@ -28,6 +28,10 @@
 //! * [`stitch`] — the stack-based structural join of the containment-join
 //!   literature the paper cites in §6, as an alternative way to stitch
 //!   subpath matches across `//` edges.
+//! * [`persist`] — index durability: [`QueryEngine::persist`] writes
+//!   every built structure into a single `.xtwig` file, and
+//!   [`QueryEngine::open`] reattaches it with zero rebuild work,
+//!   digest-verified against the stored catalog.
 
 pub mod asr;
 pub mod compress;
@@ -42,6 +46,7 @@ pub mod family;
 pub mod joinindex;
 pub mod parallel;
 pub mod paths;
+pub mod persist;
 pub mod plan;
 pub mod rootpaths;
 pub mod stitch;
@@ -52,4 +57,5 @@ pub use engine::{
 };
 pub use family::{BoundIndex, FamilyPosition, FreeIndex, PathIndex, PathMatch, PcSubpathQuery};
 pub use parallel::ShardPlan;
+pub use persist::{OpenError, OpenReport, PersistError, PersistReport};
 pub use xpath::parse_xpath;

@@ -209,6 +209,66 @@ impl PathStats {
         self.path_counts.iter().map(|(k, &v)| (k.as_slice(), v))
     }
 
+    /// Writes the statistics into an index catalog (see
+    /// [`crate::persist`]) so a reopened engine plans queries without
+    /// re-scanning the forest. Maps are emitted in sorted key order so
+    /// the catalog bytes are deterministic.
+    pub(crate) fn write_meta(&self, w: &mut crate::persist::ByteWriter) {
+        let mut paths: Vec<(&Vec<TagId>, u64)> =
+            self.path_counts.iter().map(|(k, &v)| (k, v)).collect();
+        paths.sort_unstable();
+        w.push_u32(paths.len() as u32);
+        for (path, count) in paths {
+            crate::persist::write_tag_path(w, path);
+            w.push_u64(count);
+        }
+        let mut tag_values: Vec<(&(TagId, String), u64)> =
+            self.tag_value_counts.iter().map(|(k, &v)| (k, v)).collect();
+        tag_values.sort_unstable();
+        w.push_u32(tag_values.len() as u32);
+        for ((tag, value), count) in tag_values {
+            w.push_u32(tag.0);
+            w.push_str(value);
+            w.push_u64(count);
+        }
+        let mut tags: Vec<(TagId, u64)> = self.tag_counts.iter().map(|(&k, &v)| (k, v)).collect();
+        tags.sort_unstable();
+        w.push_u32(tags.len() as u32);
+        for (tag, count) in tags {
+            w.push_u32(tag.0);
+            w.push_u64(count);
+        }
+        w.push_u64(self.nodes);
+    }
+
+    /// Reads statistics written by [`PathStats::write_meta`].
+    pub(crate) fn open_meta(
+        r: &mut crate::persist::ByteReader<'_>,
+    ) -> Result<Self, crate::persist::FormatError> {
+        let mut stats = PathStats::default();
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let path = crate::persist::read_tag_path(r)?;
+            let count = r.u64()?;
+            stats.path_counts.insert(path, count);
+        }
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let tag = TagId(r.u32()?);
+            let value = r.str()?;
+            let count = r.u64()?;
+            stats.tag_value_counts.insert((tag, value), count);
+        }
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let tag = TagId(r.u32()?);
+            let count = r.u64()?;
+            stats.tag_counts.insert(tag, count);
+        }
+        stats.nodes = r.u64()?;
+        Ok(stats)
+    }
+
     /// Estimated matches of a PCsubpath pattern.
     pub fn estimate(&self, q: &crate::family::PcSubpathQuery) -> u64 {
         let last = *q.tags.last().expect("empty pattern");

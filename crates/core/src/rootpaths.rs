@@ -27,6 +27,7 @@ use crate::family::{
 };
 use crate::parallel::{map_shards, ShardPlan};
 use crate::paths::for_each_root_path_in;
+use crate::persist;
 use std::sync::Arc;
 use xtwig_btree::{bulk_build, merge_sorted_runs, BTree, BTreeOptions};
 use xtwig_rel::codec::{self, IdListCodec, KeyBuf};
@@ -217,6 +218,36 @@ impl RootPaths {
             }
         }
         removed
+    }
+}
+
+impl RootPaths {
+    /// Writes the catalog metadata a reopen needs (see
+    /// [`crate::persist`]): codecs, row count, and the tree's shape.
+    pub(crate) fn write_meta(&self, w: &mut persist::ByteWriter) {
+        persist::write_codec(w, self.idlist);
+        w.push_u8(match self.keep {
+            IdListKeep::Full => 0,
+            IdListKeep::LastOnly => 1,
+        });
+        w.push_u64(self.rows);
+        persist::write_tree_meta(w, &self.tree);
+    }
+
+    /// Reattaches a persisted ROOTPATHS index over `pool`.
+    pub(crate) fn open_meta(
+        r: &mut persist::ByteReader<'_>,
+        pool: Arc<BufferPool>,
+    ) -> Result<Self, persist::FormatError> {
+        let idlist = persist::read_codec(r)?;
+        let keep = match r.u8()? {
+            0 => IdListKeep::Full,
+            1 => IdListKeep::LastOnly,
+            b => return persist::format_err(format!("unknown IdList sublist {b}")),
+        };
+        let rows = r.u64()?;
+        let tree = persist::read_tree_meta(r, pool)?;
+        Ok(RootPaths { tree, idlist, keep, rows })
     }
 }
 

@@ -35,6 +35,20 @@ impl HeapFile {
         HeapFile { pool, pages: Vec::new(), rows: 0 }
     }
 
+    /// Reattaches a heap file from its persisted shape: the ordered page
+    /// list and row count recorded when it was built (see
+    /// `xtwig-core`'s index persistence). The pool must contain those
+    /// pages unchanged.
+    pub fn from_parts(pool: Arc<BufferPool>, pages: Vec<PageId>, rows: u64) -> Self {
+        HeapFile { pool, pages, rows }
+    }
+
+    /// The ordered page ids backing this heap (persisted by the index
+    /// catalog and fed back to [`HeapFile::from_parts`] on reopen).
+    pub fn page_ids(&self) -> &[PageId] {
+        &self.pages
+    }
+
     /// Number of rows.
     pub fn len(&self) -> u64 {
         self.rows

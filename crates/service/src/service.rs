@@ -260,6 +260,19 @@ impl TwigService {
         TwigService::over(QueryEngine::build(Arc::new(forest), engine), options)
     }
 
+    /// Reopens a persisted index file (see `xtwig-core`'s
+    /// [`QueryEngine::persist`](xtwig_core::QueryEngine::persist)) and
+    /// starts the worker pool over it — a service restart without
+    /// paying the index build: no enumeration, no sorting, no bulk
+    /// loads; the stored per-strategy digests are verified against the
+    /// reopened page images before any query is accepted.
+    pub fn open<P: AsRef<std::path::Path>>(
+        path: P,
+        options: ServiceOptions,
+    ) -> Result<Self, xtwig_core::persist::OpenError> {
+        Ok(TwigService::over(QueryEngine::open(path)?, options))
+    }
+
     /// Starts a worker pool over an already-built shared engine.
     pub fn over(engine: SharedEngine, options: ServiceOptions) -> Self {
         let available =

@@ -184,20 +184,30 @@ impl BufferPool {
         PageWriteGuard { guard, _pin: PinToken { pool: self, frame_idx }, pool: self, frame_idx }
     }
 
-    /// Writes all dirty **unpinned** resident pages back to disk.
+    /// Writes all dirty **unpinned** resident pages back to disk, and
+    /// returns the number of dirty pages it had to *skip* because they
+    /// were pinned.
     ///
     /// Pinned frames are skipped: their content lock may be held by an
     /// outstanding guard whose owner could be blocked on the table
     /// mutex we hold here (see the module-level audit) — and they stay
-    /// dirty, so eviction or a later flush still writes them back.
-    pub fn flush_all(&self) {
+    /// dirty, so eviction or a later flush still writes them back. For
+    /// cache hygiene ([`BufferPool::clear_cache`]) that is harmless and
+    /// the count is ignored; a persistence pass, however, needs every
+    /// page on the backend, so it treats `skipped > 0` as an error (a
+    /// concurrent writer holds part of the image it is copying).
+    pub fn flush_all(&self) -> usize {
         let inner = self.inner.lock();
+        let mut skipped = 0usize;
         for (idx, &pid) in inner.resident.iter().enumerate() {
             if !pid.is_valid() {
                 continue;
             }
             let frame = &self.frames[idx];
             if frame.pin.load(Ordering::SeqCst) != 0 {
+                if frame.dirty.load(Ordering::Relaxed) {
+                    skipped += 1;
+                }
                 continue;
             }
             if frame.dirty.swap(false, Ordering::Relaxed) {
@@ -206,6 +216,7 @@ impl BufferPool {
                 self.stats.record_physical_write();
             }
         }
+        skipped
     }
 
     /// Drops every clean resident page so the next access is a physical

@@ -8,10 +8,12 @@
 
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Abstract page store.
 pub trait StorageBackend: Send + Sync {
@@ -23,6 +25,11 @@ pub trait StorageBackend: Send + Sync {
     fn allocate(&self) -> PageId;
     /// Number of allocated pages.
     fn num_pages(&self) -> u32;
+    /// Flushes written pages to durable storage. A no-op for in-memory
+    /// backends; `File::sync_all` for file-backed ones. Called once at
+    /// the end of an index persist so a crash right after `xtwig build`
+    /// cannot leave a torn index file.
+    fn sync(&self) -> std::io::Result<()>;
 }
 
 /// In-memory backend.
@@ -59,10 +66,15 @@ impl StorageBackend for MemBackend {
     fn num_pages(&self) -> u32 {
         self.pages.lock().len() as u32
     }
+
+    fn sync(&self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// File-backed backend. Pages are stored contiguously at
 /// `pid * PAGE_SIZE`.
+#[derive(Debug)]
 pub struct FileBackend {
     file: Mutex<File>,
     next: AtomicU32,
@@ -77,10 +89,46 @@ impl FileBackend {
     }
 
     /// Opens an existing backend file at `path`.
+    ///
+    /// The file length must be an exact multiple of [`PAGE_SIZE`]: a
+    /// misaligned length means the last page was torn (e.g. a crash mid
+    /// write) and silently rounding it away would hide the corruption,
+    /// so it is rejected as [`std::io::ErrorKind::InvalidData`]. A file
+    /// too large for 32-bit page ids is rejected the same way instead
+    /// of panicking.
     pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::open_with(path, true)
+    }
+
+    /// Opens an existing backend file without requesting write access.
+    ///
+    /// A persisted index is a sealed artifact served read-only through
+    /// [`ExtentBackend`] (writes go to its overlay, never the file), so
+    /// the reopen path must work on `chmod 444` files and read-only
+    /// mounts. Calling [`StorageBackend::write_page`] on a backend
+    /// opened this way panics.
+    pub fn open_read_only<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Self::open_with(path, false)
+    }
+
+    fn open_with<P: AsRef<Path>>(path: P, write: bool) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(write).open(path)?;
         let len = file.metadata()?.len();
-        let pages = u32::try_from(len / PAGE_SIZE as u64).expect("file too large");
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "backend file length {len} is not a multiple of the page size {PAGE_SIZE} \
+                     (torn or truncated file)"
+                ),
+            ));
+        }
+        let pages = u32::try_from(len / PAGE_SIZE as u64).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("backend file of {len} bytes exceeds the 32-bit page-id space"),
+            )
+        })?;
         Ok(FileBackend { file: Mutex::new(file), next: AtomicU32::new(pages) })
     }
 }
@@ -114,6 +162,93 @@ impl StorageBackend for FileBackend {
 
     fn num_pages(&self) -> u32 {
         self.next.load(Ordering::SeqCst)
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        self.file.lock().sync_all()
+    }
+}
+
+/// A copy-on-write view of `extent_pages` pages of a shared
+/// [`FileBackend`], starting at file page `base`.
+///
+/// This is how a persisted index file is served: every structure's
+/// buffer pool reopens over its own extent, so pool-local page ids
+/// (what B+-tree nodes store) keep working unchanged — the extent
+/// translates pool page `p` to file page `base + p`. The underlying
+/// file is **never written through this backend**: evicted dirty pages
+/// and post-open allocations land in an in-memory overlay, so index
+/// maintenance on a reopened engine cannot corrupt the file on disk
+/// (re-persist to a new file to make such changes durable).
+pub struct ExtentBackend {
+    file: Arc<FileBackend>,
+    base: u32,
+    extent_pages: u32,
+    /// Pages written (or allocated) after open, keyed by pool-local id.
+    overlay: Mutex<HashMap<u32, PageBuf>>,
+    /// Pages allocated past the extent (pool-local id space only).
+    overflow: AtomicU32,
+}
+
+impl ExtentBackend {
+    /// Views pages `[base, base + extent_pages)` of `file`.
+    ///
+    /// # Panics
+    /// Panics if the extent reaches past the end of the file.
+    pub fn new(file: Arc<FileBackend>, base: u32, extent_pages: u32) -> Self {
+        let end = u64::from(base) + u64::from(extent_pages);
+        assert!(
+            end <= u64::from(file.num_pages()),
+            "extent [{base}, {end}) reaches past the file's {} pages",
+            file.num_pages()
+        );
+        ExtentBackend {
+            file,
+            base,
+            extent_pages,
+            overlay: Mutex::new(HashMap::new()),
+            overflow: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of pages modified or allocated since open (0 for a
+    /// read-only workload — the file alone still backs every page).
+    pub fn overlay_pages(&self) -> usize {
+        self.overlay.lock().len()
+    }
+}
+
+impl StorageBackend for ExtentBackend {
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) {
+        if let Some(page) = self.overlay.lock().get(&pid.0) {
+            buf.copy_from_slice(page.bytes());
+            return;
+        }
+        if pid.0 < self.extent_pages {
+            self.file.read_page(PageId(self.base + pid.0), buf);
+        } else {
+            // Allocated after open but never written: zero fill.
+            buf.fill(0);
+        }
+    }
+
+    fn write_page(&self, pid: PageId, buf: &[u8]) {
+        let mut overlay = self.overlay.lock();
+        let page = overlay.entry(pid.0).or_insert_with(PageBuf::zeroed);
+        page.bytes_mut().copy_from_slice(buf);
+    }
+
+    fn allocate(&self) -> PageId {
+        PageId(self.extent_pages + self.overflow.fetch_add(1, Ordering::SeqCst))
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.extent_pages + self.overflow.load(Ordering::SeqCst)
+    }
+
+    /// No-op: writes never reach the file (copy-on-write overlay).
+    fn sync(&self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -162,6 +297,12 @@ impl DiskManager {
     /// Total allocated bytes.
     pub fn allocated_bytes(&self) -> u64 {
         u64::from(self.num_pages()) * PAGE_SIZE as u64
+    }
+
+    /// Flushes the backend to durable storage (see
+    /// [`StorageBackend::sync`]).
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.backend.sync()
     }
 }
 
@@ -221,6 +362,92 @@ mod tests {
             assert_eq!(r[0], 7);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_misaligned_length() {
+        let dir = std::env::temp_dir().join(format!("xtwig-disk3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("misaligned.db");
+        {
+            let b = FileBackend::create(&path).unwrap();
+            let p = b.allocate();
+            b.write_page(p, &vec![1u8; PAGE_SIZE]);
+        }
+        // Chop half a page off: a torn last page must be rejected, not
+        // silently truncated away.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(PAGE_SIZE as u64 / 2).unwrap();
+        drop(f);
+        let err = FileBackend::open(&path).expect_err("misaligned file must not open");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("not a multiple"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_smoke() {
+        let dir = std::env::temp_dir().join(format!("xtwig-disk4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sync.db");
+        let b = FileBackend::create(&path).unwrap();
+        let p = b.allocate();
+        b.write_page(p, &vec![3u8; PAGE_SIZE]);
+        b.sync().unwrap();
+        assert!(MemBackend::new().sync().is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn extent_backend_views_slice_and_copy_on_writes() {
+        let dir = std::env::temp_dir().join(format!("xtwig-disk5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("extent.db");
+        {
+            let b = FileBackend::create(&path).unwrap();
+            for i in 0..4u8 {
+                let p = b.allocate();
+                b.write_page(p, &vec![i; PAGE_SIZE]);
+            }
+        }
+        let file = Arc::new(FileBackend::open(&path).unwrap());
+        let ext = ExtentBackend::new(file.clone(), 1, 2); // file pages 1..3
+        assert_eq!(ext.num_pages(), 2);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        ext.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 1), "extent page 0 = file page 1");
+        ext.read_page(PageId(1), &mut buf);
+        assert!(buf.iter().all(|&b| b == 2));
+        // Writes land in the overlay, never in the file.
+        ext.write_page(PageId(0), &vec![9u8; PAGE_SIZE]);
+        ext.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 9));
+        assert_eq!(ext.overlay_pages(), 1);
+        let mut raw = vec![0u8; PAGE_SIZE];
+        file.read_page(PageId(1), &mut raw);
+        assert!(raw.iter().all(|&b| b == 1), "file untouched by extent writes");
+        // Allocation extends past the extent, zero-filled until written.
+        let p = ext.allocate();
+        assert_eq!(p, PageId(2));
+        assert_eq!(ext.num_pages(), 3);
+        ext.read_page(p, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "reaches past")]
+    fn extent_backend_rejects_out_of_range_extent() {
+        let dir = std::env::temp_dir().join(format!("xtwig-disk6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("extent-oob.db");
+        {
+            let b = FileBackend::create(&path).unwrap();
+            b.allocate();
+            b.write_page(PageId(0), &vec![0u8; PAGE_SIZE]);
+        }
+        let file = Arc::new(FileBackend::open(&path).unwrap());
+        let _ = ExtentBackend::new(file, 0, 2);
     }
 
     #[test]

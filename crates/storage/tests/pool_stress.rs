@@ -119,13 +119,15 @@ fn flush_all_with_pinned_dirty_page_skips_it() {
     let pool = BufferPool::in_memory(4);
     let (pid, mut g) = pool.allocate();
     put_u64(&mut g, 0, 7);
-    // Dirty + pinned: flush_all must return without touching it.
-    pool.flush_all();
+    // Dirty + pinned: flush_all must return without touching it, and
+    // report the skip so persistence can refuse to copy a torn image.
+    assert_eq!(pool.flush_all(), 1);
     put_u64(&mut g, 0, 8);
     drop(g);
-    // Unpinned now: the page is still dirty and a flush writes it back.
+    // Unpinned now: the page is still dirty and a flush writes it back,
+    // skipping nothing.
     let before = pool.stats().snapshot().physical_writes;
-    pool.flush_all();
+    assert_eq!(pool.flush_all(), 0);
     assert!(pool.stats().snapshot().physical_writes > before);
     assert_eq!(get_u64(&pool.fetch(pid), 0), 8);
 }

@@ -1,0 +1,403 @@
+//! Binary forest snapshots.
+//!
+//! A persisted index file must carry the forest it was built over: query
+//! compilation resolves tag names through the forest's dictionary, long
+//! values are rechecked against the base data, and `//` stitching can
+//! fall back to base-tree ancestor walks. Re-parsing XML on every open
+//! would be rebuild work; this module instead serializes the forest's
+//! arena directly — dictionary, value interner, and one fixed-width
+//! record per node — and reconstructs it with a linear replay through
+//! [`TreeBuilder`], which re-derives every invariant (children lists,
+//! depths, subtree ends) the arena maintains.
+//!
+//! The replay pre-interns both symbol tables in stored order, so
+//! reconstructed [`TagId`]/`SymbolId` values are **identical** to the
+//! originals — required because persisted index keys embed tag ids.
+
+use crate::dictionary::TagId;
+use crate::tree::{NodeId, NodeKind, XmlForest};
+use std::fmt;
+
+/// Snapshot format version (bumped on any layout change).
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+const MAGIC: &[u8; 4] = b"XFOR";
+const NO_VALUE: u32 = u32::MAX;
+
+/// A malformed or truncated snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "forest snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError(msg.into()))
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, u32::try_from(s.len()).expect("string too long"));
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return err(format!("truncated at byte {} (wanted {n} more)", self.pos));
+        };
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        match std::str::from_utf8(b) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => err("non-UTF-8 string"),
+        }
+    }
+}
+
+impl XmlForest {
+    /// Serializes the forest to a compact binary snapshot.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let n = self.node_count();
+        let mut out = Vec::with_capacity(32 + n * 13);
+        out.extend_from_slice(MAGIC);
+        out.push(SNAPSHOT_VERSION);
+        // Both symbol tables in id order, so replay re-interning
+        // reproduces the exact same ids.
+        push_u32(&mut out, self.dict().len() as u32);
+        for (_, name) in self.dict().iter() {
+            push_str(&mut out, name);
+        }
+        push_u32(&mut out, self.values().len() as u32);
+        for i in 0..self.values().len() {
+            push_str(&mut out, self.values().value(crate::dictionary::SymbolId(i as u32)));
+        }
+        // The arena already bounds node ids to u32 (see `push_node`);
+        // fail loudly rather than wrap if that ever changes.
+        push_u32(&mut out, u32::try_from(n).expect("forest too large for snapshot"));
+        for i in 1..n as u64 {
+            let id = NodeId(i);
+            push_u32(&mut out, self.tag(id).0);
+            out.push(match self.kind(id) {
+                NodeKind::Element => 0,
+                NodeKind::Attribute => 1,
+            });
+            let parent = self.parent(id).expect("non-root has a parent").0;
+            push_u32(&mut out, u32::try_from(parent).expect("parent id exceeds u32"));
+            push_u32(&mut out, self.value(id).map_or(NO_VALUE, |s| s.0));
+        }
+        out
+    }
+
+    /// Reconstructs a forest from [`XmlForest::to_snapshot`] bytes.
+    ///
+    /// The snapshot is replayed through [`TreeBuilder`] in pre-order, so
+    /// every arena invariant (children lists, depths, subtree ends) is
+    /// re-derived rather than trusted; malformed input is rejected with
+    /// an error instead of producing a broken forest.
+    ///
+    /// [`TreeBuilder`]: crate::tree::TreeBuilder
+    pub fn from_snapshot(bytes: &[u8]) -> Result<XmlForest, SnapshotError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return err("bad magic (not a forest snapshot)");
+        }
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return err(format!("snapshot version {version} (expected {SNAPSHOT_VERSION})"));
+        }
+        let mut forest = XmlForest::new();
+        let dict_len = r.u32()? as usize;
+        if dict_len == 0 {
+            return err("empty dictionary (virtual root tag missing)");
+        }
+        // The tables are kept locally too: the replay below resolves
+        // names/values through them while a `TreeBuilder` holds the
+        // forest mutably. Capacities are capped: the counts are
+        // untrusted until the reads below bound them, and a corrupt
+        // length field must produce an error, not a huge allocation.
+        let mut names = Vec::with_capacity(dict_len.min(1 << 16));
+        for i in 0..dict_len {
+            let name = r.str()?;
+            if i == 0 {
+                if forest.dict().name(TagId::VIRTUAL_ROOT) != name {
+                    return err("dictionary slot 0 is not the virtual-root tag");
+                }
+            } else {
+                let id = forest.dict_mut().intern(&name);
+                if id.0 as usize != i {
+                    return err(format!("duplicate dictionary entry {name:?} at slot {i}"));
+                }
+            }
+            names.push(name);
+        }
+        let value_len = r.u32()? as usize;
+        let mut values = Vec::with_capacity(value_len.min(1 << 16));
+        for i in 0..value_len {
+            let v = r.str()?;
+            let id = forest.values_mut().intern(&v);
+            if id.0 as usize != i {
+                return err(format!("duplicate value-interner entry at slot {i}"));
+            }
+            values.push(v);
+        }
+        let node_count = r.u32()? as usize;
+        if node_count == 0 {
+            return err("node count 0 (virtual root missing)");
+        }
+
+        struct Node {
+            tag: u32,
+            kind: u8,
+            parent: u32,
+            value: u32,
+        }
+        let mut nodes = Vec::with_capacity((node_count - 1).min(1 << 20));
+        for i in 1..node_count {
+            let node = Node { tag: r.u32()?, kind: r.u8()?, parent: r.u32()?, value: r.u32()? };
+            if node.tag as usize >= dict_len {
+                return err(format!("node {i}: tag {} out of range", node.tag));
+            }
+            if node.kind > 1 {
+                return err(format!("node {i}: unknown kind {}", node.kind));
+            }
+            if node.parent as usize >= i {
+                return err(format!("node {i}: parent {} is not an earlier node", node.parent));
+            }
+            if node.value != NO_VALUE && node.value as usize >= value_len {
+                return err(format!("node {i}: value symbol {} out of range", node.value));
+            }
+            if node.kind == 1 && node.value == NO_VALUE {
+                return err(format!("node {i}: attribute without a value"));
+            }
+            if node.kind == 1 && node.parent == 0 {
+                return err(format!("node {i}: attribute as a document root"));
+            }
+            nodes.push(node);
+        }
+        if r.pos != bytes.len() {
+            return err(format!("{} trailing byte(s) after the node table", bytes.len() - r.pos));
+        }
+
+        // Pre-order replay. `stack` mirrors the builder's open-element
+        // stack with node ids; `has_element_child` guards the builder's
+        // attributes-before-elements invariant so corrupt input errors
+        // instead of panicking inside the builder.
+        let mut i = 0usize; // index into `nodes` (node id = i + 1)
+        while i < nodes.len() {
+            if nodes[i].parent != 0 {
+                return err(format!(
+                    "node {}: document root with parent {}",
+                    i + 1,
+                    nodes[i].parent
+                ));
+            }
+            let mut b = forest.builder();
+            let mut stack: Vec<u32> = Vec::new();
+            let mut has_element_child: Vec<bool> = Vec::new();
+            while let Some(node) = nodes.get(i) {
+                if node.parent == 0 && !stack.is_empty() {
+                    break; // next document
+                }
+                while stack.last().is_some_and(|&top| top != node.parent) {
+                    b.close();
+                    stack.pop();
+                    has_element_child.pop();
+                }
+                if stack.is_empty() && node.parent != 0 {
+                    return err(format!(
+                        "node {}: parent {} is not an open ancestor (not pre-order)",
+                        i + 1,
+                        node.parent
+                    ));
+                }
+                let id = i as u32 + 1;
+                let name = &names[node.tag as usize];
+                if node.kind == 1 {
+                    if *has_element_child.last().unwrap_or(&false) {
+                        return err(format!("node {id}: attribute after an element sibling"));
+                    }
+                    let got = b.attr(name, &values[node.value as usize]);
+                    if got != NodeId(u64::from(id)) {
+                        return err(format!("node {id}: replay assigned id {got}"));
+                    }
+                } else {
+                    if let Some(top) = has_element_child.last_mut() {
+                        *top = true;
+                    }
+                    let value =
+                        (node.value != NO_VALUE).then(|| values[node.value as usize].as_str());
+                    // Attribute tags carry a leading '@'; an element
+                    // with such a tag would silently become an
+                    // attribute-name collision on replay.
+                    if name.starts_with('@') {
+                        return err(format!(
+                            "node {id}: element with attribute-style tag {name:?}"
+                        ));
+                    }
+                    let got = b.open(name);
+                    if got != NodeId(u64::from(id)) {
+                        return err(format!("node {id}: replay assigned id {got}"));
+                    }
+                    if let Some(v) = value {
+                        b.text(v);
+                    }
+                    stack.push(id);
+                    has_element_child.push(false);
+                }
+                i += 1;
+            }
+            while !stack.is_empty() {
+                b.close();
+                stack.pop();
+            }
+            b.finish();
+        }
+        Ok(forest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::fig1_book_document;
+
+    fn assert_forests_equal(a: &XmlForest, b: &XmlForest) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.roots(), b.roots());
+        assert_eq!(a.dict().len(), b.dict().len());
+        assert_eq!(a.values().len(), b.values().len());
+        for id in a.iter_nodes() {
+            assert_eq!(a.tag(id), b.tag(id), "tag of {id}");
+            assert_eq!(a.kind(id), b.kind(id), "kind of {id}");
+            assert_eq!(a.parent(id), b.parent(id), "parent of {id}");
+            assert_eq!(a.value(id), b.value(id), "value symbol of {id}");
+            assert_eq!(a.value_str(id), b.value_str(id), "value of {id}");
+            assert_eq!(a.depth(id), b.depth(id), "depth of {id}");
+            assert_eq!(a.subtree_end(id), b.subtree_end(id), "subtree end of {id}");
+            assert_eq!(
+                a.children(id).collect::<Vec<_>>(),
+                b.children(id).collect::<Vec<_>>(),
+                "children of {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig1_roundtrip_is_identical() {
+        let f = fig1_book_document();
+        let snap = f.to_snapshot();
+        let g = XmlForest::from_snapshot(&snap).unwrap();
+        assert_forests_equal(&f, &g);
+        // And the roundtrip is a fixed point.
+        assert_eq!(g.to_snapshot(), snap);
+    }
+
+    #[test]
+    fn multi_document_forest_with_attributes_roundtrips() {
+        let mut f = XmlForest::new();
+        for i in 0..3 {
+            let mut b = f.builder();
+            b.open("item");
+            b.attr("id", &format!("i{i}"));
+            b.attr("@featured", "yes");
+            b.leaf("name", "widget");
+            b.open("nested");
+            b.leaf("price", &format!("{i}"));
+            b.close();
+            b.close();
+            b.finish();
+        }
+        let g = XmlForest::from_snapshot(&f.to_snapshot()).unwrap();
+        assert_forests_equal(&f, &g);
+    }
+
+    #[test]
+    fn empty_forest_roundtrips() {
+        let f = XmlForest::new();
+        let g = XmlForest::from_snapshot(&f.to_snapshot()).unwrap();
+        assert_forests_equal(&f, &g);
+    }
+
+    #[test]
+    fn interned_but_unused_symbols_survive() {
+        // `text` called incrementally interns intermediate strings that
+        // no node ends up referencing; symbol ids must still line up.
+        let mut f = XmlForest::new();
+        let mut b = f.builder();
+        b.open("doc");
+        b.open("p");
+        b.text("hello ");
+        b.text("world");
+        b.close();
+        b.close();
+        b.finish();
+        // Also tags interned by a query compiler but absent from data.
+        f.dict_mut().intern("query-only-tag");
+        let g = XmlForest::from_snapshot(&f.to_snapshot()).unwrap();
+        assert_forests_equal(&f, &g);
+        assert_eq!(g.dict().lookup("query-only-tag"), f.dict().lookup("query-only-tag"));
+        assert_eq!(g.values().lookup("hello "), f.values().lookup("hello "));
+    }
+
+    #[test]
+    fn corrupt_snapshots_error_instead_of_panicking() {
+        let f = fig1_book_document();
+        let snap = f.to_snapshot();
+        // Bad magic.
+        let mut bad = snap.clone();
+        bad[0] = b'Z';
+        assert!(XmlForest::from_snapshot(&bad).unwrap_err().0.contains("magic"));
+        // Bad version.
+        let mut bad = snap.clone();
+        bad[4] = 99;
+        assert!(XmlForest::from_snapshot(&bad).unwrap_err().0.contains("version"));
+        // Truncations at every prefix length must error, never panic.
+        for cut in 0..snap.len() {
+            assert!(XmlForest::from_snapshot(&snap[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut bad = snap.clone();
+        bad.push(0);
+        assert!(XmlForest::from_snapshot(&bad).unwrap_err().0.contains("trailing"));
+        // A huge declared count in a tiny input must error cheaply,
+        // not attempt a giant allocation: dict_len = u32::MAX.
+        let bomb = [b'X', b'F', b'O', b'R', 1, 0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(XmlForest::from_snapshot(&bomb).unwrap_err().0.contains("truncated"));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let f = fig1_book_document();
+        assert_eq!(f.to_snapshot(), fig1_book_document().to_snapshot());
+    }
+}

@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! xtwig query  <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]
+//! xtwig query  --index idx.xtwig '<xpath>' [--strategy ...] [--explain]
+//! xtwig build  [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]
 //! xtwig bench  <file.xml> '<xpath>' [--shards N]   # run against every strategy
 //! xtwig stats  <file.xml> [--shards N]             # dataset + index statistics
 //! xtwig demo   ['<xpath>'] [--shards N]            # generated XMark data
@@ -15,6 +17,12 @@
 //! (`QueryEngine::build_parallel`); the resulting indexes are
 //! byte-identical to the sequential build, so query results and
 //! metrics are unaffected — only the build is parallelized.
+//!
+//! `build` persists the built engine (all seven strategies by default)
+//! into a single `.xtwig` file; `query --index` reopens it with **zero
+//! rebuild** — the invocation asserts that reattaching allocated no
+//! index pages — and answers against the on-disk structures. Omitting
+//! `build`'s input file indexes the generated XMark demo dataset.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -25,7 +33,7 @@ use xtwig::xml::{parse_document, NodeId, XmlForest};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]"
+        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]"
     );
     ExitCode::from(2)
 }
@@ -119,6 +127,98 @@ fn run_query(
     ExitCode::SUCCESS
 }
 
+/// `xtwig build`: build the requested strategies and persist them into
+/// one index file that `query --index` reopens without rebuilding.
+fn run_build(forest: &XmlForest, out: &str, strategies: Vec<Strategy>, shards: usize) -> ExitCode {
+    let labels: Vec<&str> = strategies.iter().map(|s| s.label()).collect();
+    println!("building {} …", labels.join(", "));
+    let started = std::time::Instant::now();
+    let engine = QueryEngine::build_parallel(
+        forest,
+        EngineOptions { strategies, pool_pages: 5_120, ..Default::default() },
+        shards,
+    );
+    let build_elapsed = started.elapsed();
+    let started = std::time::Instant::now();
+    match engine.persist(out) {
+        Ok(report) => {
+            println!(
+                "wrote {out}: {} pages ({:.2} MB), strategies [{}] \
+                 [build {build_elapsed:.2?} | persist {:.2?}]",
+                report.file_pages,
+                report.file_bytes as f64 / 1048576.0,
+                report.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join(", "),
+                started.elapsed(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("persist failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `xtwig query --index`: reopen a persisted index and answer against
+/// it — zero index-construction work, asserted via the open report's
+/// build-phase allocation count.
+fn run_query_indexed(index: &str, xpath: &str, strategy: Strategy, explain: bool) -> ExitCode {
+    let twig = match xtwig::parse_xpath(xpath) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let started = std::time::Instant::now();
+    let (engine, report) = match QueryEngine::open_with_report(index) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("cannot open {index}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.open_allocations != 0 {
+        eprintln!(
+            "BUG: open allocated {} index page(s) — reopen must not rebuild",
+            report.open_allocations
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "opened {index}: {} pages, {} digests verified, 0 pages built, [{}] in {:.2?}",
+        report.file_pages,
+        report.digests_verified,
+        report.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join(", "),
+        started.elapsed(),
+    );
+    if !engine.has_strategy(strategy) {
+        eprintln!("strategy {} was not persisted in {index}", strategy.label());
+        return ExitCode::FAILURE;
+    }
+    if explain {
+        if let Some(plan) = engine.plan(&twig) {
+            println!(
+                "plan: {:?} (merge cost {} vs inlj cost {})",
+                plan.kind, plan.merge_cost, plan.inlj_cost
+            );
+        }
+    }
+    let a = engine.answer(&twig, strategy);
+    print_answer(engine.forest(), &a.ids, 20);
+    println!(
+        "[{} | plan {:?} | {} probes | {} rows | {} logical reads | {} physical reads | {:?}]",
+        strategy.label(),
+        a.plan,
+        a.metrics.probes,
+        a.metrics.rows_fetched,
+        a.metrics.logical_reads,
+        a.metrics.physical_reads,
+        a.metrics.elapsed
+    );
+    ExitCode::SUCCESS
+}
+
 fn run_bench(forest: &XmlForest, xpath: &str, shards: usize) -> ExitCode {
     let twig = match xtwig::parse_xpath(xpath) {
         Ok(t) => t,
@@ -179,16 +279,55 @@ fn run_stats(forest: &XmlForest, shards: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Returns the value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+}
+
+/// Non-flag operands, in order; flags that take a value consume it.
+fn operands(args: &[String]) -> Vec<String> {
+    const VALUE_FLAGS: [&str; 5] = ["--shards", "--strategy", "--strategies", "--out", "--index"];
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+/// Generates the XMark demo dataset used by `demo` and file-less `build`.
+fn demo_forest() -> XmlForest {
+    let mut forest = XmlForest::new();
+    xtwig::datagen::generate_xmark(
+        &mut forest,
+        xtwig::datagen::XmarkConfig { scale: 0.005, seed: 1 },
+    );
+    forest
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
     match cmd.as_str() {
         "query" => {
-            let (Some(path), Some(xpath)) = (args.get(1), args.get(2)) else { return usage() };
-            let strategy = args
-                .iter()
-                .position(|a| a == "--strategy")
-                .and_then(|i| args.get(i + 1))
+            // `--strategies` is build's plural flag; swallowing it here
+            // would silently query the default strategy instead.
+            if args.iter().any(|a| a == "--strategies") {
+                eprintln!("query takes --strategy <one>, not --strategies");
+                return ExitCode::from(2);
+            }
+            let strategy = flag_value(&args, "--strategy")
                 .map(|s| strategy_from(s))
                 .unwrap_or(Some(Strategy::RootPaths));
             let Some(strategy) = strategy else {
@@ -196,6 +335,13 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             let explain = args.iter().any(|a| a == "--explain");
+            if let Some(index) = flag_value(&args, "--index") {
+                let ops = operands(&args[1..]);
+                let Some(xpath) = ops.first() else { return usage() };
+                return run_query_indexed(index, xpath, strategy, explain);
+            }
+            let ops = operands(&args[1..]);
+            let (Some(path), Some(xpath)) = (ops.first(), ops.get(1)) else { return usage() };
             match load(path) {
                 Ok(forest) => run_query(&forest, xpath, strategy, explain, shards_from()),
                 Err(e) => {
@@ -203,6 +349,55 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        "build" => {
+            // The singular `--strategy` (what query/bench accept) would
+            // otherwise be consumed as an operand-skipping flag and
+            // silently build all seven strategies.
+            if args.iter().any(|a| a == "--strategy") {
+                eprintln!("build takes --strategies <comma,separated|all>, not --strategy");
+                return ExitCode::from(2);
+            }
+            let Some(out) = flag_value(&args, "--out") else {
+                eprintln!("build requires --out <idx.xtwig>");
+                return ExitCode::from(2);
+            };
+            let strategies = match flag_value(&args, "--strategies") {
+                None => Strategy::ALL.to_vec(),
+                Some(list) if list.eq_ignore_ascii_case("all") => Strategy::ALL.to_vec(),
+                Some(list) => {
+                    let mut parsed = Vec::new();
+                    for part in list.split(',') {
+                        match strategy_from(part.trim()) {
+                            Some(s) => parsed.push(s),
+                            None => {
+                                eprintln!("unknown strategy {part:?} in --strategies");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    parsed
+                }
+            };
+            let ops = operands(&args[1..]);
+            let forest = match ops.first() {
+                Some(path) => match load(path) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    let f = demo_forest();
+                    println!(
+                        "no input file: indexing generated XMark demo data ({} nodes)",
+                        f.node_count()
+                    );
+                    f
+                }
+            };
+            run_build(&forest, out, strategies, shards_from())
         }
         "bench" => {
             let (Some(path), Some(xpath)) = (args.get(1), args.get(2)) else { return usage() };
@@ -225,32 +420,13 @@ fn main() -> ExitCode {
             }
         }
         "demo" => {
-            let mut forest = XmlForest::new();
-            xtwig::datagen::generate_xmark(
-                &mut forest,
-                xtwig::datagen::XmarkConfig { scale: 0.005, seed: 1 },
-            );
+            let forest = demo_forest();
             // The xpath is the first non-flag operand after `demo`,
             // wherever it sits relative to flags (`demo --shards 4
-            // '/q'` and `demo '/q' --shards 4` both work). `--shards`
-            // consumes its value.
-            let mut operands = args[1..].iter().filter({
-                let mut skip_value = false;
-                move |a| {
-                    if skip_value {
-                        skip_value = false;
-                        return false;
-                    }
-                    if *a == "--shards" {
-                        skip_value = true;
-                        return false;
-                    }
-                    !a.starts_with("--")
-                }
-            });
-            let xpath = operands
+            // '/q'` and `demo '/q' --shards 4` both work).
+            let xpath = operands(&args[1..])
+                .into_iter()
                 .next()
-                .cloned()
                 .unwrap_or_else(|| "/site//item[quantity = '2']/location".to_owned());
             println!("generated XMark demo data ({} nodes)\nquery: {xpath}\n", forest.node_count());
             run_bench(&forest, &xpath, shards_from())
