@@ -100,6 +100,20 @@ impl AccessSupportRelations {
         self.lookups.swap(0, Ordering::Relaxed)
     }
 
+    /// Aggregate physical shape of the per-path tables, for the
+    /// optimizer's catalog (see [`crate::auto`]).
+    pub fn cost_profile(&self) -> xtwig_opt::TableSetProfile {
+        let mut p =
+            xtwig_opt::TableSetProfile { tables: self.tables.len() as u64, ..Default::default() };
+        for tree in self.tables.values() {
+            let s = tree.stats();
+            p.pages += s.pages;
+            p.rows += s.entries;
+            p.height = p.height.max(s.height.saturating_sub(1));
+        }
+        p
+    }
+
     /// The distinct stored paths matching a pattern: the exact path when
     /// anchored, every path with the pattern as suffix otherwise.
     pub fn matching_paths(&self, q: &PcSubpathQuery) -> Vec<&Vec<TagId>> {

@@ -87,6 +87,12 @@ impl DataGuide {
     pub fn rows(&self) -> u64 {
         self.tree.len()
     }
+
+    /// Physical tree shape for the optimizer's catalog (see
+    /// [`crate::auto`]).
+    pub fn cost_profile(&self) -> xtwig_opt::TreeProfile {
+        crate::auto::tree_profile(&self.tree)
+    }
 }
 
 impl DataGuide {

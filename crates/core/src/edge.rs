@@ -272,6 +272,17 @@ impl EdgeTable {
     pub fn rows(&self) -> u64 {
         self.heap.len()
     }
+
+    /// Physical shape of the three index trees plus the heap, for the
+    /// optimizer's catalog (see [`crate::auto`]).
+    pub fn cost_profile(&self) -> xtwig_opt::EdgeProfile {
+        xtwig_opt::EdgeProfile {
+            value: crate::auto::tree_profile(&self.node_idx),
+            blink: crate::auto::tree_profile(&self.blink),
+            flink: crate::auto::tree_profile(&self.flink),
+            heap_pages: self.heap.space_bytes() / xtwig_storage::PAGE_SIZE as u64,
+        }
+    }
 }
 
 impl EdgeTable {

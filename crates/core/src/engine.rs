@@ -30,104 +30,27 @@ use crate::plan::{choose_plan, JoinHow, PlanKind, ProbeSpec, QueryPlan};
 use crate::rootpaths::{RootPaths, RootPathsOptions};
 use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xtwig_storage::{BufferPool, IoStatsSnapshot};
 use xtwig_xml::{NodeId, TagId, TwigPattern, XmlForest};
 
-/// The seven index configurations of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Strategy {
-    /// ROOTPATHS (RP).
-    RootPaths,
-    /// DATAPATHS (DP).
-    DataPaths,
-    /// Edge table with value/link indexes.
-    Edge,
-    /// Simulated DataGuide + Edge indexes (DG+Edge).
-    DataGuideEdge,
-    /// Simulated Index Fabric + Edge indexes (IF+Edge).
-    IndexFabricEdge,
-    /// Access Support Relations.
-    Asr,
-    /// Join Indices (+ Edge value index for constants).
-    JoinIndex,
-}
-
-impl Strategy {
-    /// All strategies in the paper's reporting order.
-    pub const ALL: [Strategy; 7] = [
-        Strategy::RootPaths,
-        Strategy::DataPaths,
-        Strategy::Edge,
-        Strategy::DataGuideEdge,
-        Strategy::IndexFabricEdge,
-        Strategy::Asr,
-        Strategy::JoinIndex,
-    ];
-
-    /// The paper's abbreviation.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Strategy::RootPaths => "RP",
-            Strategy::DataPaths => "DP",
-            Strategy::Edge => "Edge",
-            Strategy::DataGuideEdge => "DG+Edge",
-            Strategy::IndexFabricEdge => "IF+Edge",
-            Strategy::Asr => "ASR",
-            Strategy::JoinIndex => "JI",
-        }
-    }
-}
-
-impl fmt::Display for Strategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // pad() (not write_str) so callers' width/alignment flags work.
-        f.pad(self.label())
-    }
-}
-
-/// Error for [`Strategy::from_str`]: the string names no known strategy.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseStrategyError(pub String);
-
-impl fmt::Display for ParseStrategyError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown strategy {:?} (expected one of RP, DP, Edge, DG+Edge, IF+Edge, ASR, JI)",
-            self.0
-        )
-    }
-}
-
-impl std::error::Error for ParseStrategyError {}
-
-impl std::str::FromStr for Strategy {
-    type Err = ParseStrategyError;
-
-    /// Parses the paper's reporting-order abbreviations (`RP`, `DP`,
-    /// `Edge`, `DG+Edge`, `IF+Edge`, `ASR`, `JI`) case-insensitively,
-    /// plus the long-form aliases the CLI historically accepted.
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_uppercase().as_str() {
-            "RP" | "ROOTPATHS" => Ok(Strategy::RootPaths),
-            "DP" | "DATAPATHS" => Ok(Strategy::DataPaths),
-            "EDGE" => Ok(Strategy::Edge),
-            "DG" | "DG+EDGE" | "DATAGUIDE" => Ok(Strategy::DataGuideEdge),
-            "IF" | "IF+EDGE" | "FABRIC" => Ok(Strategy::IndexFabricEdge),
-            "ASR" => Ok(Strategy::Asr),
-            "JI" | "JOININDEX" => Ok(Strategy::JoinIndex),
-            _ => Err(ParseStrategyError(s.to_owned())),
-        }
-    }
-}
+// The strategy menu lives in `xtwig-opt` — the cost-based decision
+// layer ranks `Strategy` values, and the engine re-exports the type so
+// `xtwig_core::Strategy` paths keep working. `Strategy::Auto` is the
+// optimizer-resolved pseudo-strategy; every execution path below
+// resolves it to a concrete configuration before touching an index
+// (see [`QueryEngine::resolve_strategy`] in `crate::auto`).
+pub use xtwig_opt::{ParseStrategyError, Strategy};
 
 /// Build options for [`QueryEngine`].
 #[derive(Clone)]
 pub struct EngineOptions {
-    /// Which strategies to materialize.
+    /// Which strategies to materialize. Listing [`Strategy::Auto`]
+    /// requests **every** concrete configuration — auto is a
+    /// query-time directive, and resolving it needs the full menu
+    /// built (a bare `--strategies auto` must not silently persist an
+    /// index with nothing in it).
     pub strategies: Vec<Strategy>,
     /// Buffer-pool frames per structure pool (default 2048 = 16 MiB; the
     /// harness uses 5120 = 40 MiB, matching §5.1.1).
@@ -180,6 +103,11 @@ pub struct QueryAnswer {
     pub ids: BTreeSet<u64>,
     /// The plan kind that ran.
     pub plan: PlanKind,
+    /// The concrete strategy that executed — the optimizer's pick when
+    /// the query was submitted with [`Strategy::Auto`] (or the
+    /// requested strategy verbatim when nothing executed at all, e.g.
+    /// an unknown-tag twig).
+    pub strategy: Strategy,
     /// Cost metrics.
     pub metrics: QueryMetrics,
 }
@@ -188,10 +116,11 @@ impl QueryAnswer {
     /// The canonical answer for a twig that cannot match — e.g. it
     /// names a tag absent from the data (§2.2) — with nothing executed
     /// and all metrics zero.
-    pub fn empty() -> Self {
+    pub fn empty(strategy: Strategy) -> Self {
         QueryAnswer {
             ids: BTreeSet::new(),
             plan: PlanKind::Merge,
+            strategy,
             metrics: QueryMetrics::default(),
         }
     }
@@ -312,7 +241,9 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
     /// (tests pin shard boundaries and worker counts through this).
     pub fn build_with_plan(forest: F, options: EngineOptions, plan: &ShardPlan) -> Self {
         let f: &XmlForest = forest.borrow();
-        let want = |s: Strategy| options.strategies.contains(&s);
+        let want = |s: Strategy| {
+            options.strategies.contains(&s) || options.strategies.contains(&Strategy::Auto)
+        };
         let needs_edge = want(Strategy::Edge)
             || want(Strategy::DataGuideEdge)
             || want(Strategy::IndexFabricEdge)
@@ -393,6 +324,8 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
 
     /// True when `strategy`'s structures were built (querying an
     /// unbuilt strategy panics; services check this up front).
+    /// [`Strategy::Auto`] is available as soon as any concrete strategy
+    /// is — the optimizer only ranks built configurations.
     pub fn has_strategy(&self, strategy: Strategy) -> bool {
         match strategy {
             Strategy::RootPaths => self.rp.is_some(),
@@ -402,6 +335,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
             Strategy::IndexFabricEdge => self.fab.is_some() && self.edge.is_some(),
             Strategy::Asr => self.asr.is_some(),
             Strategy::JoinIndex => self.ji.is_some() && self.edge.is_some(),
+            Strategy::Auto => Strategy::ALL.iter().any(|&s| self.has_strategy(s)),
         }
     }
 
@@ -438,7 +372,8 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
     }
 
     /// Space used by a strategy (Fig. 9): the primary structure plus any
-    /// Edge structures it relies on.
+    /// Edge structures it relies on. [`Strategy::Auto`] owns no
+    /// structures of its own and reports zero.
     pub fn space_bytes(&self, strategy: Strategy) -> u64 {
         let edge = self.edge.as_ref().map_or(0, |(e, _)| e.space_bytes());
         match strategy {
@@ -451,6 +386,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
             }
             Strategy::Asr => self.asr.as_ref().map_or(0, |(i, _)| i.space_bytes()),
             Strategy::JoinIndex => self.ji.as_ref().map_or(0, |(i, _)| i.space_bytes()) + edge,
+            Strategy::Auto => 0,
         }
     }
 
@@ -501,6 +437,9 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
                     pools.push(p);
                 }
             }
+            // Auto owns no pools; metric attribution happens against
+            // the concrete strategy it resolved to.
+            Strategy::Auto => {}
         }
         pools
     }
@@ -596,14 +535,17 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         self.compile(twig).ok().map(|(_, p)| p)
     }
 
-    /// Answers `twig` with `strategy`.
+    /// Answers `twig` with `strategy`. [`Strategy::Auto`] is resolved
+    /// to the cheapest built configuration by the cost model first (see
+    /// [`QueryEngine::resolve_strategy`]); the answer's `strategy`
+    /// field reports what actually ran.
     ///
     /// # Panics
     /// Panics if the strategy's structures were not built.
     pub fn answer(&self, twig: &TwigPattern, strategy: Strategy) -> QueryAnswer {
         match self.compile(twig) {
             // Unknown tag: the result is necessarily empty (§2.2).
-            Err(_) => QueryAnswer::empty(),
+            Err(_) => QueryAnswer::empty(strategy),
             Ok((compiled, plan)) => self.answer_compiled(&compiled, &plan, strategy),
         }
     }
@@ -629,6 +571,9 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         strategy: Strategy,
         memo: Option<&mut ProbeMemo>,
     ) -> QueryAnswer {
+        // Auto resolves to a concrete strategy before any index (or
+        // metric counter) is touched.
+        let strategy = self.resolve_strategy(strategy, compiled, plan);
         let before = self.snapshot(strategy);
         self.drain_baseline_counters(strategy);
         let start = Instant::now();
@@ -642,6 +587,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         QueryAnswer {
             ids,
             plan: plan.kind,
+            strategy,
             metrics: QueryMetrics {
                 probes,
                 rows_fetched,
@@ -665,7 +611,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         let answers = twigs
             .iter()
             .map(|t| match self.compile(t) {
-                Err(_) => QueryAnswer::empty(),
+                Err(_) => QueryAnswer::empty(strategy),
                 Ok((compiled, plan)) => {
                     self.answer_compiled_with(&compiled, &plan, strategy, Some(&mut memo))
                 }
@@ -680,7 +626,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
     /// need not be materialized — which is what lets the Index Fabric
     /// answer a fully-specified single-path query in one probe (§5.2.1)
     /// while still paying the per-step walks on branching queries.
-    fn needed_nodes(&self, compiled: &CompiledTwig, plan: &QueryPlan) -> HashSet<usize> {
+    pub(crate) fn needed_nodes(&self, compiled: &CompiledTwig, plan: &QueryPlan) -> HashSet<usize> {
         let mut needed: HashSet<usize> = HashSet::new();
         needed.insert(compiled.twig.output);
         let mut seen: HashMap<usize, usize> = HashMap::new();
@@ -911,6 +857,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
                 (a.eval_pcsubpath(q), true)
             }
             Strategy::JoinIndex => (self.eval_join_index(q, interior), false),
+            Strategy::Auto => unreachable!("Auto resolves before execution"),
         }
     }
 
@@ -1491,6 +1438,25 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<QueryEngine<Arc<XmlForest>>>();
         assert_send_sync::<QueryAnswer>();
+    }
+
+    #[test]
+    fn auto_in_build_options_materializes_every_strategy() {
+        // `--strategies auto` must mean "build the full menu", not
+        // "build nothing and persist an empty index".
+        let f = fig1_book_document();
+        let e = QueryEngine::build(
+            &f,
+            EngineOptions {
+                strategies: vec![Strategy::Auto],
+                pool_pages: 1024,
+                ..Default::default()
+            },
+        );
+        for s in Strategy::ALL {
+            assert!(e.has_strategy(s), "{s}");
+        }
+        check_all_strategies(&e, "/book[title='XML']//author[fn='jane'][ln='doe']");
     }
 
     #[test]

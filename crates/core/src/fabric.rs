@@ -91,6 +91,12 @@ impl IndexFabric {
     pub fn rows(&self) -> u64 {
         self.tree.len()
     }
+
+    /// Physical tree shape for the optimizer's catalog (see
+    /// [`crate::auto`]).
+    pub fn cost_profile(&self) -> xtwig_opt::TreeProfile {
+        crate::auto::tree_profile(&self.tree)
+    }
 }
 
 impl IndexFabric {

@@ -128,6 +128,22 @@ impl JoinIndices {
         self.lookups.swap(0, Ordering::Relaxed)
     }
 
+    /// Aggregate physical shape of the per-expression table pairs, for
+    /// the optimizer's catalog (see [`crate::auto`]).
+    pub fn cost_profile(&self) -> xtwig_opt::TableSetProfile {
+        let mut p =
+            xtwig_opt::TableSetProfile { tables: self.tables.len() as u64, ..Default::default() };
+        for pair in self.tables.values() {
+            for tree in [&pair.forward, &pair.backward] {
+                let s = tree.stats();
+                p.pages += s.pages;
+                p.rows += s.entries;
+                p.height = p.height.max(s.height.saturating_sub(1));
+            }
+        }
+        p
+    }
+
     /// Stored `(path, split)` expressions whose suffix equals the
     /// pattern (exact root path for anchored patterns).
     pub fn matching_expressions(&self, q: &PcSubpathQuery) -> Vec<(Vec<TagId>, usize)> {

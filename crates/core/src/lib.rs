@@ -32,8 +32,12 @@
 //!   every built structure into a single `.xtwig` file, and
 //!   [`QueryEngine::open`] reattaches it with zero rebuild work,
 //!   digest-verified against the stored catalog.
+//! * [`auto`] — cost-based strategy selection: measures the built
+//!   structures into an `xtwig-opt` catalog, ranks every strategy per
+//!   query, resolves [`Strategy::Auto`], and backs `xtwig explain`.
 
 pub mod asr;
+pub mod auto;
 pub mod compress;
 pub mod dataguide;
 pub mod datapaths;
@@ -52,6 +56,7 @@ pub mod rootpaths;
 pub mod stitch;
 pub mod xpath;
 
+pub use auto::Explanation;
 pub use engine::{
     ParseStrategyError, ProbeMemo, ProbeMemoStats, QueryAnswer, QueryEngine, QueryMetrics, Strategy,
 };

@@ -269,22 +269,53 @@ impl PathStats {
         Ok(stats)
     }
 
-    /// Estimated matches of a PCsubpath pattern.
+    /// Estimated matches of a PCsubpath pattern (delegates to the
+    /// shared estimator in `xtwig-opt`, so the planner and the
+    /// cost-based strategy selector agree on every cardinality).
     pub fn estimate(&self, q: &crate::family::PcSubpathQuery) -> u64 {
-        let last = *q.tags.last().expect("empty pattern");
-        let structural = if q.anchored {
-            self.path_count(&q.tags)
+        xtwig_opt::pattern_matches(self, &q.tags, q.anchored, q.value.as_deref())
+    }
+}
+
+/// `PathStats` is the optimizer's statistics source: its per-path
+/// instance table doubles as the DataGuide's path catalog (annotated
+/// with counts), and the `(leaf tag, value)` table supplies bound-
+/// predicate selectivities.
+impl xtwig_opt::CardinalitySource for PathStats {
+    fn path_instances(&self, tags: &[TagId]) -> u64 {
+        self.path_count(tags)
+    }
+
+    fn suffix_instances(&self, tags: &[TagId]) -> u64 {
+        self.path_counts.iter().filter(|(path, _)| path.ends_with(tags)).map(|(_, &c)| c).sum()
+    }
+
+    fn matching_path_count(&self, tags: &[TagId], anchored: bool) -> u64 {
+        if anchored {
+            u64::from(self.path_counts.contains_key(tags))
         } else {
-            // Sum instances over distinct paths ending with the pattern.
-            self.path_counts
-                .iter()
-                .filter(|(path, _)| path.ends_with(&q.tags))
-                .map(|(_, &c)| c)
-                .sum()
-        };
-        match &q.value {
-            None => structural,
-            Some(v) => structural.min(self.tag_value_count(last, v)),
+            self.path_counts.keys().filter(|path| path.ends_with(tags)).count() as u64
+        }
+    }
+
+    fn tag_instances(&self, tag: TagId) -> u64 {
+        self.tag_count(tag)
+    }
+
+    fn value_instances(&self, tag: TagId, value: &str) -> u64 {
+        self.tag_value_count(tag, value)
+    }
+
+    fn node_count(&self) -> u64 {
+        self.nodes
+    }
+
+    fn mean_depth(&self) -> f64 {
+        let weighted: u64 = self.path_counts.iter().map(|(p, &c)| p.len() as u64 * c).sum();
+        if self.nodes == 0 {
+            1.0
+        } else {
+            weighted as f64 / self.nodes as f64
         }
     }
 }

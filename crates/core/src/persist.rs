@@ -456,6 +456,9 @@ fn strategy_to_u8(s: Strategy) -> u8 {
         Strategy::IndexFabricEdge => 4,
         Strategy::Asr => 5,
         Strategy::JoinIndex => 6,
+        // Auto is a selection directive over *built* strategies — the
+        // catalog only ever records concrete configurations.
+        Strategy::Auto => unreachable!("Auto is never persisted"),
     }
 }
 

@@ -250,6 +250,7 @@ mod tests {
     use crate::paths::PathStats;
     use crate::xpath::parse_xpath;
     use xtwig_xml::tree::fig1_book_document;
+    use xtwig_xml::XmlForest;
 
     fn setup(xpath: &str) -> (CompiledTwig, PathStats, TagDict) {
         let f = fig1_book_document();
@@ -341,6 +342,80 @@ mod tests {
         let (c, stats, dict) = setup("/book[title = 'XML']/year");
         let plan = choose_plan(&c, &stats, &dict);
         assert_eq!(plan.kind, PlanKind::Merge);
+    }
+
+    /// A flat corpus with exactly-Zipfian `key` values (32, 16, 8, 4,
+    /// 2, 1 instances of `k0` … `k5`) — the §5.2.3 crossover data: the
+    /// branch point `rec` is low (63 instances), one branch's
+    /// selectivity sweeps from 1 to 32 while the other (`val`) stays
+    /// unselective.
+    fn zipf_forest() -> XmlForest {
+        let mut f = XmlForest::new();
+        let mut b = f.builder();
+        b.open("db");
+        for (i, count) in [32u64, 16, 8, 4, 2, 1].into_iter().enumerate() {
+            for _ in 0..count {
+                b.open("rec");
+                b.leaf("key", &format!("k{i}"));
+                b.leaf("val", "payload");
+                b.close();
+            }
+        }
+        b.close();
+        b.finish();
+        f
+    }
+
+    fn zipf_plan(f: &XmlForest, literal: &str) -> QueryPlan {
+        let twig = parse_xpath(&format!("//rec[key = '{literal}']/val")).unwrap();
+        let c = decompose(&twig, f.dict()).unwrap();
+        choose_plan(&c, &PathStats::build(f), f.dict())
+    }
+
+    #[test]
+    fn skewed_stats_flip_merge_vs_inlj_at_the_selectivity_boundary() {
+        let f = zipf_forest();
+        // Rarest literal: one selective driver row, probes beat
+        // scanning every unselective `val` row (Fig. 12d's INLJ case).
+        let rare = zipf_plan(&f, "k5");
+        assert_eq!(rare.kind, PlanKind::IndexNestedLoop, "{rare:?}");
+        assert_eq!(rare.steps[0].estimate, 1, "driver is the rare branch");
+        // Commonest literal: selectivities are comparable, per-head
+        // probing buys nothing over one merge pass.
+        let common = zipf_plan(&f, "k0");
+        assert_eq!(common.kind, PlanKind::Merge, "{common:?}");
+        // Walking the Zipf ladder from rare to common crosses the
+        // boundary exactly once: INLJ while selective, merge after.
+        let kinds: Vec<PlanKind> =
+            (0..6).rev().map(|i| zipf_plan(&f, &format!("k{i}")).kind).collect();
+        let first_merge = kinds.iter().position(|&k| k == PlanKind::Merge).expect("k0 is merge");
+        assert!(
+            kinds[first_merge..].iter().all(|&k| k == PlanKind::Merge),
+            "plan kind must flip at most once along the skew ladder: {kinds:?}"
+        );
+        assert!(first_merge >= 1, "the rare end must stay INLJ: {kinds:?}");
+    }
+
+    #[test]
+    fn inlj_cost_tracks_driver_selectivity_under_skew() {
+        let f = zipf_forest();
+        // The INLJ estimate must grow monotonically with the driver's
+        // cardinality while the merge estimate grows only additively —
+        // that relationship is what creates the crossover.
+        let costs: Vec<(u64, u64)> = (0..6)
+            .map(|i| {
+                let p = zipf_plan(&f, &format!("k{i}"));
+                (p.inlj_cost, p.merge_cost)
+            })
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[0].0 >= w[1].0, "inlj cost must not grow as the driver gets rarer");
+            assert!(w[0].1 >= w[1].1, "merge cost shrinks with the valued branch");
+        }
+        let (rare_inlj, rare_merge) = costs[5];
+        assert!(rare_inlj < rare_merge);
+        let (common_inlj, common_merge) = costs[0];
+        assert!(common_inlj >= common_merge);
     }
 
     #[test]

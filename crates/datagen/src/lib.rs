@@ -20,11 +20,17 @@
 //! generator returns a *profile* recording the exact planted counts so
 //! tests and benchmarks can assert result sizes instead of hard-coding
 //! them.
+//!
+//! A third generator, [`skew`], plants exactly-Zipfian leaf values so
+//! the cost-based optimizer's tests can exercise the merge/INLJ and
+//! RP/DP crossover points of §5.2.3 from both sides.
 
 pub mod dblp;
 pub mod queries;
+pub mod skew;
 pub mod xmark;
 
 pub use dblp::{generate_dblp, DblpConfig, DblpProfile};
 pub use queries::{dblp_queries, xmark_queries, BenchQuery, Dataset, QueryGroup};
+pub use skew::{generate_skewed, SkewConfig, SkewProfile};
 pub use xmark::{generate_xmark, XmarkConfig, XmarkProfile};

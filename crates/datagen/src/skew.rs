@@ -1,0 +1,202 @@
+//! Skewed value-selectivity corpus: Zipfian leaf values.
+//!
+//! The paper's §5.2.3 observation — index-nested-loop plans win when
+//! one branch is very selective and the branch point is low, merge
+//! plans win when selectivities are comparable — is a statement about
+//! the *value-frequency distribution* of the data. This generator
+//! plants an exactly-Zipfian distribution so optimizer tests can walk a
+//! query literal from the most common value (`k0`, merge territory) to
+//! the rarest (INLJ territory) and watch the crossover, and so the
+//! RP/DP rankings can be exercised on both sides of it.
+//!
+//! Shape (flat on purpose — the branch point `rec` has one instance
+//! per record, the low-branch-point case of Fig. 12d):
+//!
+//! ```text
+//! <db>
+//!   <rec><key>k3</key><val>v0</val><info><note>…</note></info></rec>
+//!   …
+//! </db>
+//! ```
+//!
+//! Value `k{i}` is planted with a count proportional to `1/(i+1)^s`
+//! (every value gets at least one instance), placements shuffled by the
+//! seed; counts are exact and recorded in the returned profile, so
+//! tests pick crossover literals from data instead of guessing.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use xtwig_xml::XmlForest;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewConfig {
+    /// Number of `<rec>` records.
+    pub records: u64,
+    /// Distinct `key`/`val` values (`k0`/`v0` … most common first).
+    pub distinct_values: u64,
+    /// Zipf exponent `s` (0 = uniform; 1 = classic Zipf; larger =
+    /// steeper skew).
+    pub zipf_s: f64,
+    /// Placement-shuffle seed (counts are exact regardless).
+    pub seed: u64,
+}
+
+impl Default for SkewConfig {
+    fn default() -> Self {
+        SkewConfig { records: 512, distinct_values: 16, zipf_s: 1.2, seed: 0x51AF }
+    }
+}
+
+/// Exact planted counts, recorded during generation.
+#[derive(Debug, Clone, Default)]
+pub struct SkewProfile {
+    /// Records emitted.
+    pub records: u64,
+    /// Instances of `key = "k{i}"`, most common first (non-increasing).
+    pub key_counts: Vec<u64>,
+    /// Instances of `val = "v{i}"` (same distribution, independent
+    /// placement).
+    pub val_counts: Vec<u64>,
+    /// Total element/attribute nodes generated.
+    pub nodes: u64,
+}
+
+impl SkewProfile {
+    /// The rarest key literal (`k{n-1}`) — the INLJ side of the
+    /// §5.2.3 crossover.
+    pub fn rarest_key(&self) -> String {
+        format!("k{}", self.key_counts.len().saturating_sub(1))
+    }
+
+    /// The most common key literal (`k0`) — the merge side.
+    pub fn commonest_key(&self) -> String {
+        "k0".to_owned()
+    }
+}
+
+/// Exact Zipf allocation: every value gets one instance, the remainder
+/// is split proportionally to `1/(i+1)^s` with largest-remainder
+/// rounding, so `sum == total` and counts are non-increasing.
+fn zipf_counts(total: u64, distinct: u64, s: f64) -> Vec<u64> {
+    let n = distinct.min(total).max(1) as usize;
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let spare = total - n as u64; // one instance pre-planted per value
+    let mut counts: Vec<u64> = vec![1; n];
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(n);
+    let mut assigned = 0u64;
+    for (i, w) in weights.iter().enumerate() {
+        let exact = spare as f64 * w / wsum;
+        let floor = exact.floor() as u64;
+        counts[i] += floor;
+        assigned += floor;
+        fracs.push((i, exact - floor as f64));
+    }
+    // Largest remainders take the leftover, ties to the more common
+    // value so the sequence stays non-increasing.
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for &(i, _) in fracs.iter().take((spare - assigned) as usize) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// Generates one skewed document into `forest`.
+pub fn generate_skewed(forest: &mut XmlForest, config: SkewConfig) -> SkewProfile {
+    assert!(config.records > 0, "records must be positive");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let key_counts = zipf_counts(config.records, config.distinct_values, config.zipf_s);
+    let val_counts = key_counts.clone();
+
+    let mut key_labels: Vec<usize> = Vec::with_capacity(config.records as usize);
+    for (i, &c) in key_counts.iter().enumerate() {
+        key_labels.extend(std::iter::repeat_n(i, c as usize));
+    }
+    let mut val_labels = key_labels.clone();
+    key_labels.shuffle(&mut rng);
+    val_labels.shuffle(&mut rng);
+
+    let before_nodes = forest.node_count() as u64;
+    let mut b = forest.builder();
+    b.open("db");
+    for (rec, (&k, &v)) in key_labels.iter().zip(&val_labels).enumerate() {
+        b.open("rec");
+        b.leaf("key", &format!("k{k}"));
+        b.leaf("val", &format!("v{v}"));
+        b.open("info");
+        b.leaf("note", &format!("record number {rec}"));
+        b.close();
+        b.close();
+    }
+    b.close();
+    b.finish();
+
+    SkewProfile {
+        records: config.records,
+        key_counts,
+        val_counts,
+        nodes: forest.node_count() as u64 - before_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(config: SkewConfig) -> (XmlForest, SkewProfile) {
+        let mut f = XmlForest::new();
+        let p = generate_skewed(&mut f, config);
+        (f, p)
+    }
+
+    #[test]
+    fn counts_are_exact_zipf_and_sum_to_records() {
+        let (f, p) = profile(SkewConfig::default());
+        assert_eq!(p.key_counts.iter().sum::<u64>(), p.records);
+        assert!(p.key_counts.windows(2).all(|w| w[0] >= w[1]), "non-increasing");
+        assert!(p.key_counts.iter().all(|&c| c >= 1), "every literal exists");
+        // s = 1.2: the head dominates, the tail is rare.
+        assert!(p.key_counts[0] > p.records / 4);
+        assert!(*p.key_counts.last().unwrap() < p.key_counts[0] / 8);
+        // Planted counts match a forest scan.
+        let key = f.dict().lookup("key").unwrap();
+        for (i, &c) in p.key_counts.iter().enumerate() {
+            let label = format!("k{i}");
+            let scanned = f
+                .iter_nodes()
+                .filter(|&n| f.tag(n) == key && f.value_str(n) == Some(label.as_str()))
+                .count() as u64;
+            assert_eq!(scanned, c, "k{i}");
+        }
+    }
+
+    #[test]
+    fn determinism_and_seed_independence_of_counts() {
+        let (f1, p1) = profile(SkewConfig::default());
+        let (f2, p2) = profile(SkewConfig::default());
+        assert_eq!(f1.node_count(), f2.node_count());
+        assert_eq!(p1.key_counts, p2.key_counts);
+        let (_, p3) = profile(SkewConfig { seed: 7, ..Default::default() });
+        assert_eq!(p1.key_counts, p3.key_counts, "seed shuffles placement, not counts");
+    }
+
+    #[test]
+    fn zero_exponent_degenerates_to_uniform() {
+        let counts = zipf_counts(100, 10, 0.0);
+        assert!(counts.iter().all(|&c| c == 10));
+        let steep = zipf_counts(100, 10, 2.0);
+        assert!(steep[0] > 50, "s=2 concentrates the head: {steep:?}");
+    }
+
+    #[test]
+    fn crossover_literals_are_usable() {
+        let (_, p) = profile(SkewConfig::default());
+        assert_eq!(p.commonest_key(), "k0");
+        assert_eq!(p.rarest_key(), "k15");
+        let rare = *p.key_counts.last().unwrap();
+        let common = p.key_counts[0];
+        assert!(common >= 16 * rare, "skew must separate the crossover sides");
+    }
+}

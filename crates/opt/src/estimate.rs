@@ -1,0 +1,190 @@
+//! Cardinality estimation over collected path statistics.
+//!
+//! The estimator consumes the same statistics the paper's §5.1.1 setup
+//! collects in DB2: instance counts per root-anchored schema path (which
+//! is exactly the DataGuide's path catalog, annotated with counts),
+//! per-`(leaf tag, value)` counts for bound predicates, and per-tag
+//! totals. Core's `PathStats` implements [`CardinalitySource`]; the
+//! trait keeps this crate below `xtwig-core` in the dependency graph so
+//! the engine itself can consult the optimizer.
+
+use xtwig_xml::TagId;
+
+/// Statistics interface the estimator and cost model read.
+///
+/// All counts are instance counts (not distinct-value counts). The
+/// default implementations derive the aggregate queries from the
+/// primitive ones where possible.
+pub trait CardinalitySource {
+    /// Instances of the exact root-anchored schema path `tags`.
+    fn path_instances(&self, tags: &[TagId]) -> u64;
+
+    /// Instances summed over every distinct root path that *ends with*
+    /// `tags` — the `//`-headed pattern count.
+    fn suffix_instances(&self, tags: &[TagId]) -> u64;
+
+    /// Distinct stored schema paths matching the pattern: 1/0 for an
+    /// anchored pattern, the number of paths ending with `tags`
+    /// otherwise. Drives the per-table probe counts of ASR and Join
+    /// Indices (one table pair per matching path expression).
+    fn matching_path_count(&self, tags: &[TagId], anchored: bool) -> u64;
+
+    /// Instances of nodes with `tag`.
+    fn tag_instances(&self, tag: TagId) -> u64;
+
+    /// Instances of `(leaf tag, value)`.
+    fn value_instances(&self, tag: TagId, value: &str) -> u64;
+
+    /// Total element/attribute nodes.
+    fn node_count(&self) -> u64;
+
+    /// Mean root-path depth over all nodes — the expected backward-link
+    /// walk length when a strategy has to recover ancestors it did not
+    /// store.
+    fn mean_depth(&self) -> f64;
+}
+
+/// Estimated matches of a PCsubpath pattern: the structural count
+/// (exact path when anchored, suffix sum otherwise) capped by the bound
+/// value's selectivity when the pattern carries one. Mirrors the
+/// engine's planner estimate so ranking and step ordering agree.
+pub fn pattern_matches<S: CardinalitySource + ?Sized>(
+    stats: &S,
+    tags: &[TagId],
+    anchored: bool,
+    value: Option<&str>,
+) -> u64 {
+    let last = *tags.last().expect("empty pattern");
+    let structural =
+        if anchored { stats.path_instances(tags) } else { stats.suffix_instances(tags) };
+    match value {
+        None => structural,
+        Some(v) => structural.min(stats.value_instances(last, v)),
+    }
+}
+
+/// Leaf candidates an Edge-family evaluation starts from: one value
+/// probe (bound pattern) or a full tag scan (structural pattern).
+pub fn leaf_candidates<S: CardinalitySource + ?Sized>(
+    stats: &S,
+    tags: &[TagId],
+    value: Option<&str>,
+) -> u64 {
+    let last = *tags.last().expect("empty pattern");
+    match value {
+        Some(v) => stats.value_instances(last, v),
+        None => stats.tag_instances(last),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A hand-filled statistics table for cost-model unit tests.
+    #[derive(Default)]
+    pub struct TableStats {
+        pub paths: HashMap<Vec<TagId>, u64>,
+        pub values: HashMap<(TagId, String), u64>,
+        pub depth: f64,
+    }
+
+    impl TableStats {
+        pub fn path(mut self, tags: &[u32], count: u64) -> Self {
+            self.paths.insert(tags.iter().map(|&t| TagId(t)).collect(), count);
+            self
+        }
+
+        pub fn value(mut self, tag: u32, value: &str, count: u64) -> Self {
+            self.values.insert((TagId(tag), value.to_owned()), count);
+            self
+        }
+    }
+
+    impl CardinalitySource for TableStats {
+        fn path_instances(&self, tags: &[TagId]) -> u64 {
+            self.paths.get(tags).copied().unwrap_or(0)
+        }
+
+        fn suffix_instances(&self, tags: &[TagId]) -> u64 {
+            self.paths.iter().filter(|(p, _)| p.ends_with(tags)).map(|(_, &c)| c).sum()
+        }
+
+        fn matching_path_count(&self, tags: &[TagId], anchored: bool) -> u64 {
+            if anchored {
+                u64::from(self.paths.contains_key(tags))
+            } else {
+                self.paths.keys().filter(|p| p.ends_with(tags)).count() as u64
+            }
+        }
+
+        fn tag_instances(&self, tag: TagId) -> u64 {
+            self.paths.iter().filter(|(p, _)| p.last() == Some(&tag)).map(|(_, &c)| c).sum()
+        }
+
+        fn value_instances(&self, tag: TagId, value: &str) -> u64 {
+            self.values.get(&(tag, value.to_owned())).copied().unwrap_or(0)
+        }
+
+        fn node_count(&self) -> u64 {
+            self.paths.values().sum()
+        }
+
+        fn mean_depth(&self) -> f64 {
+            if self.depth > 0.0 {
+                self.depth
+            } else {
+                let (mut weighted, mut total) = (0u64, 0u64);
+                for (p, &c) in &self.paths {
+                    weighted += p.len() as u64 * c;
+                    total += c;
+                }
+                if total == 0 {
+                    1.0
+                } else {
+                    weighted as f64 / total as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::TableStats;
+    use super::*;
+
+    fn stats() -> TableStats {
+        // /a(1)/b(2)/c(3): 10 instances of a/b/c, 4 of x/b/c, 100 of a.
+        TableStats::default()
+            .path(&[1], 100)
+            .path(&[1, 2], 40)
+            .path(&[1, 2, 3], 10)
+            .path(&[9, 2, 3], 4)
+            .value(3, "rare", 1)
+            .value(3, "common", 12)
+    }
+
+    #[test]
+    fn anchored_vs_suffix_counts() {
+        let s = stats();
+        let abc = [TagId(1), TagId(2), TagId(3)];
+        let bc = [TagId(2), TagId(3)];
+        assert_eq!(pattern_matches(&s, &abc, true, None), 10);
+        assert_eq!(pattern_matches(&s, &bc, false, None), 14);
+        assert_eq!(s.matching_path_count(&bc, false), 2);
+        assert_eq!(s.matching_path_count(&abc, true), 1);
+    }
+
+    #[test]
+    fn value_caps_structural_count() {
+        let s = stats();
+        let bc = [TagId(2), TagId(3)];
+        assert_eq!(pattern_matches(&s, &bc, false, Some("rare")), 1);
+        assert_eq!(pattern_matches(&s, &bc, false, Some("common")), 12);
+        assert_eq!(pattern_matches(&s, &bc, false, Some("absent")), 0);
+        assert_eq!(leaf_candidates(&s, &bc, Some("common")), 12);
+        assert_eq!(leaf_candidates(&s, &bc, None), 14);
+    }
+}

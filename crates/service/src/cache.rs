@@ -44,17 +44,21 @@ impl CacheStats {
 // Plan cache
 // ---------------------------------------------------------------------------
 
-/// Shape-keyed cache of `(CompiledTwig, QueryPlan)` pairs.
+/// Shape-keyed cache of compiled plans.
 ///
 /// A hit skips `decompose`/`choose_plan` entirely: the cached cover is
 /// rebound onto the incoming twig (literals re-read, structure reused).
 /// The plan itself is the one chosen for the first-seen literals —
 /// parameterized-plan semantics, like a relational engine's statement
-/// cache. Plans never go stale under the §7 updates path (decomposition
-/// depends on the tag dictionary, not the data), so there is no
-/// generation here. Capacity overflow evicts the oldest-inserted shape
-/// (FIFO — misses only cost a recompile, so recency tracking on the
-/// hit path isn't worth its bookkeeping).
+/// cache. The same semantics extend to cost-based strategy selection:
+/// an entry memoizes the [`Strategy::Auto`] resolution for its shape,
+/// so repeated auto submissions rank the strategies once and every
+/// later query of the shape keys its cached results on the resolved
+/// *concrete* strategy. Plans never go stale under the §7 updates path
+/// (decomposition depends on the tag dictionary, not the data), so
+/// there is no generation here. Capacity overflow evicts the
+/// oldest-inserted shape (FIFO — misses only cost a recompile, so
+/// recency tracking on the hit path isn't worth its bookkeeping).
 pub struct PlanCache {
     inner: Mutex<PlanCacheInner>,
     hits: AtomicU64,
@@ -63,8 +67,21 @@ pub struct PlanCache {
     capacity: usize,
 }
 
+/// One cached shape: the compiled cover and plan, plus the memoized
+/// optimizer pick for `Strategy::Auto` submissions of this shape
+/// (resolved lazily, from the first-seen literals). The pick is
+/// revalidated against the live engine on every use — a
+/// `rebuild_parallel` may swap in an engine whose strategy set no
+/// longer contains it, and a stale pick must re-resolve rather than
+/// reach an unbuilt structure (whose accessor would panic the worker).
+struct PlanEntry {
+    compiled: CompiledTwig,
+    plan: QueryPlan,
+    auto_pick: Mutex<Option<Strategy>>,
+}
+
 struct PlanCacheInner {
-    map: HashMap<String, Arc<(CompiledTwig, QueryPlan)>>,
+    map: HashMap<String, Arc<PlanEntry>>,
     /// Insertion order, oldest first (FIFO eviction).
     order: VecDeque<String>,
 }
@@ -91,26 +108,79 @@ impl PlanCache {
         if !self.enabled {
             return engine.compile(twig);
         }
+        let entry = self.entry(engine, twig)?;
+        let compiled = entry.compiled.rebind(twig);
+        let plan = entry.plan.rebind(&compiled);
+        Ok((compiled, plan))
+    }
+
+    /// [`PlanCache::compile`] plus strategy resolution: `Auto` resolves
+    /// through the shape's memoized optimizer pick (computed once from
+    /// the first-seen literals — the same parameterized-plan semantics
+    /// the plan itself uses), concrete strategies pass through. The
+    /// returned strategy is always concrete, so callers key their
+    /// result caches on it.
+    pub fn compile_resolved<F: Borrow<XmlForest>>(
+        &self,
+        engine: &QueryEngine<F>,
+        twig: &TwigPattern,
+        strategy: Strategy,
+    ) -> Result<(CompiledTwig, QueryPlan, Strategy), UnknownTag> {
+        if !self.enabled {
+            let (compiled, plan) = engine.compile(twig)?;
+            let resolved = engine.resolve_strategy(strategy, &compiled, &plan);
+            return Ok((compiled, plan, resolved));
+        }
+        let entry = self.entry(engine, twig)?;
+        let compiled = entry.compiled.rebind(twig);
+        let plan = entry.plan.rebind(&compiled);
+        let resolved = if strategy.is_auto() {
+            let mut pick = entry.auto_pick.lock();
+            match *pick {
+                // A memoized pick is only trusted while the current
+                // engine still has it built.
+                Some(s) if engine.has_strategy(s) => s,
+                _ => {
+                    let s = engine.resolve_strategy(Strategy::Auto, &entry.compiled, &entry.plan);
+                    *pick = Some(s);
+                    s
+                }
+            }
+        } else {
+            strategy
+        };
+        Ok((compiled, plan, resolved))
+    }
+
+    /// The cached entry for `twig`'s shape, compiling and admitting it
+    /// on a miss.
+    fn entry<F: Borrow<XmlForest>>(
+        &self,
+        engine: &QueryEngine<F>,
+        twig: &TwigPattern,
+    ) -> Result<Arc<PlanEntry>, UnknownTag> {
         let key = shape_key(twig);
         let cached = self.inner.lock().map.get(&key).cloned();
         if let Some(entry) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            let compiled = entry.0.rebind(twig);
-            let plan = entry.1.rebind(&compiled);
-            return Ok((compiled, plan));
+            return Ok(entry);
         }
         let (compiled, plan) = engine.compile(twig)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(PlanEntry { compiled, plan, auto_pick: Mutex::new(None) });
         let mut inner = self.inner.lock();
-        if !inner.map.contains_key(&key) {
-            inner.map.insert(key.clone(), Arc::new((compiled.clone(), plan.clone())));
-            inner.order.push_back(key);
-            while inner.map.len() > self.capacity {
-                let victim = inner.order.pop_front().expect("order tracks every entry");
-                inner.map.remove(&victim);
-            }
+        if let Some(existing) = inner.map.get(&key) {
+            // A racing worker admitted the shape first; share its entry
+            // (and its memoized pick).
+            return Ok(existing.clone());
         }
-        Ok((compiled, plan))
+        inner.map.insert(key.clone(), entry.clone());
+        inner.order.push_back(key);
+        while inner.map.len() > self.capacity {
+            let victim = inner.order.pop_front().expect("order tracks every entry");
+            inner.map.remove(&victim);
+        }
+        Ok(entry)
     }
 
     /// Hit/miss counters.

@@ -29,8 +29,14 @@
 //!   the old engine, then swaps the new engine in under a brief write
 //!   lock and bumps the invalidation generation.
 //! * **Stats** — [`TwigService::stats`] snapshots cache hit rates,
-//!   queue depth, and per-strategy latency histograms, and renders them
-//!   as JSON for the bench harness.
+//!   queue depth, per-strategy latency histograms, and per-strategy
+//!   cost counters (probes, rows fetched, logical/physical page reads,
+//!   optimizer picks), and renders them as JSON for the bench harness.
+//! * **Auto strategy selection** — submissions may name
+//!   [`Strategy::Auto`](xtwig_core::Strategy::Auto): the worker
+//!   resolves it through the engine's cost model (memoized per shape in
+//!   the plan cache), keys the result cache on the resolved concrete
+//!   strategy, and counts each pick in the stats.
 //!
 //! ## Quickstart
 //!
@@ -62,4 +68,4 @@ pub use service::{
     BatchTicket, ServiceAnswer, ServiceError, ServiceOptions, SharedEngine, Ticket, TwigService,
 };
 pub use shape::{exact_key, shape_key};
-pub use stats::{LatencySnapshot, ServiceSnapshot, ServiceStats};
+pub use stats::{LatencySnapshot, ServiceSnapshot, ServiceStats, StrategyCostSnapshot};

@@ -94,7 +94,8 @@ pub struct ServiceAnswer {
     pub ids: Arc<BTreeSet<u64>>,
     /// The plan kind that ran (or originally ran, for cache hits).
     pub plan: PlanKind,
-    /// Strategy that answered.
+    /// Strategy that answered — the optimizer's concrete pick when the
+    /// query was submitted with [`Strategy::Auto`].
     pub strategy: Strategy,
     /// True when served from the result cache.
     pub from_cache: bool,
@@ -349,8 +350,14 @@ impl TwigService {
         strategy: Strategy,
         deadline: Option<Duration>,
     ) -> Result<Arc<Slot>, ServiceError> {
-        let idx = strategy_index(strategy);
-        if !self.shared.available[idx].load(Ordering::SeqCst) {
+        // Auto needs any built strategy — the optimizer only ranks
+        // what exists.
+        let available = if strategy.is_auto() {
+            self.shared.available.iter().any(|a| a.load(Ordering::SeqCst))
+        } else {
+            self.shared.available[strategy_index(strategy)].load(Ordering::SeqCst)
+        };
+        if !available {
             return Err(ServiceError::StrategyNotBuilt(strategy));
         }
         let sender = self.sender.lock();
@@ -446,6 +453,7 @@ impl TwigService {
             plan_cache: self.shared.plan_cache.stats(),
             result_cache: self.shared.result_cache.stats(),
             latency: s.latency_snapshots(),
+            costs: s.cost_snapshots(),
         }
     }
 
@@ -583,14 +591,19 @@ fn answer_one(
 ) -> Result<ServiceAnswer, ServiceError> {
     let generation = shared.generation.load(Ordering::SeqCst);
     let key = exact_key(twig);
-    if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
-        return Ok(ServiceAnswer {
-            ids,
-            plan,
-            strategy,
-            from_cache: true,
-            metrics: QueryMetrics::default(),
-        });
+    // Concrete strategies check the result cache without touching the
+    // engine lock. Auto must compile (cheap on a plan-cache hit) to
+    // learn its concrete key first — see `answer_miss`.
+    if !strategy.is_auto() {
+        if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
+            return Ok(ServiceAnswer {
+                ids,
+                plan,
+                strategy,
+                from_cache: true,
+                metrics: QueryMetrics::default(),
+            });
+        }
     }
     let engine = shared.engine.read();
     if !engine.has_strategy(strategy) {
@@ -610,40 +623,81 @@ fn answer_locked(
     generation: u64,
 ) -> ServiceAnswer {
     let key = exact_key(twig);
-    if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
-        return ServiceAnswer {
-            ids,
-            plan,
-            strategy,
-            from_cache: true,
-            metrics: QueryMetrics::default(),
-        };
+    if !strategy.is_auto() {
+        if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
+            return ServiceAnswer {
+                ids,
+                plan,
+                strategy,
+                from_cache: true,
+                metrics: QueryMetrics::default(),
+            };
+        }
     }
     answer_miss(shared, engine, twig, strategy, memo, generation, key)
 }
 
-/// The cache-miss path: compile (through the plan cache), execute,
-/// record latency, insert into the result cache under `generation`.
+/// The execution path: compile and resolve the strategy (through the
+/// plan cache — an Auto submission resolves to its shape's memoized
+/// concrete pick), check/fill the result cache *under the resolved
+/// strategy* (so auto and explicit submissions of one query share
+/// entries), execute, and record latency and cost counters.
 fn answer_miss(
     shared: &Shared,
     engine: &SharedEngine,
     twig: &TwigPattern,
-    strategy: Strategy,
+    requested: Strategy,
     memo: Option<&mut ProbeMemo>,
     generation: u64,
     key: String,
 ) -> ServiceAnswer {
-    let answer = match shared.plan_cache.compile(engine, twig) {
-        // Unknown tag: the answer is necessarily empty (§2.2); still
-        // cacheable under the current generation, but nothing executed,
-        // so it contributes no latency sample.
-        Err(_) => xtwig_core::QueryAnswer::empty(),
-        Ok((compiled, plan)) => {
-            let answer = engine.answer_compiled_with(&compiled, &plan, strategy, memo);
-            shared.stats.record_latency(strategy, answer.metrics.elapsed);
-            answer
+    let (compiled, plan, strategy) =
+        match shared.plan_cache.compile_resolved(engine, twig, requested) {
+            // Unknown tag: the answer is necessarily empty (§2.2); still
+            // cacheable under the current generation when the request
+            // named a concrete strategy (nothing resolved, nothing
+            // executed, no latency sample). An Auto request resolves
+            // nothing here, and the lookup paths only read concrete keys,
+            // so caching under `Auto` would waste an LRU slot on an entry
+            // no one can hit.
+            Err(_) => {
+                let ids = Arc::new(BTreeSet::new());
+                if !requested.is_auto() {
+                    shared.result_cache.insert(
+                        key,
+                        requested,
+                        ids.clone(),
+                        PlanKind::Merge,
+                        generation,
+                    );
+                }
+                return ServiceAnswer {
+                    ids,
+                    plan: PlanKind::Merge,
+                    strategy: requested,
+                    from_cache: false,
+                    metrics: QueryMetrics::default(),
+                };
+            }
+            Ok(resolved) => resolved,
+        };
+    if requested.is_auto() {
+        shared.stats.record_auto_pick(strategy);
+        // The pick's concrete key may already be cached (by an earlier
+        // auto submission or an explicit one).
+        if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
+            return ServiceAnswer {
+                ids,
+                plan,
+                strategy,
+                from_cache: true,
+                metrics: QueryMetrics::default(),
+            };
         }
-    };
+    }
+    let answer = engine.answer_compiled_with(&compiled, &plan, strategy, memo);
+    shared.stats.record_latency(strategy, answer.metrics.elapsed);
+    shared.stats.record_cost(strategy, &answer.metrics);
     let ids = Arc::new(answer.ids);
     shared.result_cache.insert(key, strategy, ids.clone(), answer.plan, generation);
     ServiceAnswer { ids, plan: answer.plan, strategy, from_cache: false, metrics: answer.metrics }
@@ -691,6 +745,114 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.plan_cache.misses, 1, "one shape compiled once");
         assert_eq!(stats.plan_cache.hits, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn auto_submissions_resolve_and_share_the_concrete_cache_key() {
+        let svc = small_service(2);
+        let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+        let a = svc.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+        assert!(!a.strategy.is_auto(), "answer must report the optimizer's concrete pick");
+        assert_eq!(a.ids.len(), 1);
+        assert!(!a.from_cache);
+        // A second auto submission of the same query hits the result
+        // cache under the resolved concrete key…
+        let b = svc.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+        assert!(b.from_cache);
+        assert_eq!(b.strategy, a.strategy);
+        assert!(Arc::ptr_eq(&a.ids, &b.ids));
+        // …and so does an *explicit* submission of the picked strategy.
+        let c = svc.submit(&twig, a.strategy).unwrap().wait().unwrap();
+        assert!(c.from_cache, "auto and explicit submissions share cache entries");
+        let stats = svc.stats();
+        let picks: u64 = stats.costs.iter().map(|c| c.auto_picks).sum();
+        assert_eq!(picks, 2, "each auto submission counts one optimizer pick");
+        let picked = stats.costs.iter().find(|c| c.strategy == a.strategy).unwrap();
+        assert_eq!(picked.auto_picks, 2);
+        assert_eq!(picked.executed, 1, "one execution, one cache hit");
+        assert!(picked.probes > 0 && picked.logical_reads > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn auto_resolution_is_memoized_per_shape_in_the_plan_cache() {
+        let svc = small_service(1);
+        // Same shape, different literals: one compile, one ranking.
+        for v in ["jane", "john", "nobody"] {
+            let twig = parse_xpath(&format!("//author[fn='{v}']")).unwrap();
+            let a = svc.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+            assert!(!a.strategy.is_auto());
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.plan_cache.misses, 1, "one shape compiled once");
+        assert_eq!(stats.plan_cache.hits, 2);
+        assert_eq!(stats.costs.iter().map(|c| c.auto_picks).sum::<u64>(), 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn auto_requires_some_built_strategy() {
+        let svc = TwigService::build(
+            fig1_book_document(),
+            EngineOptions {
+                strategies: vec![Strategy::Asr],
+                pool_pages: 256,
+                ..Default::default()
+            },
+            ServiceOptions { workers: 1, ..Default::default() },
+        );
+        let twig = parse_xpath("//author").unwrap();
+        // Auto is accepted whenever anything is built, and resolves
+        // within the built subset.
+        let a = svc.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+        assert_eq!(a.strategy, Strategy::Asr);
+        assert_eq!(a.ids.len(), 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn memoized_auto_pick_survives_rebuilds_that_drop_the_picked_strategy() {
+        // The plan cache memoizes the optimizer's pick per shape; a
+        // rebuild may swap in an engine without that strategy. The
+        // stale pick must re-resolve against the live engine — never
+        // reach an unbuilt structure (whose accessor would panic and
+        // permanently kill the worker thread).
+        let svc = small_service(1);
+        let twig = parse_xpath("//author[fn='jane']").unwrap();
+        let first = svc.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+        let picked = first.strategy;
+        assert!(!picked.is_auto());
+        // Rebuild with every strategy EXCEPT the memoized pick.
+        let remaining: Vec<Strategy> =
+            Strategy::ALL.iter().copied().filter(|s| *s != picked).collect();
+        svc.rebuild_parallel(
+            EngineOptions { strategies: remaining.clone(), pool_pages: 256, ..Default::default() },
+            2,
+        );
+        let after = svc.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+        assert!(remaining.contains(&after.strategy), "re-resolved within the new subset");
+        assert_eq!(*after.ids, *first.ids);
+        // The worker survived and keeps serving.
+        let alive = svc.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+        assert_eq!(*alive.ids, *first.ids);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batch_accepts_auto() {
+        let svc = small_service(2);
+        let twigs: Vec<TwigPattern> = ["//author[fn='jane']/ln", "//author[fn='jane']"]
+            .iter()
+            .map(|q| parse_xpath(q).unwrap())
+            .collect();
+        let answers = svc.submit_batch(&twigs, Strategy::Auto).unwrap().wait().unwrap();
+        assert_eq!(answers.len(), 2);
+        for (t, a) in twigs.iter().zip(&answers) {
+            assert!(!a.strategy.is_auto());
+            let expected = svc.with_engine(|e| e.answer(t, Strategy::RootPaths).ids);
+            assert_eq!(*a.ids, expected, "{t}");
+        }
         svc.shutdown();
     }
 

@@ -5,7 +5,7 @@
 use crate::cache::CacheStats;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
-use xtwig_core::Strategy;
+use xtwig_core::{QueryMetrics, Strategy};
 
 /// Power-of-two latency buckets: bucket `i` counts queries whose
 /// latency in microseconds lies in `[2^(i-1), 2^i)` (bucket 0: < 1 µs).
@@ -49,6 +49,55 @@ impl StrategyLatency {
     }
 }
 
+/// Cumulative execution-cost counters of one strategy: the per-answer
+/// `QueryMetrics` the engine reports (probes, rows fetched, logical and
+/// physical page reads), summed over every executed query, plus how
+/// often the optimizer routed a [`Strategy::Auto`] submission here.
+/// These make optimizer accuracy observable in production: divergence
+/// between picks and measured physical reads shows up directly in the
+/// stats JSON.
+struct StrategyCost {
+    executed: AtomicU64,
+    auto_picks: AtomicU64,
+    probes: AtomicU64,
+    rows_fetched: AtomicU64,
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+}
+
+impl StrategyCost {
+    fn new() -> Self {
+        StrategyCost {
+            executed: AtomicU64::new(0),
+            auto_picks: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            rows_fetched: AtomicU64::new(0),
+            logical_reads: AtomicU64::new(0),
+            physical_reads: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, metrics: &QueryMetrics) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.probes.fetch_add(metrics.probes, Ordering::Relaxed);
+        self.rows_fetched.fetch_add(metrics.rows_fetched, Ordering::Relaxed);
+        self.logical_reads.fetch_add(metrics.logical_reads, Ordering::Relaxed);
+        self.physical_reads.fetch_add(metrics.physical_reads, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, strategy: Strategy) -> StrategyCostSnapshot {
+        StrategyCostSnapshot {
+            strategy,
+            executed: self.executed.load(Ordering::Relaxed),
+            auto_picks: self.auto_picks.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            rows_fetched: self.rows_fetched.load(Ordering::Relaxed),
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Upper bound (bucket boundary) of the requested percentile.
 fn percentile_upper_bound(buckets: &[u64], count: u64, q: f64) -> u64 {
     if count == 0 {
@@ -80,6 +129,7 @@ pub struct ServiceStats {
     pub(crate) queue_depth: AtomicUsize,
     pub(crate) queue_high_water: AtomicUsize,
     latency: Vec<StrategyLatency>, // indexed by position in Strategy::ALL
+    costs: Vec<StrategyCost>,      // indexed by position in Strategy::ALL
 }
 
 impl Default for ServiceStats {
@@ -98,6 +148,7 @@ impl Default for ServiceStats {
             queue_depth: AtomicUsize::new(0),
             queue_high_water: AtomicUsize::new(0),
             latency: Strategy::ALL.iter().map(|_| StrategyLatency::new()).collect(),
+            costs: Strategy::ALL.iter().map(|_| StrategyCost::new()).collect(),
         }
     }
 }
@@ -121,12 +172,38 @@ impl ServiceStats {
         self.latency[idx].record(elapsed);
     }
 
+    /// Accounts one executed answer's engine metrics against its
+    /// (concrete) strategy.
+    pub(crate) fn record_cost(&self, strategy: Strategy, metrics: &QueryMetrics) {
+        let idx = Strategy::ALL.iter().position(|s| *s == strategy).expect("known strategy");
+        self.costs[idx].record(metrics);
+    }
+
+    /// Accounts one `Strategy::Auto` submission the optimizer routed to
+    /// `strategy`.
+    pub(crate) fn record_auto_pick(&self, strategy: Strategy) {
+        let idx = Strategy::ALL.iter().position(|s| *s == strategy).expect("known strategy");
+        self.costs[idx].auto_picks.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn latency_snapshots(&self) -> Vec<LatencySnapshot> {
         Strategy::ALL
             .iter()
             .enumerate()
             .filter(|(i, _)| self.latency[*i].count.load(Ordering::Relaxed) > 0)
             .map(|(i, s)| self.latency[i].snapshot(*s))
+            .collect()
+    }
+
+    pub(crate) fn cost_snapshots(&self) -> Vec<StrategyCostSnapshot> {
+        Strategy::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                self.costs[*i].executed.load(Ordering::Relaxed) > 0
+                    || self.costs[*i].auto_picks.load(Ordering::Relaxed) > 0
+            })
+            .map(|(i, s)| self.costs[i].snapshot(*s))
             .collect()
     }
 }
@@ -146,6 +223,26 @@ pub struct LatencySnapshot {
     pub p95_micros: u64,
     /// Raw power-of-two bucket counts.
     pub buckets: Vec<u64>,
+}
+
+/// Cumulative execution-cost counters of one strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct StrategyCostSnapshot {
+    /// The strategy measured.
+    pub strategy: Strategy,
+    /// Queries executed against it (cache hits excluded — they do no
+    /// index work).
+    pub executed: u64,
+    /// `Strategy::Auto` submissions the optimizer routed here.
+    pub auto_picks: u64,
+    /// Index probes issued.
+    pub probes: u64,
+    /// Match rows fetched.
+    pub rows_fetched: u64,
+    /// Buffer-pool page requests.
+    pub logical_reads: u64,
+    /// Pages read from the storage backend (cold portion).
+    pub physical_reads: u64,
 }
 
 /// A point-in-time view of every service metric, renderable as JSON for
@@ -184,6 +281,9 @@ pub struct ServiceSnapshot {
     pub result_cache: CacheStats,
     /// Per-strategy execution latency (strategies with traffic only).
     pub latency: Vec<LatencySnapshot>,
+    /// Per-strategy execution costs and optimizer picks (strategies
+    /// with traffic only).
+    pub costs: Vec<StrategyCostSnapshot>,
 }
 
 impl ServiceSnapshot {
@@ -198,6 +298,24 @@ impl ServiceSnapshot {
                     "{indent}    {{\"strategy\": \"{}\", \"count\": {}, \"mean_micros\": {:.1}, \
                      \"p50_micros\": {}, \"p95_micros\": {}}}",
                     l.strategy, l.count, l.mean_micros, l.p50_micros, l.p95_micros
+                )
+            })
+            .collect();
+        let costs: Vec<String> = self
+            .costs
+            .iter()
+            .map(|c| {
+                format!(
+                    "{indent}    {{\"strategy\": \"{}\", \"executed\": {}, \"auto_picks\": {}, \
+                     \"probes\": {}, \"rows_fetched\": {}, \"logical_reads\": {}, \
+                     \"physical_reads\": {}}}",
+                    c.strategy,
+                    c.executed,
+                    c.auto_picks,
+                    c.probes,
+                    c.rows_fetched,
+                    c.logical_reads,
+                    c.physical_reads
                 )
             })
             .collect();
@@ -218,7 +336,8 @@ impl ServiceSnapshot {
              {indent}  \"generation\": {},\n\
              {indent}  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n\
              {indent}  \"result_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidated\": {}, \"hit_rate\": {:.4}}},\n\
-             {indent}  \"latency\": [\n{}\n{indent}  ]\n\
+             {indent}  \"latency\": [\n{}\n{indent}  ],\n\
+             {indent}  \"costs\": [\n{}\n{indent}  ]\n\
              {indent}}}",
             self.submitted,
             self.completed,
@@ -241,6 +360,7 @@ impl ServiceSnapshot {
             self.result_cache.invalidated,
             self.result_cache.hit_rate(),
             lat.join(",\n"),
+            costs.join(",\n"),
         )
     }
 }
@@ -264,9 +384,47 @@ mod tests {
     }
 
     #[test]
+    fn cost_counters_accumulate_per_strategy() {
+        let stats = ServiceStats::default();
+        let m = QueryMetrics {
+            probes: 3,
+            rows_fetched: 10,
+            logical_reads: 7,
+            physical_reads: 2,
+            elapsed: Duration::from_micros(5),
+        };
+        stats.record_cost(Strategy::RootPaths, &m);
+        stats.record_cost(Strategy::RootPaths, &m);
+        stats.record_auto_pick(Strategy::RootPaths);
+        stats.record_auto_pick(Strategy::Edge);
+        let costs = stats.cost_snapshots();
+        assert_eq!(costs.len(), 2, "only strategies with traffic appear");
+        let rp = costs.iter().find(|c| c.strategy == Strategy::RootPaths).unwrap();
+        assert_eq!(rp.executed, 2);
+        assert_eq!(rp.auto_picks, 1);
+        assert_eq!(rp.probes, 6);
+        assert_eq!(rp.rows_fetched, 20);
+        assert_eq!(rp.logical_reads, 14);
+        assert_eq!(rp.physical_reads, 4);
+        let edge = costs.iter().find(|c| c.strategy == Strategy::Edge).unwrap();
+        assert_eq!(edge.executed, 0, "a pick that hit the result cache executes nothing");
+        assert_eq!(edge.auto_picks, 1);
+    }
+
+    #[test]
     fn snapshot_json_is_well_formed_enough() {
         let stats = ServiceStats::default();
         stats.record_latency(Strategy::Edge, Duration::from_micros(42));
+        stats.record_cost(
+            Strategy::Edge,
+            &QueryMetrics {
+                probes: 4,
+                rows_fetched: 2,
+                logical_reads: 9,
+                physical_reads: 1,
+                elapsed: Duration::from_micros(42),
+            },
+        );
         let snap = ServiceSnapshot {
             submitted: 1,
             completed: 1,
@@ -284,11 +442,15 @@ mod tests {
             plan_cache: CacheStats { hits: 1, misses: 1, invalidated: 0 },
             result_cache: CacheStats::default(),
             latency: stats.latency_snapshots(),
+            costs: stats.cost_snapshots(),
         };
         let json = snap.to_json("");
         assert!(json.contains("\"plan_cache\""));
         assert!(json.contains("\"hit_rate\": 0.5000"));
         assert!(json.contains("\"strategy\": \"Edge\""));
+        assert!(json.contains("\"costs\""));
+        assert!(json.contains("\"auto_picks\": 0"));
+        assert!(json.contains("\"physical_reads\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -5,13 +5,23 @@
 //! queries, printing results, the chosen plan, and cost metrics.
 //!
 //! ```text
-//! xtwig query  <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]
-//! xtwig query  --index idx.xtwig '<xpath>' [--strategy ...] [--explain]
-//! xtwig build  [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]
-//! xtwig bench  <file.xml> '<xpath>' [--shards N]   # run against every strategy
-//! xtwig stats  <file.xml> [--shards N]             # dataset + index statistics
-//! xtwig demo   ['<xpath>'] [--shards N]            # generated XMark data
+//! xtwig query   <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]
+//! xtwig query   --index idx.xtwig '<xpath>' [--strategy ...] [--explain]
+//! xtwig explain <file.xml> '<xpath>' [--shards N]
+//! xtwig explain --index idx.xtwig '<xpath>'
+//! xtwig build   [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]
+//! xtwig bench   <file.xml> '<xpath>' [--shards N]   # run against every strategy
+//! xtwig stats   <file.xml> [--shards N]             # dataset + index statistics
+//! xtwig demo    ['<xpath>'] [--shards N]            # generated XMark data
 //! ```
+//!
+//! `--strategy` defaults to `auto`: the cost-based optimizer ranks the
+//! built index configurations per query and executes the cheapest (the
+//! resolved pick is printed as `auto→RP` etc.). `xtwig explain` prints
+//! the whole ranking — estimated page reads, probes and rows per
+//! strategy — next to the chosen merge/INLJ plan, and runs against a
+//! persisted index **without rebuilding anything** (statistics and tree
+//! shapes are stored in the index catalog).
 //!
 //! `--shards N` builds the indexes with the shard-parallel builder
 //! (`QueryEngine::build_parallel`); the resulting indexes are
@@ -24,16 +34,18 @@
 //! index pages — and answers against the on-disk structures. Omitting
 //! `build`'s input file indexes the generated XMark demo dataset.
 
+use std::borrow::Borrow;
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
 use xtwig::core::family::PathIndex;
 use xtwig::core::paths::PathStats;
+use xtwig::core::Explanation;
 use xtwig::xml::{parse_document, NodeId, XmlForest};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]"
+        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig explain <file.xml> '<xpath>' [--shards N]\n  xtwig explain --index idx.xtwig '<xpath>'\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]"
     );
     ExitCode::from(2)
 }
@@ -77,6 +89,74 @@ fn print_answer(forest: &XmlForest, ids: &BTreeSet<u64>, verbose_limit: usize) {
     }
 }
 
+/// `auto→RP`-style label: the requested strategy, annotated with the
+/// optimizer's concrete pick when the request was `auto`.
+fn answered_label(requested: Strategy, answered: Strategy) -> String {
+    if requested.is_auto() {
+        format!("auto\u{2192}{}", answered.label())
+    } else {
+        answered.label().to_owned()
+    }
+}
+
+/// Renders `xtwig explain`'s ranking: every built strategy with its
+/// estimated page reads, probes and rows, cheapest first, plus the
+/// chosen relational plan.
+fn print_explanation(ex: &Explanation) {
+    println!(
+        "plan: {:?} ({} steps, merge cost {} vs inlj cost {})",
+        ex.plan.kind,
+        ex.plan.steps.len(),
+        ex.plan.merge_cost,
+        ex.plan.inlj_cost
+    );
+    for step in &ex.plan.steps {
+        println!(
+            "  step subpath#{} est={} join={:?} probe={}",
+            step.subpath,
+            step.estimate,
+            step.join,
+            step.probe.is_some()
+        );
+    }
+    println!(
+        "ranked strategies:\n  {:<8} {:>12} {:>10} {:>10}",
+        "strategy", "est pages", "est probes", "est rows"
+    );
+    for (i, c) in ex.choices.iter().enumerate() {
+        println!(
+            "{} {:<8} {:>12.1} {:>10.0} {:>10.0}{}",
+            if i == 0 { "\u{2192}" } else { " " },
+            c.strategy.label(),
+            c.est_page_reads,
+            c.est_probes,
+            c.est_rows,
+            if i == 0 { "   [chosen by auto]" } else { "" },
+        );
+    }
+}
+
+fn explain_twig<F: Borrow<XmlForest>>(engine: &QueryEngine<F>, xpath: &str) -> ExitCode {
+    let twig = match xtwig::parse_xpath(xpath) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match engine.explain(&twig) {
+        Ok(ex) => {
+            print_explanation(&ex);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            // Unknown tag: the result is empty everywhere; nothing to rank.
+            println!("{e}; the result is empty under every strategy");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 fn run_query(
     forest: &XmlForest,
     xpath: &str,
@@ -91,33 +171,24 @@ fn run_query(
             return ExitCode::FAILURE;
         }
     };
+    // `auto` ranks among the built configurations, so build them all;
+    // a concrete request builds only what it needs.
+    let strategies = if strategy.is_auto() { Strategy::ALL.to_vec() } else { vec![strategy] };
     let engine = QueryEngine::build_parallel(
         forest,
-        EngineOptions { strategies: vec![strategy], pool_pages: 5_120, ..Default::default() },
+        EngineOptions { strategies, pool_pages: 5_120, ..Default::default() },
         shards,
     );
     if explain {
-        if let Some(plan) = engine.plan(&twig) {
-            println!(
-                "plan: {:?} (merge cost {} vs inlj cost {})",
-                plan.kind, plan.merge_cost, plan.inlj_cost
-            );
-            for step in &plan.steps {
-                println!(
-                    "  step subpath#{} est={} join={:?} probe={}",
-                    step.subpath,
-                    step.estimate,
-                    step.join,
-                    step.probe.is_some()
-                );
-            }
+        if let Ok(ex) = engine.explain(&twig) {
+            print_explanation(&ex);
         }
     }
     let a = engine.answer(&twig, strategy);
     print_answer(forest, &a.ids, 20);
     println!(
         "[{} | plan {:?} | {} probes | {} rows | {} logical reads | {:?}]",
-        strategy.label(),
+        answered_label(strategy, a.strategy),
         a.plan,
         a.metrics.probes,
         a.metrics.rows_fetched,
@@ -197,18 +268,15 @@ fn run_query_indexed(index: &str, xpath: &str, strategy: Strategy, explain: bool
         return ExitCode::FAILURE;
     }
     if explain {
-        if let Some(plan) = engine.plan(&twig) {
-            println!(
-                "plan: {:?} (merge cost {} vs inlj cost {})",
-                plan.kind, plan.merge_cost, plan.inlj_cost
-            );
+        if let Ok(ex) = engine.explain(&twig) {
+            print_explanation(&ex);
         }
     }
     let a = engine.answer(&twig, strategy);
     print_answer(engine.forest(), &a.ids, 20);
     println!(
         "[{} | plan {:?} | {} probes | {} rows | {} logical reads | {} physical reads | {:?}]",
-        strategy.label(),
+        answered_label(strategy, a.strategy),
         a.plan,
         a.metrics.probes,
         a.metrics.rows_fetched,
@@ -217,6 +285,36 @@ fn run_query_indexed(index: &str, xpath: &str, strategy: Strategy, explain: bool
         a.metrics.elapsed
     );
     ExitCode::SUCCESS
+}
+
+/// `xtwig explain`: compile, rank every built strategy with the cost
+/// model, and print estimates next to the chosen plan. Over `--index`
+/// this never rebuilds: the statistics and tree shapes come from the
+/// persisted catalog (the open report's zero-allocation assertion
+/// guards it, as for `query --index`).
+fn run_explain_indexed(index: &str, xpath: &str) -> ExitCode {
+    let started = std::time::Instant::now();
+    let (engine, report) = match QueryEngine::open_with_report(index) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("cannot open {index}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.open_allocations != 0 {
+        eprintln!(
+            "BUG: open allocated {} index page(s) — explain must not rebuild",
+            report.open_allocations
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "opened {index}: {} pages, 0 pages built, [{}] in {:.2?}",
+        report.file_pages,
+        report.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join(", "),
+        started.elapsed(),
+    );
+    explain_twig(&engine, xpath)
 }
 
 fn run_bench(forest: &XmlForest, xpath: &str, shards: usize) -> ExitCode {
@@ -327,12 +425,17 @@ fn main() -> ExitCode {
                 eprintln!("query takes --strategy <one>, not --strategies");
                 return ExitCode::from(2);
             }
-            let strategy = flag_value(&args, "--strategy")
-                .map(|s| strategy_from(s))
-                .unwrap_or(Some(Strategy::RootPaths));
-            let Some(strategy) = strategy else {
-                eprintln!("unknown strategy; use RP, DP, Edge, DG, IF, ASR, or JI");
-                return ExitCode::from(2);
+            // No --strategy means cost-based selection: the optimizer
+            // resolves `auto` per query instead of a hard-coded default.
+            let strategy = match flag_value(&args, "--strategy") {
+                None => Strategy::Auto,
+                Some(s) => match s.parse::<Strategy>() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                },
             };
             let explain = args.iter().any(|a| a == "--explain");
             if let Some(index) = flag_value(&args, "--index") {
@@ -344,6 +447,29 @@ fn main() -> ExitCode {
             let (Some(path), Some(xpath)) = (ops.first(), ops.get(1)) else { return usage() };
             match load(path) {
                 Ok(forest) => run_query(&forest, xpath, strategy, explain, shards_from()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "explain" => {
+            if let Some(index) = flag_value(&args, "--index") {
+                let ops = operands(&args[1..]);
+                let Some(xpath) = ops.first() else { return usage() };
+                return run_explain_indexed(index, xpath);
+            }
+            let ops = operands(&args[1..]);
+            let (Some(path), Some(xpath)) = (ops.first(), ops.get(1)) else { return usage() };
+            match load(path) {
+                Ok(forest) => {
+                    let engine = QueryEngine::build_parallel(
+                        &forest,
+                        EngineOptions { pool_pages: 5_120, ..Default::default() },
+                        shards_from(),
+                    );
+                    explain_twig(&engine, xpath)
+                }
                 Err(e) => {
                     eprintln!("{e}");
                     ExitCode::FAILURE

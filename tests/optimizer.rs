@@ -1,0 +1,296 @@
+//! Cost-based strategy selection, end to end: `Strategy::Auto` must be
+//! byte-identical to every concrete strategy on every suite corpus, the
+//! optimizer's pick must land on the measured-best strategy (or within
+//! 2x of it in actual cold physical reads) for at least 80% of the
+//! replayed queries, and the whole machinery must work against a
+//! persisted `.xtwig` index without rebuilding anything.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
+use xtwig::parse_xpath;
+use xtwig::service::{ServiceOptions, TwigService};
+use xtwig::xml::tree::fig1_book_document;
+use xtwig::xml::{naive, XmlForest};
+
+struct Corpus {
+    name: &'static str,
+    forest: XmlForest,
+    queries: Vec<String>,
+}
+
+fn multi_book_forest() -> XmlForest {
+    let mut f = XmlForest::new();
+    for i in 0..6 {
+        let mut b = f.builder();
+        b.open("book");
+        b.leaf("title", if i % 2 == 0 { "XML" } else { "SQL" });
+        b.open("allauthors");
+        b.open("author");
+        b.leaf("fn", "jane");
+        b.leaf("ln", if i == 3 { "doe" } else { "poe" });
+        b.close();
+        b.close();
+        b.close();
+        b.finish();
+    }
+    f
+}
+
+/// The suite corpora with their replay workloads: fig1, multi-document
+/// books, XMark and DBLP at the persist-suite scale, plus the
+/// Zipf-skewed corpus whose literals walk the §5.2.3 crossover.
+fn corpora() -> Vec<Corpus> {
+    let mut out = Vec::new();
+    out.push(Corpus {
+        name: "fig1",
+        forest: fig1_book_document(),
+        queries: [
+            "/book[title='XML']//author[fn='jane'][ln='doe']",
+            "/book/allauthors/author/fn[. = 'jane']",
+            "//author[fn = 'jane'][ln = 'doe']",
+            "/book[title = 'XML']//section/head",
+            "//section/head",
+            "/book//author[fn = 'john']",
+            "//title",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    });
+    out.push(Corpus {
+        name: "books",
+        forest: multi_book_forest(),
+        queries: [
+            "/book[title='XML']//author[fn='jane'][ln='doe']",
+            "/book/title[. = 'SQL']",
+            "//author[ln = 'poe']",
+            "//author[fn = 'jane']/ln",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    });
+    let mut xmark = XmlForest::new();
+    xtwig::datagen::generate_xmark(
+        &mut xmark,
+        xtwig::datagen::XmarkConfig { scale: 0.002, seed: 7 },
+    );
+    out.push(Corpus {
+        name: "xmark",
+        forest: xmark,
+        queries: xtwig::datagen::xmark_queries().iter().map(|bq| bq.xpath.to_owned()).collect(),
+    });
+    let mut dblp = XmlForest::new();
+    xtwig::datagen::generate_dblp(&mut dblp, xtwig::datagen::DblpConfig { scale: 0.002, seed: 7 });
+    out.push(Corpus {
+        name: "dblp",
+        forest: dblp,
+        queries: xtwig::datagen::dblp_queries().iter().map(|bq| bq.xpath.to_owned()).collect(),
+    });
+    let mut skew = XmlForest::new();
+    let profile = xtwig::datagen::generate_skewed(&mut skew, xtwig::datagen::SkewConfig::default());
+    out.push(Corpus {
+        name: "skew",
+        forest: skew,
+        queries: vec![
+            format!("//rec[key = '{}']/val", profile.rarest_key()),
+            format!("//rec[key = 'k{}']/val", profile.key_counts.len() / 2),
+            format!("//rec[key = '{}']/val", profile.commonest_key()),
+            "//rec/val".to_owned(),
+            "/db/rec/key[. = 'k0']".to_owned(),
+        ],
+    });
+    out
+}
+
+fn expected(forest: &XmlForest, xpath: &str) -> BTreeSet<u64> {
+    let twig = parse_xpath(xpath).unwrap();
+    naive::select(forest, &twig).into_iter().map(|n| n.0).collect()
+}
+
+fn engine(forest: &XmlForest) -> QueryEngine<&XmlForest> {
+    QueryEngine::build(forest, EngineOptions { pool_pages: 2048, ..Default::default() })
+}
+
+/// Acceptance criterion, first half: on every corpus, `Auto` answers
+/// are byte-identical to every concrete strategy (and to the naive
+/// oracle), and the answer reports a concrete resolved strategy.
+#[test]
+fn auto_is_byte_identical_to_every_concrete_strategy_on_all_corpora() {
+    for corpus in corpora() {
+        let e = engine(&corpus.forest);
+        for q in &corpus.queries {
+            let twig = parse_xpath(q).unwrap();
+            let oracle = expected(&corpus.forest, q);
+            let auto = e.answer(&twig, Strategy::Auto);
+            assert_eq!(auto.ids, oracle, "{}: auto wrong on {q}", corpus.name);
+            assert!(Strategy::ALL.contains(&auto.strategy), "{}: {q}", corpus.name);
+            for s in Strategy::ALL {
+                let a = e.answer(&twig, s);
+                assert_eq!(a.ids, oracle, "{}: {s} wrong on {q}", corpus.name);
+            }
+        }
+    }
+}
+
+/// Acceptance criterion, second half: replaying every corpus cold, the
+/// optimizer's pick is the measured-best strategy — or within 2x of
+/// the best in actual physical page reads — for >= 80% of queries.
+/// (The same replay, with the per-query numbers, is recorded into
+/// `BENCH_opt.json` by `fig_optimizer`.)
+#[test]
+fn auto_picks_within_2x_of_measured_best_on_at_least_80_pct_of_queries() {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let mut misses: Vec<String> = Vec::new();
+    for corpus in corpora() {
+        let e = engine(&corpus.forest);
+        for q in &corpus.queries {
+            let twig = parse_xpath(q).unwrap();
+            let Ok((compiled, plan)) = e.compile(&twig) else { continue };
+            let chosen = e.resolve_strategy(Strategy::Auto, &compiled, &plan);
+            let mut reads: Vec<(Strategy, u64)> = Vec::new();
+            for s in Strategy::ALL {
+                e.clear_caches(s);
+                let a = e.answer(&twig, s);
+                reads.push((s, a.metrics.physical_reads));
+            }
+            let best = reads.iter().map(|&(_, r)| r).min().unwrap();
+            let chosen_reads = reads.iter().find(|(s, _)| *s == chosen).unwrap().1;
+            total += 1;
+            if chosen_reads <= 2 * best.max(1) {
+                hits += 1;
+            } else {
+                misses.push(format!(
+                    "{}/{q}: chose {chosen} ({chosen_reads} reads) vs best {best}",
+                    corpus.name
+                ));
+            }
+        }
+    }
+    let accuracy = hits as f64 / total.max(1) as f64;
+    assert!(
+        accuracy >= 0.8,
+        "optimizer accuracy {:.1}% ({hits}/{total}) below the 80% bar; misses:\n{}",
+        100.0 * accuracy,
+        misses.join("\n")
+    );
+}
+
+/// The ranking itself: sorted by estimated cost, covering exactly the
+/// built strategies, with `resolve_strategy` returning its head.
+#[test]
+fn rankings_are_sorted_and_respect_the_built_subset() {
+    let f = fig1_book_document();
+    let e = engine(&f);
+    let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+    let ex = e.explain(&twig).unwrap();
+    assert_eq!(ex.choices.len(), Strategy::ALL.len());
+    assert!(ex.choices.windows(2).all(|w| w[0].est_page_reads <= w[1].est_page_reads));
+    let (compiled, plan) = e.compile(&twig).unwrap();
+    assert_eq!(ex.chosen().unwrap(), e.resolve_strategy(Strategy::Auto, &compiled, &plan));
+
+    // A partial engine resolves within its subset.
+    let partial = QueryEngine::build(
+        &f,
+        EngineOptions {
+            strategies: vec![Strategy::Edge, Strategy::JoinIndex],
+            pool_pages: 1024,
+            ..Default::default()
+        },
+    );
+    let ex = partial.explain(&twig).unwrap();
+    assert_eq!(ex.choices.len(), 2);
+    for c in &ex.choices {
+        assert!(matches!(c.strategy, Strategy::Edge | Strategy::JoinIndex));
+    }
+    let a = partial.answer(&twig, Strategy::Auto);
+    assert_eq!(a.ids, expected(&f, "/book[title='XML']//author[fn='jane'][ln='doe']"));
+}
+
+/// Auto and EXPLAIN against a persisted index: reopen with zero
+/// rebuild, rank from the persisted statistics and tree shapes, and
+/// answer byte-identically to the in-memory engine.
+#[test]
+fn auto_and_explain_work_on_a_reopened_index_without_rebuild() {
+    let dir = std::env::temp_dir().join(format!(
+        "xtwig-optimizer-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join("idx.xtwig");
+
+    let built = QueryEngine::build(
+        Arc::new(multi_book_forest()),
+        EngineOptions { pool_pages: 1024, ..Default::default() },
+    );
+    built.persist(&path).unwrap();
+    let (opened, report) = QueryEngine::open_with_report(&path).unwrap();
+    assert_eq!(report.open_allocations, 0, "reopen must not rebuild");
+
+    for q in ["/book[title='XML']//author[fn='jane'][ln='doe']", "//author[fn = 'jane']/ln"] {
+        let twig = parse_xpath(q).unwrap();
+        // Same statistics, same structures => same ranking and pick.
+        let built_ex = built.explain(&twig).unwrap();
+        let opened_ex = opened.explain(&twig).unwrap();
+        assert_eq!(built_ex.chosen(), opened_ex.chosen(), "{q}");
+        assert_eq!(built_ex.choices.len(), opened_ex.choices.len());
+        for (b, o) in built_ex.choices.iter().zip(&opened_ex.choices) {
+            assert_eq!(b.strategy, o.strategy, "{q}");
+            assert!((b.est_page_reads - o.est_page_reads).abs() < 1e-9, "{q}");
+        }
+        let a = opened.answer(&twig, Strategy::Auto);
+        assert_eq!(a.ids, built.answer(&twig, Strategy::Auto).ids, "{q}");
+        assert_eq!(a.strategy, opened_ex.chosen().unwrap());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The service path: auto submissions resolve per shape, share result
+/// cache entries with explicit submissions, and surface per-strategy
+/// pick counts and cost counters in the stats JSON.
+#[test]
+fn service_auto_matches_concrete_and_counts_picks() {
+    let svc = TwigService::build(
+        multi_book_forest(),
+        EngineOptions { pool_pages: 1024, ..Default::default() },
+        ServiceOptions { workers: 2, ..Default::default() },
+    );
+    let queries =
+        ["/book[title='XML']//author[fn='jane'][ln='doe']", "//author[ln = 'poe']", "//title"];
+    for q in queries {
+        let twig = parse_xpath(q).unwrap();
+        let auto = svc.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+        assert!(Strategy::ALL.contains(&auto.strategy), "{q}");
+        let concrete = svc.submit(&twig, auto.strategy).unwrap().wait().unwrap();
+        assert_eq!(*auto.ids, *concrete.ids, "{q}");
+        assert!(concrete.from_cache, "auto fills the concrete strategy's cache entry: {q}");
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.costs.iter().map(|c| c.auto_picks).sum::<u64>(), queries.len() as u64);
+    let json = stats.to_json("");
+    assert!(json.contains("\"auto_picks\""));
+    assert!(json.contains("\"physical_reads\""));
+    svc.shutdown();
+}
+
+/// The skew corpus separates the crossover: the planner flips between
+/// merge and INLJ along the Zipf ladder, and auto stays correct on
+/// both sides.
+#[test]
+fn skewed_corpus_crossover_stays_correct_under_auto() {
+    let mut f = XmlForest::new();
+    let profile = xtwig::datagen::generate_skewed(&mut f, xtwig::datagen::SkewConfig::default());
+    let e = engine(&f);
+    let rare = format!("//rec[key = '{}']/val", profile.rarest_key());
+    let common = format!("//rec[key = '{}']/val", profile.commonest_key());
+    let rare_plan = e.plan(&parse_xpath(&rare).unwrap()).unwrap();
+    let common_plan = e.plan(&parse_xpath(&common).unwrap()).unwrap();
+    assert_eq!(rare_plan.kind, xtwig::core::plan::PlanKind::IndexNestedLoop);
+    assert_eq!(common_plan.kind, xtwig::core::plan::PlanKind::Merge);
+    for q in [&rare, &common] {
+        let twig = parse_xpath(q).unwrap();
+        assert_eq!(e.answer(&twig, Strategy::Auto).ids, expected(&f, q), "{q}");
+    }
+}
