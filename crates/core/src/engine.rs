@@ -172,8 +172,12 @@ pub struct ProbeMemoStats {
 /// and is `Send + Sync`, so one engine can serve concurrent queries
 /// from many threads (`answer` takes `&self` throughout; see
 /// `xtwig-service`). The only `&mut self` surface is index maintenance
-/// ([`QueryEngine::rootpaths_mut`] / [`QueryEngine::datapaths_mut`]),
-/// which callers serialize with a lock.
+/// ([`QueryEngine::rootpaths_mut`] / [`QueryEngine::datapaths_mut`]);
+/// rather than serializing maintenance against readers with a lock,
+/// callers fork the engine ([`QueryEngine::fork`] — a copy-on-write
+/// snapshot that copies no pages), mutate the fork, and publish it,
+/// leaving the original to serve concurrent readers as a frozen
+/// snapshot.
 ///
 /// Concurrency note on metrics: result sets are always exact, but the
 /// per-query `probes`/`logical_reads` attribution drains shared

@@ -32,6 +32,10 @@
 //!   every built structure into a single `.xtwig` file, and
 //!   [`QueryEngine::open`] reattaches it with zero rebuild work,
 //!   digest-verified against the stored catalog.
+//! * [`fork`] — copy-on-write engine snapshots: [`QueryEngine::fork`]
+//!   clones an engine without copying index pages, so maintenance on
+//!   the fork is invisible to readers of the original (the MVCC
+//!   primitive behind `xtwig-service`'s snapshot-isolated updates).
 //! * [`auto`] — cost-based strategy selection: measures the built
 //!   structures into an `xtwig-opt` catalog, ranks every strategy per
 //!   query, resolves [`Strategy::Auto`], and backs `xtwig explain`.
@@ -47,6 +51,7 @@ pub mod edge;
 pub mod engine;
 pub mod fabric;
 pub mod family;
+pub mod fork;
 pub mod joinindex;
 pub mod parallel;
 pub mod paths;
@@ -61,6 +66,7 @@ pub use engine::{
     ParseStrategyError, ProbeMemo, ProbeMemoStats, QueryAnswer, QueryEngine, QueryMetrics, Strategy,
 };
 pub use family::{BoundIndex, FamilyPosition, FreeIndex, PathIndex, PathMatch, PcSubpathQuery};
+pub use fork::ForkError;
 pub use parallel::ShardPlan;
 pub use persist::{OpenError, OpenReport, PersistError, PersistReport};
 pub use xpath::parse_xpath;

@@ -116,7 +116,7 @@ where
 }
 
 /// Per-path and per-value statistics collected in one forest pass.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PathStats {
     /// Instances per distinct root-anchored schema path.
     path_counts: HashMap<Vec<TagId>, u64>,

@@ -297,6 +297,12 @@ impl ResultCache {
 
     /// Inserts an answer computed under `generation`, evicting the
     /// least-recently-used entries beyond capacity.
+    ///
+    /// An insert never clobbers an entry carrying a **newer**
+    /// generation: a slow worker that pinned epoch N finishing after a
+    /// fast worker already cached the same query under N+1 must not
+    /// replace the fresh answer with its stale one (which the next
+    /// N+1 lookup would then serve as current).
     pub fn insert(
         &self,
         key: String,
@@ -309,9 +315,14 @@ impl ResultCache {
             return;
         }
         let mut inner = self.inner.lock();
+        let full_key = (key, strategy);
+        if let Some(existing) = inner.map.get(&full_key) {
+            if existing.generation > generation {
+                return;
+            }
+        }
         inner.clock += 1;
         let stamp = inner.clock;
-        let full_key = (key, strategy);
         if let Some(old) =
             inner.map.insert(full_key.clone(), CachedResult { ids, plan, generation, stamp })
         {
@@ -437,6 +448,35 @@ mod tests {
         assert!(cache.get("q", Strategy::DataPaths, 1).is_none(), "stale generation");
         assert_eq!(cache.stats().invalidated, 1);
         assert_eq!(cache.len(), 0, "stale entry dropped eagerly");
+    }
+
+    #[test]
+    fn stale_generation_insert_never_clobbers_a_newer_entry() {
+        // The lost-race the guard closes: worker A pins generation 0,
+        // worker B pins generation 1 (post-update) and caches its
+        // answer first; A's late insert must be dropped, or the next
+        // generation-1 lookup would serve A's pre-update ids as fresh.
+        let cache = ResultCache::new(8);
+        cache.insert("q".into(), Strategy::RootPaths, ids(&[1, 2]), PlanKind::Merge, 1);
+        cache.insert("q".into(), Strategy::RootPaths, ids(&[1]), PlanKind::Merge, 0);
+        let (got, _) = cache.get("q", Strategy::RootPaths, 1).expect("fresh entry survives");
+        assert_eq!(got.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        // And the stale result can never be served under generation 0
+        // either — that generation is gone for good.
+        assert!(cache.get("q", Strategy::RootPaths, 0).is_none());
+    }
+
+    #[test]
+    fn same_generation_reinsert_still_updates_the_entry() {
+        let cache = ResultCache::new(8);
+        cache.insert("q".into(), Strategy::RootPaths, ids(&[1]), PlanKind::Merge, 3);
+        cache.insert("q".into(), Strategy::RootPaths, ids(&[1]), PlanKind::IndexNestedLoop, 3);
+        let (_, plan) = cache.get("q", Strategy::RootPaths, 3).unwrap();
+        assert_eq!(plan, PlanKind::IndexNestedLoop);
+        // A newer-generation insert replaces an older entry as before.
+        cache.insert("q".into(), Strategy::RootPaths, ids(&[2]), PlanKind::Merge, 4);
+        let (got, _) = cache.get("q", Strategy::RootPaths, 4).unwrap();
+        assert_eq!(got.iter().copied().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

@@ -17,17 +17,22 @@
 //!   into the cached cover (parameterized-plan semantics; the shape
 //!   reuse argument follows the tree-pattern survey literature).
 //! * **Result cache** — an LRU over exact queries with generation-based
-//!   invalidation: [`TwigService::apply_update`] runs an index
-//!   maintenance closure under the engine write lock and bumps the
-//!   generation, atomically staling every cached result.
+//!   invalidation: every committed [`TwigService::apply_update`]
+//!   publishes a new generation, atomically staling every cached
+//!   result (and the cache refuses to let a slow writer's stale answer
+//!   clobber a newer generation's entry).
 //! * **Batched execution** — [`TwigService::submit_batch`] evaluates a
 //!   group of queries with a shared probe memo, so queries sharing a
 //!   PCsubpath (same tags/anchoring/value) hit the indexes once.
-//! * **Rebuild-and-swap** — [`TwigService::rebuild_parallel`] rebuilds
-//!   every index with the shard-parallel builder
-//!   (`QueryEngine::build_parallel`) while readers keep serving from
-//!   the old engine, then swaps the new engine in under a brief write
-//!   lock and bumps the invalidation generation.
+//! * **Snapshot-isolated maintenance** — [`TwigService::apply_update`]
+//!   commits a batch of [`UpdateOp`]s by forking the current engine
+//!   (copy-on-write — no page copies) and publishing the fork as the
+//!   next epoch; readers pin an epoch and never block on a writer.
+//!   Every op is journaled, and [`TwigService::rebuild_parallel`]
+//!   replays the journal onto the freshly built engine before swapping
+//!   it in, so rebuilds cannot lose concurrent updates.
+//!   [`TwigService::persist`] folds the accumulated overlay pages into
+//!   a new base image on disk.
 //! * **Stats** — [`TwigService::stats`] snapshots cache hit rates,
 //!   queue depth, per-strategy latency histograms, and per-strategy
 //!   cost counters (probes, rows fetched, logical/physical page reads,
@@ -66,6 +71,7 @@ pub mod stats;
 pub use cache::{CacheStats, PlanCache, ResultCache};
 pub use service::{
     BatchTicket, ServiceAnswer, ServiceError, ServiceOptions, SharedEngine, Ticket, TwigService,
+    UpdateOp,
 };
 pub use shape::{exact_key, shape_key};
 pub use stats::{LatencySnapshot, ServiceSnapshot, ServiceStats, StrategyCostSnapshot};

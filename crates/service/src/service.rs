@@ -1,17 +1,27 @@
 //! The concurrent query service: submission API, worker pool, deadlines,
-//! graceful shutdown, and the update path that invalidates cached
-//! results.
+//! graceful shutdown, and the snapshot-isolated maintenance path.
 //!
 //! Threading model: `submit*` clones the query into a [`Job`] and sends
 //! it down an MPSC channel; `workers` std threads share the receiver
 //! behind a mutex (at most one worker blocks in `recv` at a time — the
 //! others queue briefly on the mutex, which is the textbook shared-
 //! consumer pattern over `std::sync::mpsc`). Each job carries a
-//! [`Ticket`] slot (mutex + condvar) the submitter waits on. Workers
-//! answer queries under the engine's **read** lock, so queries run
-//! genuinely in parallel; [`TwigService::apply_update`] takes the
-//! **write** lock, mutates the indexes, and bumps the invalidation
-//! generation before releasing it.
+//! [`Ticket`] slot (mutex + condvar) the submitter waits on.
+//!
+//! Concurrency model (MVCC over the copy-on-write page layer): the
+//! engine lives inside an immutable [`EngineEpoch`] — engine plus the
+//! generation it serves — behind an `RwLock<Arc<EngineEpoch>>` held
+//! only long enough to clone or swap the `Arc`. Readers **pin** the
+//! current epoch and execute with no lock held, so a query never waits
+//! on maintenance. Writers serialize on a maintenance mutex that also
+//! owns the update journal: [`TwigService::apply_update`] forks the
+//! newest epoch (`QueryEngine::fork` — a page-free copy-on-write
+//! snapshot), applies its [`UpdateOp`]s to the fork, appends them to
+//! the journal, and publishes the fork as the next epoch;
+//! [`TwigService::rebuild_parallel`] rebuilds from the forest with no
+//! lock held, then **replays the journal** onto the new engine under
+//! the maintenance lock before swapping it in, so a rebuild can never
+//! lose a committed update.
 
 use crate::cache::{PlanCache, ResultCache};
 use crate::shape::exact_key;
@@ -26,9 +36,10 @@ use std::sync::{Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xtwig_core::engine::{EngineOptions, ProbeMemo, QueryMetrics};
+use xtwig_core::persist::{PersistError, PersistReport};
 use xtwig_core::plan::PlanKind;
 use xtwig_core::{QueryEngine, Strategy};
-use xtwig_xml::{TwigPattern, XmlForest};
+use xtwig_xml::{TagId, TwigPattern, XmlForest};
 
 /// The engine type a service shares across worker threads.
 pub type SharedEngine = QueryEngine<Arc<XmlForest>>;
@@ -227,10 +238,93 @@ impl Drop for Job {
     }
 }
 
+/// One immutable engine generation. An epoch is never mutated after
+/// publication: writers fork the newest epoch's engine, mutate the
+/// fork, and publish a *new* epoch. Readers that cloned the `Arc` keep
+/// a consistent snapshot — engine state and the generation it serves
+/// are one atomic unit, so a result computed against an epoch can
+/// always be cached under exactly that epoch's generation.
+struct EngineEpoch {
+    engine: SharedEngine,
+    generation: u64,
+}
+
+/// One logical index-maintenance operation, applied to every
+/// maintainable structure the engine built (ROOTPATHS and DATAPATHS)
+/// and journaled so a concurrent rebuild can replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert a root-to-node data path: `tags[i]` labels the node with
+    /// id `ids[i]`, `value` is the leaf's value (if any).
+    InsertPath {
+        /// Schema path, root first.
+        tags: Vec<TagId>,
+        /// Node-id list, parallel to `tags`.
+        ids: Vec<u64>,
+        /// Leaf value of the path's head node.
+        value: Option<String>,
+    },
+    /// Delete a previously inserted data path (same shape as insert).
+    DeletePath {
+        /// Schema path, root first.
+        tags: Vec<TagId>,
+        /// Node-id list, parallel to `tags`.
+        ids: Vec<u64>,
+        /// Leaf value the path was inserted with.
+        value: Option<String>,
+    },
+}
+
+/// Applies one op to every maintainable structure the engine built.
+/// Returns true when at least one structure changed.
+fn apply_op(engine: &mut SharedEngine, op: &UpdateOp) -> bool {
+    let mut changed = false;
+    match op {
+        UpdateOp::InsertPath { tags, ids, value } => {
+            if let Some(rp) = engine.rootpaths_mut() {
+                rp.insert_path(tags, ids, value.as_deref());
+                changed = true;
+            }
+            if let Some(dp) = engine.datapaths_mut() {
+                dp.insert_path(tags, ids, value.as_deref());
+                changed = true;
+            }
+        }
+        UpdateOp::DeletePath { tags, ids, value } => {
+            if let Some(rp) = engine.rootpaths_mut() {
+                changed |= rp.delete_path(tags, ids, value.as_deref());
+            }
+            if let Some(dp) = engine.datapaths_mut() {
+                changed |= dp.delete_path(tags, ids, value.as_deref());
+            }
+        }
+    }
+    changed
+}
+
+/// Writer-side state, serialized by the maintenance mutex: the journal
+/// of every update committed since the engine was built (or last
+/// rebuilt *and* folded — see [`TwigService::rebuild_parallel`], which
+/// replays it, and [`TwigService::persist`], which folds the page
+/// overlay but keeps the journal for rebuilds from the forest).
+struct Maintenance {
+    journal: Vec<UpdateOp>,
+}
+
 struct Shared {
-    engine: RwLock<SharedEngine>,
+    /// The published epoch. The lock is held only to clone (readers) or
+    /// swap (writers) the `Arc` — never across query execution or index
+    /// mutation, so readers and writers never wait on each other's
+    /// *work*, only on a pointer exchange.
+    epoch: RwLock<Arc<EngineEpoch>>,
+    /// Serializes writers ([`TwigService::apply_update`],
+    /// [`TwigService::rebuild_parallel`], [`TwigService::persist`]) and
+    /// owns the journal. Lock order: maintenance before epoch.
+    maintenance: Mutex<Maintenance>,
     plan_cache: PlanCache,
     result_cache: ResultCache,
+    /// Lock-free mirror of the published epoch's generation (for
+    /// [`TwigService::generation`] and stats).
     generation: AtomicU64,
     stats: ServiceStats,
     /// Which strategies the *current* engine has built — atomic because
@@ -240,9 +334,36 @@ struct Shared {
 }
 
 impl Shared {
+    /// Pins the published epoch: clones the `Arc` under a momentary
+    /// read lock. Everything pinned stays readable (and consistent)
+    /// for as long as the clone lives, however many swaps happen.
+    fn pin(&self) -> Arc<EngineEpoch> {
+        self.epoch.read().clone()
+    }
+
+    /// Publishes `next` as the current epoch and mirrors its generation.
+    /// Returns the displaced epoch so callers drop it outside the lock.
+    fn publish(&self, next: Arc<EngineEpoch>) -> Arc<EngineEpoch> {
+        let mut slot = self.epoch.write();
+        self.generation.store(next.generation, Ordering::SeqCst);
+        std::mem::replace(&mut *slot, next)
+    }
+
     fn set_available(&self, engine: &SharedEngine) {
         for (i, s) in Strategy::ALL.iter().enumerate() {
             self.available[i].store(engine.has_strategy(*s), Ordering::SeqCst);
+        }
+    }
+}
+
+/// Forks `epoch`'s engine, retrying while a concurrent reader pins a
+/// freshly dirtied page (transient — see [`xtwig_core::ForkError`]).
+/// Callers hold the maintenance lock, so no *writer* races the fork.
+fn fork_engine(epoch: &EngineEpoch) -> SharedEngine {
+    loop {
+        match epoch.engine.fork() {
+            Ok(engine) => return engine,
+            Err(xtwig_core::ForkError::PinnedPages { .. }) => std::thread::yield_now(),
         }
     }
 }
@@ -279,7 +400,8 @@ impl TwigService {
         let available =
             std::array::from_fn(|i| AtomicBool::new(engine.has_strategy(Strategy::ALL[i])));
         let shared = Arc::new(Shared {
-            engine: RwLock::new(engine),
+            epoch: RwLock::new(Arc::new(EngineEpoch { engine, generation: 0 })),
+            maintenance: Mutex::new(Maintenance { journal: Vec::new() }),
             plan_cache: PlanCache::new(options.plan_cache, options.plan_cache_capacity),
             result_cache: ResultCache::new(options.result_cache_capacity),
             generation: AtomicU64::new(0),
@@ -376,56 +498,98 @@ impl TwigService {
         Ok(slot)
     }
 
-    /// Runs an index-maintenance closure under the engine's write lock
-    /// (no query executes concurrently), then bumps the invalidation
-    /// generation so every previously cached result goes stale.
-    pub fn apply_update<R>(&self, f: impl FnOnce(&mut SharedEngine) -> R) -> R {
-        let mut engine = self.shared.engine.write();
-        let r = f(&mut engine);
-        // Bump while still holding the write lock: a query can only
-        // observe the new index state together with the new generation.
-        self.shared.generation.fetch_add(1, Ordering::SeqCst);
+    /// Commits a batch of index-maintenance operations atomically and
+    /// returns the generation that serves them.
+    ///
+    /// Snapshot isolation, not mutual exclusion: the writer forks the
+    /// newest epoch's engine ([`QueryEngine::fork`] — copy-on-write, no
+    /// page copies), applies every op to the fork, journals the ops for
+    /// future rebuilds, and publishes the fork as the next epoch. In-
+    /// flight queries keep reading the epoch they pinned and **never
+    /// block on this writer**; queries submitted after the publish see
+    /// every op. Concurrent writers serialize on the maintenance lock.
+    pub fn apply_update(&self, ops: Vec<UpdateOp>) -> u64 {
+        let mut maint = self.shared.maintenance.lock();
+        let current = self.shared.pin();
+        let mut engine = fork_engine(&current);
+        for op in &ops {
+            apply_op(&mut engine, op);
+        }
+        self.shared.stats.journal_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
+        maint.journal.extend(ops);
+        let generation = current.generation + 1;
+        drop(current);
+        let old = self.shared.publish(Arc::new(EngineEpoch { engine, generation }));
         self.shared.stats.updates.fetch_add(1, Ordering::Relaxed);
-        drop(engine);
-        r
+        drop(maint);
+        // Displaced epoch may hold the last reference to forked pools;
+        // drop it outside both locks.
+        drop(old);
+        generation
     }
 
     /// Rebuilds every index configuration with the shard-parallel
     /// builder and swaps the new engine in — **without draining
     /// readers**: the build runs over the shared `Arc<XmlForest>`
-    /// handle with no engine lock held, so queries keep executing
-    /// against the old indexes for the whole build; only the final swap
-    /// takes the write lock (it waits for in-flight readers, as any
-    /// update does, but holds the lock for a pointer swap rather than a
-    /// build). The invalidation generation is bumped under that lock,
-    /// staling every cached result, and the strategy-availability flags
-    /// are refreshed for the new engine's strategy set.
+    /// handle with no lock held, so queries keep executing against the
+    /// old epoch for the whole build, and in-flight queries that pinned
+    /// it finish on it even after the swap.
     ///
-    /// Concurrent [`TwigService::apply_update`]s that commit *during*
-    /// the build are overwritten by the swap (the rebuild re-reads the
-    /// forest, not the old indexes); callers who interleave updates with
-    /// rebuilds serialize them at a higher level.
+    /// Updates are never lost to the race between building and
+    /// swapping: the forest is static, so the fresh engine knows
+    /// nothing of any [`TwigService::apply_update`] ever committed —
+    /// before the swap, the **full journal is replayed** onto it under
+    /// the maintenance lock (which also blocks new updates for the
+    /// replay's duration, bounded by journal length, not build time).
+    /// The new epoch's generation supersedes every earlier one, staling
+    /// all cached results, and the strategy-availability flags are
+    /// refreshed for the new engine's strategy set.
     pub fn rebuild_parallel(&self, options: EngineOptions, shards: usize) {
-        let forest = self.shared.engine.read().forest_handle();
-        let new_engine = QueryEngine::build_parallel(forest, options, shards);
-        let old_engine = {
-            let mut engine = self.shared.engine.write();
-            let old = std::mem::replace(&mut *engine, new_engine);
-            self.shared.set_available(&engine);
-            self.shared.generation.fetch_add(1, Ordering::SeqCst);
+        let forest = self.shared.pin().engine.forest_handle();
+        let mut new_engine = QueryEngine::build_parallel(forest, options, shards);
+        let old = {
+            let maint = self.shared.maintenance.lock();
+            for op in &maint.journal {
+                apply_op(&mut new_engine, op);
+            }
+            self.shared.stats.replayed_ops.fetch_add(maint.journal.len() as u64, Ordering::Relaxed);
+            self.shared.set_available(&new_engine);
+            let generation = self.shared.pin().generation + 1;
             self.shared.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
-            old
+            self.shared.publish(Arc::new(EngineEpoch { engine: new_engine, generation }))
         };
-        // Tear the old engine down (up to seven strategies' pools and
-        // trees) only after releasing the write lock — readers must not
+        // Tear the old epoch down (up to seven strategies' pools and
+        // trees) only after releasing the locks — readers must not
         // stall behind the deallocation.
-        drop(old_engine);
+        drop(old);
     }
 
-    /// Runs a read-only closure against the engine (sequential-baseline
-    /// comparisons, stats reporting).
+    /// Persists the current epoch's indexes to one `.xtwig` file,
+    /// **folding** every copy-on-write overlay page accumulated by
+    /// [`TwigService::apply_update`] into the new base image (the
+    /// persist path reads pages through the pools, overlay-first).
+    /// Reopening the file yields an engine with the updates applied and
+    /// an empty overlay. Queries keep running against the pinned epoch
+    /// throughout; concurrent updates serialize behind the fold.
+    pub fn persist<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> Result<PersistReport, PersistError> {
+        let maint = self.shared.maintenance.lock();
+        let epoch = self.shared.pin();
+        let report = epoch.engine.persist(path)?;
+        self.shared.stats.folds.fetch_add(1, Ordering::Relaxed);
+        drop(maint);
+        Ok(report)
+    }
+
+    /// Runs a read-only closure against a pinned epoch's engine
+    /// (sequential-baseline comparisons, stats reporting). The closure
+    /// sees one consistent snapshot and holds **no lock** — concurrent
+    /// updates and rebuilds proceed freely and are invisible to it.
     pub fn with_engine<R>(&self, f: impl FnOnce(&SharedEngine) -> R) -> R {
-        f(&self.shared.engine.read())
+        let epoch = self.shared.pin();
+        f(&epoch.engine)
     }
 
     /// Current invalidation generation.
@@ -443,6 +607,9 @@ impl TwigService {
             deadline_missed: s.deadline_missed.load(Ordering::Relaxed),
             updates: s.updates.load(Ordering::Relaxed),
             rebuilds: s.rebuilds.load(Ordering::Relaxed),
+            journal_ops: s.journal_ops.load(Ordering::Relaxed),
+            replayed_ops: s.replayed_ops.load(Ordering::Relaxed),
+            folds: s.folds.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             batch_queries: s.batch_queries.load(Ordering::Relaxed),
             memo_hits: s.memo_hits.load(Ordering::Relaxed),
@@ -520,29 +687,28 @@ fn run_job(shared: &Shared, job: Job) {
             }
         },
         JobKind::Batch(twigs, strategy) => {
-            // One generation and ONE engine read lock for the whole
-            // batch: the memo must not straddle an update, or matches
-            // memoized before it could be re-served — and cached —
-            // under the post-update generation. Holding the lock also
-            // gives the batch one consistent index snapshot.
-            let generation = shared.generation.load(Ordering::SeqCst);
+            // ONE pinned epoch for the whole batch: the memo must not
+            // straddle an update, or matches memoized before it could
+            // be re-served — and cached — under the post-update
+            // generation. The epoch carries its own generation, so the
+            // batch's snapshot and its cache tag cannot disagree.
+            let epoch = shared.pin();
             let mut memo = ProbeMemo::new();
             let answers: Result<Vec<ServiceAnswer>, ServiceError> = {
-                let engine = shared.engine.read();
                 // Recheck against the engine actually executing: a
                 // rebuild may have dropped the strategy after submit's
                 // availability check passed (see `answer_one`).
-                if engine.has_strategy(*strategy) {
+                if epoch.engine.has_strategy(*strategy) {
                     Ok(twigs
                         .iter()
                         .map(|t| {
-                            answer_locked(
+                            answer_pinned(
                                 shared,
-                                &engine,
+                                &epoch.engine,
                                 t,
                                 *strategy,
                                 Some(&mut memo),
-                                generation,
+                                epoch.generation,
                             )
                         })
                         .collect())
@@ -569,33 +735,35 @@ fn run_job(shared: &Shared, job: Job) {
     }
 }
 
-/// Answers one single-submission query. The generation is captured
-/// *before* execution: an update racing with the computation commits a
-/// result tagged with the old generation, which the next lookup treats
-/// as stale — conservative, never wrong. Result-cache hits return
-/// without touching the engine lock at all. (A rebuild that dropped
-/// the strategy also bumped the generation; a worker that captured the
-/// old generation *before* the swap may still serve one cached
-/// pre-rebuild answer — correct data for the engine that was live when
-/// the query was accepted, after which the entry is stale.)
+/// Answers one single-submission query against a pinned epoch. The
+/// epoch binds engine state and generation into one atomic unit: a
+/// result computed here is cached under the pinned epoch's generation,
+/// so an update publishing generation N+1 mid-execution cannot cause a
+/// stale result to be tagged fresh (the cache also refuses to clobber
+/// a newer-generation entry). Result-cache hits return without
+/// executing at all. (A rebuild that dropped the strategy published a
+/// higher generation; a worker that pinned the old epoch *before* the
+/// swap may still serve one cached pre-rebuild answer — correct data
+/// for the epoch that was live when the query was accepted, after
+/// which the entry is stale.)
 ///
 /// Errs with [`ServiceError::StrategyNotBuilt`] when a rebuild dropped
 /// the strategy between submit's availability check and execution —
-/// the recheck is against the engine this worker actually holds, so a
-/// query never reaches an unbuilt structure (whose accessor would
-/// panic and kill the worker thread).
+/// the recheck is against the pinned engine this worker actually
+/// executes on, so a query never reaches an unbuilt structure (whose
+/// accessor would panic and kill the worker thread).
 fn answer_one(
     shared: &Shared,
     twig: &TwigPattern,
     strategy: Strategy,
 ) -> Result<ServiceAnswer, ServiceError> {
-    let generation = shared.generation.load(Ordering::SeqCst);
+    let epoch = shared.pin();
     let key = exact_key(twig);
-    // Concrete strategies check the result cache without touching the
-    // engine lock. Auto must compile (cheap on a plan-cache hit) to
-    // learn its concrete key first — see `answer_miss`.
+    // Concrete strategies check the result cache before touching the
+    // engine. Auto must compile (cheap on a plan-cache hit) to learn
+    // its concrete key first — see `answer_miss`.
     if !strategy.is_auto() {
-        if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
+        if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, epoch.generation) {
             return Ok(ServiceAnswer {
                 ids,
                 plan,
@@ -605,16 +773,15 @@ fn answer_one(
             });
         }
     }
-    let engine = shared.engine.read();
-    if !engine.has_strategy(strategy) {
+    if !epoch.engine.has_strategy(strategy) {
         return Err(ServiceError::StrategyNotBuilt(strategy));
     }
-    Ok(answer_miss(shared, &engine, twig, strategy, None, generation, key))
+    Ok(answer_miss(shared, &epoch.engine, twig, strategy, None, epoch.generation, key))
 }
 
-/// Answers one query of a batch under the batch's engine read guard and
-/// generation (see `run_job`'s batch arm for why both are shared).
-fn answer_locked(
+/// Answers one query of a batch against the batch's pinned epoch and
+/// its generation (see `run_job`'s batch arm for why both are shared).
+fn answer_pinned(
     shared: &Shared,
     engine: &SharedEngine,
     twig: &TwigPattern,
@@ -876,29 +1043,146 @@ mod tests {
         svc.shutdown();
     }
 
+    /// The §7 maintenance ops the update tests insert: one new author
+    /// path with `fn='ada'` (author node id 900).
+    fn ada_ops(svc: &TwigService) -> Vec<UpdateOp> {
+        let tags: Vec<TagId> = svc.with_engine(|engine| {
+            let dict = engine.forest().dict();
+            ["book", "allauthors", "author", "fn"].iter().map(|t| dict.lookup(t).unwrap()).collect()
+        });
+        vec![
+            UpdateOp::InsertPath { tags: tags[..3].to_vec(), ids: vec![1, 5, 900], value: None },
+            UpdateOp::InsertPath { tags, ids: vec![1, 5, 900, 901], value: Some("ada".into()) },
+        ]
+    }
+
     #[test]
     fn update_bumps_generation_and_invalidates_results() {
         let svc = small_service(2);
         let twig = parse_xpath("//author[fn='ada']").unwrap();
         let before = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
         assert!(before.ids.is_empty());
-        // §7 maintenance: insert a new author path into ROOTPATHS.
-        svc.apply_update(|engine| {
-            let dict = engine.forest().dict();
-            let tags: Vec<_> = ["book", "allauthors", "author", "fn"]
-                .iter()
-                .map(|t| dict.lookup(t).unwrap())
-                .collect();
-            let rp = engine.rootpaths_mut().unwrap();
-            rp.insert_path(&tags[..3], &[1, 5, 900], None);
-            rp.insert_path(&tags, &[1, 5, 900, 901], Some("ada"));
-        });
+        let ops = ada_ops(&svc);
+        assert_eq!(svc.apply_update(ops), 1);
         assert_eq!(svc.generation(), 1);
         let after = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
         assert!(!after.from_cache, "stale cached empty answer must not be served");
         assert_eq!(after.ids.iter().copied().collect::<Vec<_>>(), vec![900]);
         assert_eq!(svc.stats().result_cache.invalidated, 1);
+        assert_eq!(svc.stats().journal_ops, 2);
         svc.shutdown();
+    }
+
+    #[test]
+    fn delete_op_reverts_an_insert_on_every_maintainable_structure() {
+        let svc = small_service(1);
+        let ops = ada_ops(&svc);
+        svc.apply_update(ops.clone());
+        let twig = parse_xpath("//author[fn='ada']").unwrap();
+        for s in [Strategy::RootPaths, Strategy::DataPaths] {
+            assert_eq!(svc.submit(&twig, s).unwrap().wait().unwrap().ids.len(), 1, "{s}");
+        }
+        let deletes: Vec<UpdateOp> = ops
+            .into_iter()
+            .rev()
+            .map(|op| match op {
+                UpdateOp::InsertPath { tags, ids, value } => {
+                    UpdateOp::DeletePath { tags, ids, value }
+                }
+                UpdateOp::DeletePath { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(svc.apply_update(deletes), 2);
+        for s in [Strategy::RootPaths, Strategy::DataPaths] {
+            assert!(svc.submit(&twig, s).unwrap().wait().unwrap().ids.is_empty(), "{s}");
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn rebuild_replays_the_journal_so_no_update_is_lost() {
+        // The lost-update bug this PR fixes: a rebuild re-reads the
+        // static forest, which knows nothing of index-only updates. The
+        // journal replay must restore every committed op — including
+        // ops committed *before* the rebuild started.
+        let svc = small_service(2);
+        svc.apply_update(ada_ops(&svc));
+        let twig = parse_xpath("//author[fn='ada']").unwrap();
+        svc.rebuild_parallel(EngineOptions { pool_pages: 256, ..Default::default() }, 2);
+        let stats = svc.stats();
+        assert_eq!(stats.rebuilds, 1);
+        assert_eq!(stats.replayed_ops, 2, "full journal replayed onto the fresh engine");
+        for s in [Strategy::RootPaths, Strategy::DataPaths] {
+            let a = svc.submit(&twig, s).unwrap().wait().unwrap();
+            assert_eq!(
+                a.ids.iter().copied().collect::<Vec<_>>(),
+                vec![900],
+                "{s}: update survived the rebuild"
+            );
+        }
+        // A second rebuild replays the (still-retained) journal again.
+        svc.rebuild_parallel(EngineOptions { pool_pages: 256, ..Default::default() }, 2);
+        assert_eq!(svc.stats().replayed_ops, 4);
+        let again = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert_eq!(again.ids.len(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn pinned_snapshot_stays_consistent_while_updates_publish() {
+        // A reader holding an epoch must not observe an update that
+        // commits while it reads — and must not block the writer.
+        let svc = Arc::new(small_service(2));
+        let twig = parse_xpath("//author[fn='ada']").unwrap();
+        let ops = ada_ops(&svc);
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let reader = {
+            let svc = svc.clone();
+            let twig = twig.clone();
+            std::thread::spawn(move || {
+                svc.with_engine(|engine| {
+                    entered_tx.send(()).unwrap();
+                    // Hold the snapshot open until the writer commits.
+                    release_rx.recv().unwrap();
+                    engine.answer(&twig, Strategy::RootPaths).ids.len()
+                })
+            })
+        };
+        entered_rx.recv().unwrap();
+        // The writer publishes while the reader's snapshot is open —
+        // if readers held a lock, this would deadlock.
+        svc.apply_update(ops);
+        assert_eq!(svc.generation(), 1);
+        release_tx.send(()).unwrap();
+        let seen = reader.join().unwrap();
+        assert_eq!(seen, 0, "pinned snapshot predates the update");
+        // A fresh pin sees the committed update.
+        let now = svc.with_engine(|e| e.answer(&twig, Strategy::RootPaths).ids.len());
+        assert_eq!(now, 1);
+        Arc::try_unwrap(svc).map(TwigService::shutdown).ok().unwrap();
+    }
+
+    #[test]
+    fn persist_folds_overlay_updates_into_the_file() {
+        let dir = std::env::temp_dir().join(format!("xtwig-svc-fold-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("folded.xtwig");
+        let svc = small_service(1);
+        svc.apply_update(ada_ops(&svc));
+        let report = svc.persist(&path).unwrap();
+        assert!(report.file_bytes > 0);
+        assert_eq!(svc.stats().folds, 1);
+        svc.shutdown();
+        // Reopen: the update is part of the base image now.
+        let reopened = TwigService::open(&path, ServiceOptions::default()).unwrap();
+        let twig = parse_xpath("//author[fn='ada']").unwrap();
+        for s in [Strategy::RootPaths, Strategy::DataPaths] {
+            let a = reopened.submit(&twig, s).unwrap().wait().unwrap();
+            assert_eq!(a.ids.iter().copied().collect::<Vec<_>>(), vec![900], "{s}");
+        }
+        reopened.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -122,6 +122,9 @@ pub struct ServiceStats {
     pub(crate) deadline_missed: AtomicU64,
     pub(crate) updates: AtomicU64,
     pub(crate) rebuilds: AtomicU64,
+    pub(crate) journal_ops: AtomicU64,
+    pub(crate) replayed_ops: AtomicU64,
+    pub(crate) folds: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batch_queries: AtomicU64,
     pub(crate) memo_hits: AtomicU64,
@@ -141,6 +144,9 @@ impl Default for ServiceStats {
             deadline_missed: AtomicU64::new(0),
             updates: AtomicU64::new(0),
             rebuilds: AtomicU64::new(0),
+            journal_ops: AtomicU64::new(0),
+            replayed_ops: AtomicU64::new(0),
+            folds: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_queries: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
@@ -261,6 +267,14 @@ pub struct ServiceSnapshot {
     pub updates: u64,
     /// Full engine rebuild-and-swap operations completed.
     pub rebuilds: u64,
+    /// Update ops committed to the maintenance journal.
+    pub journal_ops: u64,
+    /// Journal ops replayed onto freshly rebuilt engines (cumulative
+    /// across rebuilds — each rebuild replays the full journal).
+    pub replayed_ops: u64,
+    /// Persist calls that folded the copy-on-write overlay into a new
+    /// base image.
+    pub folds: u64,
     /// Batches executed.
     pub batches: u64,
     /// Queries submitted through batches.
@@ -327,6 +341,9 @@ impl ServiceSnapshot {
              {indent}  \"deadline_missed\": {},\n\
              {indent}  \"updates\": {},\n\
              {indent}  \"rebuilds\": {},\n\
+             {indent}  \"journal_ops\": {},\n\
+             {indent}  \"replayed_ops\": {},\n\
+             {indent}  \"folds\": {},\n\
              {indent}  \"batches\": {},\n\
              {indent}  \"batch_queries\": {},\n\
              {indent}  \"memo_hits\": {},\n\
@@ -345,6 +362,9 @@ impl ServiceSnapshot {
             self.deadline_missed,
             self.updates,
             self.rebuilds,
+            self.journal_ops,
+            self.replayed_ops,
+            self.folds,
             self.batches,
             self.batch_queries,
             self.memo_hits,
@@ -432,6 +452,9 @@ mod tests {
             deadline_missed: 0,
             updates: 0,
             rebuilds: 0,
+            journal_ops: 0,
+            replayed_ops: 0,
+            folds: 0,
             batches: 0,
             batch_queries: 0,
             memo_hits: 0,

@@ -147,6 +147,38 @@ impl BufferPool {
         h
     }
 
+    /// Pages in the underlying backend's copy-on-write overlay (0 for
+    /// plain backends) — observability for the MVCC fork path.
+    pub fn overlay_pages(&self) -> usize {
+        self.disk.overlay_pages()
+    }
+
+    /// Forks this pool into an independent copy-on-write sibling: the
+    /// fork starts cold over a [`DiskManager::fork_cow`] view of the
+    /// current page image, so writes through the fork never reach this
+    /// pool's backend (and vice versa).
+    ///
+    /// Dirty resident frames are flushed down to the backend first so
+    /// the fork's view is complete. Frames pinned *dirty* by an
+    /// outstanding write guard cannot be flushed safely (see
+    /// [`BufferPool::flush_all`]); the fork is refused with the skipped
+    /// count — `Err` means a concurrent writer owns part of the image,
+    /// and the caller retries once that writer finishes. Read pins on
+    /// clean frames never block a fork.
+    ///
+    /// **Contract:** after a successful fork, this pool must not be
+    /// written again — it is the sealed base the fork's COW view reads
+    /// through. The engine-level fork upholds this by always forking
+    /// the newest generation and retiring the old one to read-only
+    /// service.
+    pub fn cow_fork(&self) -> Result<BufferPool, usize> {
+        let skipped = self.flush_all();
+        if skipped > 0 {
+            return Err(skipped);
+        }
+        Ok(BufferPool::new(self.disk.fork_cow(), self.capacity()))
+    }
+
     /// Allocates a fresh zeroed page and returns it pinned for writing.
     pub fn allocate(&self) -> (PageId, PageWriteGuard<'_>) {
         let pid = self.disk.allocate();
@@ -516,6 +548,45 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn cow_fork_gives_an_isolated_writable_sibling() {
+        let pool = BufferPool::in_memory(4);
+        let (pid, mut g) = pool.allocate();
+        put_u64(&mut g, 0, 11);
+        drop(g);
+        // Dirty-resident state must be visible through the fork (the
+        // fork flushes first).
+        let fork = pool.cow_fork().expect("no writer holds pages");
+        assert_eq!(fork.capacity(), pool.capacity());
+        assert_eq!(fork.num_pages(), pool.num_pages());
+        assert_eq!(crate::page::get_u64(&fork.fetch(pid), 0), 11);
+        // Writes through the fork land in its COW overlay only.
+        put_u64(&mut fork.fetch_mut(pid), 0, 22);
+        fork.flush_all();
+        assert_eq!(fork.overlay_pages(), 1);
+        assert_eq!(crate::page::get_u64(&fork.fetch(pid), 0), 22);
+        assert_eq!(crate::page::get_u64(&pool.fetch(pid), 0), 11, "base image frozen");
+        // Fork allocations never grow the base.
+        let (p2, g) = fork.allocate();
+        drop(g);
+        assert_eq!(p2.0, pool.num_pages());
+        assert_eq!(pool.num_pages(), 1);
+        // A fork of the fork sees the fork's state (flat chain).
+        let fork2 = fork.cow_fork().expect("fork of fork");
+        assert_eq!(crate::page::get_u64(&fork2.fetch(pid), 0), 22);
+    }
+
+    #[test]
+    fn cow_fork_refuses_while_a_writer_pins_a_dirty_page() {
+        let pool = BufferPool::in_memory(4);
+        let (_pid, mut g) = pool.allocate();
+        put_u64(&mut g, 0, 5);
+        // An outstanding write guard means the image could be torn.
+        assert_eq!(pool.cow_fork().err(), Some(1));
+        drop(g);
+        assert!(pool.cow_fork().is_ok(), "fork succeeds once the writer finishes");
     }
 
     #[test]

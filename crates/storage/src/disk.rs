@@ -30,6 +30,27 @@ pub trait StorageBackend: Send + Sync {
     /// the end of an index persist so a crash right after `xtwig build`
     /// cannot leave a torn index file.
     fn sync(&self) -> std::io::Result<()>;
+    /// Pages living in a copy-on-write overlay rather than the sealed
+    /// base image. Plain backends have no overlay and report 0.
+    fn overlay_pages(&self) -> usize {
+        0
+    }
+    /// Forks this backend into an independent copy-on-write sibling:
+    /// both sides see the current page image, and writes on either side
+    /// are invisible to the other. Backends that are already COW views
+    /// return a *flat* sibling over the same sealed base (chains never
+    /// deepen); plain backends return `None` and are wrapped in a
+    /// [`CowBackend`] by [`DiskManager::fork_cow`] instead.
+    fn cow_fork(&self) -> Option<Arc<dyn StorageBackend>> {
+        None
+    }
+}
+
+/// Copies a full page image into an owned [`PageBuf`].
+fn page_from(buf: &[u8]) -> PageBuf {
+    let mut page = PageBuf::zeroed();
+    page.bytes_mut().copy_from_slice(buf);
+    page
 }
 
 /// In-memory backend.
@@ -185,7 +206,10 @@ pub struct ExtentBackend {
     base: u32,
     extent_pages: u32,
     /// Pages written (or allocated) after open, keyed by pool-local id.
-    overlay: Mutex<HashMap<u32, PageBuf>>,
+    /// Pages are `Arc`'d so [`StorageBackend::cow_fork`] can share them:
+    /// a write always *replaces* the map entry with a fresh page, never
+    /// mutates a shared one, so a fork's view is frozen at fork time.
+    overlay: Mutex<HashMap<u32, Arc<PageBuf>>>,
     /// Pages allocated past the extent (pool-local id space only).
     overflow: AtomicU32,
 }
@@ -210,12 +234,6 @@ impl ExtentBackend {
             overflow: AtomicU32::new(0),
         }
     }
-
-    /// Number of pages modified or allocated since open (0 for a
-    /// read-only workload — the file alone still backs every page).
-    pub fn overlay_pages(&self) -> usize {
-        self.overlay.lock().len()
-    }
 }
 
 impl StorageBackend for ExtentBackend {
@@ -233,9 +251,9 @@ impl StorageBackend for ExtentBackend {
     }
 
     fn write_page(&self, pid: PageId, buf: &[u8]) {
-        let mut overlay = self.overlay.lock();
-        let page = overlay.entry(pid.0).or_insert_with(PageBuf::zeroed);
-        page.bytes_mut().copy_from_slice(buf);
+        // Replace, never mutate: a fork sharing the old `Arc` page keeps
+        // seeing the pre-write content.
+        self.overlay.lock().insert(pid.0, Arc::new(page_from(buf)));
     }
 
     fn allocate(&self) -> PageId {
@@ -250,28 +268,151 @@ impl StorageBackend for ExtentBackend {
     fn sync(&self) -> std::io::Result<()> {
         Ok(())
     }
+
+    /// Number of pages modified or allocated since open (0 for a
+    /// read-only workload — the file alone still backs every page).
+    fn overlay_pages(&self) -> usize {
+        self.overlay.lock().len()
+    }
+
+    /// A flat sibling: same sealed file extent, a snapshot of the
+    /// current overlay (cheap `Arc` clones per page), and an
+    /// independent overflow cursor. Forking a fork yields another
+    /// sibling of the *file*, so chains never deepen.
+    fn cow_fork(&self) -> Option<Arc<dyn StorageBackend>> {
+        let overlay = self.overlay.lock().clone();
+        Some(Arc::new(ExtentBackend {
+            file: self.file.clone(),
+            base: self.base,
+            extent_pages: self.extent_pages,
+            overflow: AtomicU32::new(self.overflow.load(Ordering::SeqCst)),
+            overlay: Mutex::new(overlay),
+        }))
+    }
+}
+
+/// A copy-on-write view over any sealed [`StorageBackend`].
+///
+/// This is how an engine fork snapshots a structure whose pool sits on
+/// a plain backend ([`MemBackend`] from a fresh build, typically): the
+/// base is frozen at fork time (`base_pages` captures its size), reads
+/// fall through overlay → base → zero fill, and every write or
+/// allocation lands in the overlay. Forking a `CowBackend` produces a
+/// *flat* sibling over the same base — overlay pages are shared by
+/// `Arc` and replaced (never mutated) on write — so generations of
+/// forks cost O(overlay) each, not O(chain depth) per read.
+pub struct CowBackend {
+    base: Arc<dyn StorageBackend>,
+    /// Base size at fork time; the base is sealed by contract (the
+    /// forking pool flushed and stopped writing), so this never drifts.
+    base_pages: u32,
+    overlay: Mutex<HashMap<u32, Arc<PageBuf>>>,
+    overflow: AtomicU32,
+}
+
+impl CowBackend {
+    /// A COW view over `base`, frozen at its current size.
+    pub fn over(base: Arc<dyn StorageBackend>) -> Self {
+        let base_pages = base.num_pages();
+        CowBackend {
+            base,
+            base_pages,
+            overlay: Mutex::new(HashMap::new()),
+            overflow: AtomicU32::new(0),
+        }
+    }
+}
+
+impl StorageBackend for CowBackend {
+    fn read_page(&self, pid: PageId, buf: &mut [u8]) {
+        if let Some(page) = self.overlay.lock().get(&pid.0) {
+            buf.copy_from_slice(page.bytes());
+            return;
+        }
+        if pid.0 < self.base_pages {
+            self.base.read_page(pid, buf);
+        } else {
+            buf.fill(0);
+        }
+    }
+
+    fn write_page(&self, pid: PageId, buf: &[u8]) {
+        self.overlay.lock().insert(pid.0, Arc::new(page_from(buf)));
+    }
+
+    fn allocate(&self) -> PageId {
+        PageId(self.base_pages + self.overflow.fetch_add(1, Ordering::SeqCst))
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.base_pages + self.overflow.load(Ordering::SeqCst)
+    }
+
+    /// No-op: writes never reach the base (copy-on-write overlay).
+    fn sync(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn overlay_pages(&self) -> usize {
+        self.overlay.lock().len()
+    }
+
+    fn cow_fork(&self) -> Option<Arc<dyn StorageBackend>> {
+        let overlay = self.overlay.lock().clone();
+        Some(Arc::new(CowBackend {
+            base: self.base.clone(),
+            base_pages: self.base_pages,
+            overflow: AtomicU32::new(self.overflow.load(Ordering::SeqCst)),
+            overlay: Mutex::new(overlay),
+        }))
+    }
 }
 
 /// Disk manager wrapping a backend; a thin layer that owns allocation
 /// accounting (physical transfer counting lives in the buffer pool).
+/// The backend is held by `Arc` so [`DiskManager::fork_cow`] can share
+/// a sealed base image across copy-on-write forks.
 pub struct DiskManager {
-    backend: Box<dyn StorageBackend>,
+    backend: Arc<dyn StorageBackend>,
 }
 
 impl DiskManager {
     /// Creates a manager over an in-memory backend.
     pub fn in_memory() -> Self {
-        DiskManager { backend: Box::new(MemBackend::new()) }
+        DiskManager { backend: Arc::new(MemBackend::new()) }
     }
 
     /// Creates a manager over a fresh file backend.
     pub fn in_file<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
-        Ok(DiskManager { backend: Box::new(FileBackend::create(path)?) })
+        Ok(DiskManager { backend: Arc::new(FileBackend::create(path)?) })
     }
 
     /// Wraps a custom backend.
     pub fn with_backend(backend: Box<dyn StorageBackend>) -> Self {
+        DiskManager { backend: Arc::from(backend) }
+    }
+
+    /// Forks into an independent copy-on-write manager: the fork sees
+    /// the current page image, and writes on the fork never reach this
+    /// manager's backend (nor vice versa). COW-aware backends
+    /// ([`ExtentBackend`], [`CowBackend`]) produce flat siblings over
+    /// their sealed base; plain backends are wrapped in a fresh
+    /// [`CowBackend`] over the shared `Arc`. **Contract:** the caller
+    /// must have flushed this manager's dirty state down to the backend
+    /// first and must not write through `self` afterwards (the buffer
+    /// pool's `cow_fork` enforces both).
+    pub fn fork_cow(&self) -> DiskManager {
+        let backend = self
+            .backend
+            .cow_fork()
+            .unwrap_or_else(|| Arc::new(CowBackend::over(self.backend.clone())));
         DiskManager { backend }
+    }
+
+    /// Pages in the backend's copy-on-write overlay (0 for plain
+    /// backends).
+    pub fn overlay_pages(&self) -> usize {
+        self.backend.overlay_pages()
     }
 
     /// Reads page `pid` into `buf`.
@@ -448,6 +589,116 @@ mod tests {
         }
         let file = Arc::new(FileBackend::open(&path).unwrap());
         let _ = ExtentBackend::new(file, 0, 2);
+    }
+
+    #[test]
+    fn cow_backend_isolates_writes_from_its_base() {
+        let base: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        base.allocate();
+        base.write_page(PageId(0), &vec![5u8; PAGE_SIZE]);
+        let cow = CowBackend::over(base.clone());
+        assert_eq!(cow.num_pages(), 1);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        cow.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 5), "fork sees the base image");
+        // Writes land in the overlay only.
+        cow.write_page(PageId(0), &vec![9u8; PAGE_SIZE]);
+        assert_eq!(cow.overlay_pages(), 1);
+        cow.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 9));
+        base.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 5), "base untouched by COW writes");
+        // Allocation extends past the frozen base, zero-filled.
+        let p = cow.allocate();
+        assert_eq!(p, PageId(1));
+        cow.read_page(p, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(base.num_pages(), 1, "base never grows through the fork");
+    }
+
+    #[test]
+    fn cow_fork_chains_stay_flat_and_independent() {
+        let base: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        base.allocate();
+        base.write_page(PageId(0), &vec![1u8; PAGE_SIZE]);
+        let gen1 = CowBackend::over(base);
+        gen1.write_page(PageId(0), &vec![2u8; PAGE_SIZE]);
+        // Fork gen1 → gen2 sees gen1's overlay snapshot.
+        let gen2 = gen1.cow_fork().expect("CowBackend forks");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        gen2.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 2));
+        // Diverge both sides: neither write is visible to the other.
+        gen2.write_page(PageId(0), &vec![3u8; PAGE_SIZE]);
+        gen1.write_page(PageId(0), &vec![4u8; PAGE_SIZE]);
+        gen1.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 4));
+        gen2.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 3));
+        // A long fork chain stays O(overlay): every generation reads
+        // its own snapshot correctly.
+        let mut current = gen2;
+        for v in 10u8..20 {
+            let next = current.cow_fork().expect("flat fork");
+            next.write_page(PageId(0), &vec![v; PAGE_SIZE]);
+            next.read_page(PageId(0), &mut buf);
+            assert!(buf.iter().all(|&b| b == v));
+            current = next;
+        }
+        // gen2's view (held via `current`'s ancestor) never moved.
+        gen1.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 4));
+    }
+
+    #[test]
+    fn extent_backend_cow_fork_snapshots_the_overlay() {
+        let dir = std::env::temp_dir().join(format!("xtwig-disk7-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("extent-fork.db");
+        {
+            let b = FileBackend::create(&path).unwrap();
+            for i in 0..3u8 {
+                let p = b.allocate();
+                b.write_page(p, &vec![i; PAGE_SIZE]);
+            }
+        }
+        let file = Arc::new(FileBackend::open(&path).unwrap());
+        let ext = ExtentBackend::new(file, 0, 3);
+        ext.write_page(PageId(1), &vec![7u8; PAGE_SIZE]);
+        let fork = ext.cow_fork().expect("ExtentBackend forks");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        fork.read_page(PageId(1), &mut buf);
+        assert!(buf.iter().all(|&b| b == 7), "fork sees pre-fork overlay writes");
+        // Post-fork writes diverge.
+        ext.write_page(PageId(1), &vec![8u8; PAGE_SIZE]);
+        fork.read_page(PageId(1), &mut buf);
+        assert!(buf.iter().all(|&b| b == 7), "fork frozen at fork time");
+        ext.read_page(PageId(1), &mut buf);
+        assert!(buf.iter().all(|&b| b == 8));
+        // Unwritten pages still come from the shared file on both sides.
+        fork.read_page(PageId(2), &mut buf);
+        assert!(buf.iter().all(|&b| b == 2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_manager_fork_cow_wraps_plain_backends() {
+        let dm = DiskManager::in_memory();
+        dm.allocate();
+        dm.write_page(PageId(0), &vec![6u8; PAGE_SIZE]);
+        assert_eq!(dm.overlay_pages(), 0, "plain backend has no overlay");
+        let fork = dm.fork_cow();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        fork.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 6));
+        fork.write_page(PageId(0), &vec![1u8; PAGE_SIZE]);
+        assert_eq!(fork.overlay_pages(), 1);
+        dm.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 6), "original unaffected");
+        // Forking the fork uses the COW backend's flat fork.
+        let fork2 = fork.fork_cow();
+        fork2.read_page(PageId(0), &mut buf);
+        assert!(buf.iter().all(|&b| b == 1));
     }
 
     #[test]

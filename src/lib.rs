@@ -66,7 +66,7 @@ pub use xtwig_xml as xml;
 
 pub use xtwig_core::engine::EngineOptions;
 pub use xtwig_core::{parse_xpath, QueryAnswer, QueryEngine, Strategy};
-pub use xtwig_service::{ServiceAnswer, ServiceError, ServiceOptions, TwigService};
+pub use xtwig_service::{ServiceAnswer, ServiceError, ServiceOptions, TwigService, UpdateOp};
 pub use xtwig_xml::{TwigPattern, XmlForest};
 
 /// Common imports for applications.
@@ -74,6 +74,6 @@ pub mod prelude {
     pub use crate::core::engine::{EngineOptions, QueryAnswer, QueryEngine, Strategy};
     pub use crate::core::family::{BoundIndex, FreeIndex, PathIndex, PcSubpathQuery};
     pub use crate::core::parse_xpath;
-    pub use crate::service::{ServiceAnswer, ServiceError, ServiceOptions, TwigService};
+    pub use crate::service::{ServiceAnswer, ServiceError, ServiceOptions, TwigService, UpdateOp};
     pub use crate::xml::{Axis, NodeId, TwigPattern, XmlForest};
 }

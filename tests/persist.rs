@@ -306,6 +306,57 @@ fn repersist_to_own_path_makes_overlay_maintenance_durable() {
 }
 
 #[test]
+fn overlay_folds_through_repeated_mutate_reopen_persist_cycles() {
+    // Regression for the reopened-engine fold path: an engine reopened
+    // from a file accumulates maintenance in its in-memory overlay;
+    // persisting to a NEW file must fold those overlay pages into the
+    // fresh base image (the old file stays byte-identical), and the
+    // cycle must compose — each generation carries every earlier
+    // update plus its own.
+    let dir = TempDir::new("fold-chain");
+    let gen0 = dir.path("gen0.xtwig");
+    QueryEngine::build(Arc::new(fig1_book_document()), EngineOptions::default())
+        .persist(&gen0)
+        .unwrap();
+    let mut prev = gen0.clone();
+    for i in 0..3u64 {
+        let mut opened = QueryEngine::open(&prev).unwrap();
+        let tags: Vec<_> = {
+            let dict = opened.forest().dict();
+            ["book", "allauthors", "author", "fn"].iter().map(|t| dict.lookup(t).unwrap()).collect()
+        };
+        let before = std::fs::read(&prev).unwrap();
+        let author = 900 + 2 * i;
+        let rp = opened.rootpaths_mut().unwrap();
+        rp.insert_path(&tags[..3], &[1, 5, author], None);
+        rp.insert_path(&tags, &[1, 5, author, author + 1], Some(&format!("v{i}")));
+        let dp = opened.datapaths_mut().unwrap();
+        dp.insert_path(&tags[..3], &[1, 5, author], None);
+        dp.insert_path(&tags, &[1, 5, author, author + 1], Some(&format!("v{i}")));
+        let next = dir.path(&format!("gen{}.xtwig", i + 1));
+        opened.persist(&next).unwrap();
+        assert_eq!(std::fs::read(&prev).unwrap(), before, "gen {i} input file mutated");
+        prev = next;
+    }
+    // The final file carries all three updates, digest-verified, with
+    // an empty overlay (everything folded into base extents).
+    let fresh = QueryEngine::open(&prev).unwrap();
+    for i in 0..3u64 {
+        let twig = parse_xpath(&format!("//author[fn = 'v{i}']")).unwrap();
+        for s in [Strategy::RootPaths, Strategy::DataPaths] {
+            assert_eq!(
+                fresh.answer(&twig, s).ids.into_iter().collect::<Vec<_>>(),
+                vec![900 + 2 * i],
+                "{s}: update {i} lost in the fold chain"
+            );
+        }
+    }
+    // The pre-existing data survived every fold too.
+    let jane = parse_xpath("//author[fn = 'jane']").unwrap();
+    assert_eq!(fresh.answer(&jane, Strategy::RootPaths).ids.len(), 2);
+}
+
+#[test]
 fn corrupt_page_fails_the_digest_check() {
     let dir = TempDir::new("corrupt");
     let path = dir.path("idx.xtwig");

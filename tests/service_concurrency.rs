@@ -151,17 +151,15 @@ fn update_invalidates_cached_results_after_generation_bump() {
     assert!(service.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap().ids.is_empty());
     assert!(service.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap().from_cache);
     assert_eq!(service.generation(), 0);
-    // §7: insert /book/allauthors/author[fn='ada'] into ROOTPATHS.
-    service.apply_update(|engine| {
+    // §7: insert /book/allauthors/author[fn='ada'].
+    let tags: Vec<_> = service.with_engine(|engine| {
         let dict = engine.forest().dict();
-        let tags: Vec<_> = ["book", "allauthors", "author", "fn"]
-            .iter()
-            .map(|t| dict.lookup(t).unwrap())
-            .collect();
-        let rp = engine.rootpaths_mut().unwrap();
-        rp.insert_path(&tags[..3], &[1, 3, 7_000], None);
-        rp.insert_path(&tags, &[1, 3, 7_000, 7_001], Some("ada"));
+        ["book", "allauthors", "author", "fn"].iter().map(|t| dict.lookup(t).unwrap()).collect()
     });
+    service.apply_update(vec![
+        UpdateOp::InsertPath { tags: tags[..3].to_vec(), ids: vec![1, 3, 7_000], value: None },
+        UpdateOp::InsertPath { tags, ids: vec![1, 3, 7_000, 7_001], value: Some("ada".into()) },
+    ]);
     assert_eq!(service.generation(), 1);
     let after = service.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
     assert!(!after.from_cache, "generation bump must stale the cached empty result");

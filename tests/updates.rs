@@ -12,7 +12,7 @@ use xtwig::parse_xpath;
 use xtwig::storage::BufferPool;
 use xtwig::xml::tree::fig1_book_document;
 use xtwig::xml::TagId;
-use xtwig::{EngineOptions, ServiceOptions, Strategy, TwigService};
+use xtwig::{EngineOptions, ServiceOptions, Strategy, TwigService, UpdateOp};
 
 #[test]
 fn inserting_an_author_adds_all_prefix_entries() {
@@ -176,9 +176,9 @@ fn datapaths_deletes_are_self_locating() {
 
 #[test]
 fn datapaths_maintenance_under_service_apply_update() {
-    // The serving-layer path: apply_update mutates ROOTPATHS and
-    // DATAPATHS under the engine write lock, bumps the generation, and
-    // both strategies must answer consistently afterwards.
+    // The serving-layer path: apply_update commits UpdateOps against a
+    // copy-on-write fork, publishes it as the next epoch, and both
+    // strategies must answer consistently afterwards.
     let svc = TwigService::build(
         fig1_book_document(),
         EngineOptions {
@@ -198,14 +198,14 @@ fn datapaths_maintenance_under_service_apply_update() {
             .map(|t| e.forest().dict().lookup(t).unwrap())
             .collect()
     });
-    svc.apply_update(|engine| {
-        let rp = engine.rootpaths_mut().unwrap();
-        rp.insert_path(&tags[..3], &[1, 5, 900], None);
-        rp.insert_path(&tags, &[1, 5, 900, 901], Some("ada"));
-        let dp = engine.datapaths_mut().unwrap();
-        dp.insert_path(&tags[..3], &[1, 5, 900], None);
-        dp.insert_path(&tags, &[1, 5, 900, 901], Some("ada"));
-    });
+    svc.apply_update(vec![
+        UpdateOp::InsertPath { tags: tags[..3].to_vec(), ids: vec![1, 5, 900], value: None },
+        UpdateOp::InsertPath {
+            tags: tags.clone(),
+            ids: vec![1, 5, 900, 901],
+            value: Some("ada".into()),
+        },
+    ]);
     for s in [Strategy::RootPaths, Strategy::DataPaths] {
         let a = svc.submit(&twig, s).unwrap().wait().unwrap();
         assert!(!a.from_cache, "{s}: stale cached empty answer served");
@@ -218,12 +218,11 @@ fn datapaths_maintenance_under_service_apply_update() {
         assert_eq!(a.ids.iter().copied().collect::<Vec<_>>(), vec![900], "{s}");
     }
     // Delete through the same path; both strategies converge to empty.
-    svc.apply_update(|engine| {
-        let rp = engine.rootpaths_mut().unwrap();
-        assert!(rp.delete_path(&tags, &[1, 5, 900, 901], Some("ada")));
-        let dp = engine.datapaths_mut().unwrap();
-        assert!(dp.delete_path(&tags, &[1, 5, 900, 901], Some("ada")));
-    });
+    svc.apply_update(vec![UpdateOp::DeletePath {
+        tags,
+        ids: vec![1, 5, 900, 901],
+        value: Some("ada".into()),
+    }]);
     for s in [Strategy::RootPaths, Strategy::DataPaths] {
         assert!(svc.submit(&twig, s).unwrap().wait().unwrap().ids.is_empty(), "{s}");
     }
