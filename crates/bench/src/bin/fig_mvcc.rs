@@ -40,8 +40,12 @@ struct Row {
     mean_ns: u128,
 }
 
-/// Per-iteration wall times of `iters` runs of `f`, as (min, mean).
-fn measure(iters: usize, mut f: impl FnMut()) -> (Duration, Duration) {
+/// Per-iteration wall times of `iters` runs of `f` after `warmup`
+/// untimed runs (caches hot, branch predictors settled), as (min, mean).
+fn measure(warmup: usize, iters: usize, mut f: impl FnMut()) -> (Duration, Duration) {
+    for _ in 0..warmup {
+        f();
+    }
     let mut min = Duration::MAX;
     let mut total = Duration::ZERO;
     for _ in 0..iters {
@@ -81,6 +85,7 @@ fn main() {
         0.01
     };
     let iters = if quick { 60 } else { 500 };
+    let warmup = if quick { 5 } else { 25 };
     let cores = host_parallelism();
     println!(
         "# fig_mvcc: reader latency under concurrent maintenance \
@@ -120,16 +125,18 @@ fn main() {
     };
 
     // Baseline: the reader stream with no maintenance anywhere.
-    let (min, mean) = measure(iters, || {
+    let (min, mean) = measure(warmup, iters, || {
         let a = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
         assert!(!a.ids.is_empty());
     });
     record("reader/solo".into(), min, mean);
 
     // One apply_update round trip: fork the epoch, apply, journal,
-    // publish. This is the full writer-side commit cost.
+    // publish. This is the full writer-side commit cost. (No untimed
+    // warmup: each commit mutates state, and the first fork is as real
+    // a cost as the last.)
     let mut commit_k = 0u64;
-    let (min, mean) = measure(iters.min(200), || {
+    let (min, mean) = measure(0, iters.min(200), || {
         svc.apply_update(round_ops(&tags, commit_k));
         commit_k += 1;
     });
@@ -156,7 +163,7 @@ fn main() {
     while commits.load(Ordering::SeqCst) == 0 {
         std::thread::yield_now(); // writer warm before sampling
     }
-    let (min, mean) = measure(iters, || {
+    let (min, mean) = measure(warmup, iters, || {
         let a = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
         assert!(!a.ids.is_empty());
     });
@@ -189,7 +196,8 @@ fn main() {
         .map(|r| {
             format!(
                 "  {{\n    \"group\": \"fig_mvcc\",\n    \"bench\": \"{}\",\n    \
-                 \"min_ns\": {},\n    \"mean_ns\": {},\n    \"iters\": {iters}\n  }}",
+                 \"min_ns\": {},\n    \"mean_ns\": {},\n    \"iters\": {iters},\n    \
+                 \"warmup\": {warmup}\n  }}",
                 r.bench, r.min_ns, r.mean_ns
             )
         })

@@ -25,6 +25,10 @@ struct Row {
     workers: usize,
     cache: bool,
     queries: usize,
+    /// Untimed full-stream warm-up passes before measurement.
+    warmup: usize,
+    /// Timed passes; `elapsed_micros` is the best (min) of these.
+    iters: usize,
     elapsed_micros: u128,
     qps: f64,
     plan_hit_rate: f64,
@@ -142,6 +146,8 @@ fn main() {
                 workers,
                 cache,
                 queries: stream.len(),
+                warmup: 1,
+                iters: 3,
                 elapsed_micros: elapsed.as_micros(),
                 qps,
                 plan_hit_rate: plan_rate,
@@ -185,6 +191,8 @@ fn main() {
             workers: 4,
             cache: false,
             queries: rp_stream.len(),
+            warmup: 0,
+            iters: 1,
             elapsed_micros: elapsed.as_micros(),
             qps,
             plan_hit_rate: stats.plan_cache.hit_rate(),
@@ -228,13 +236,16 @@ fn main() {
         .map(|r| {
             format!(
                 "  {{\n    \"mode\": \"{}\",\n    \"workers\": {},\n    \"result_cache\": {},\n    \
-                 \"queries\": {},\n    \"elapsed_micros\": {},\n    \"qps\": {:.1},\n    \
+                 \"queries\": {},\n    \"warmup\": {},\n    \"iters\": {},\n    \
+                 \"elapsed_micros\": {},\n    \"qps\": {:.1},\n    \
                  \"plan_hit_rate\": {:.4},\n    \"result_hit_rate\": {:.4},\n    \
                  \"memo_hits\": {},\n    \"memo_misses\": {}\n  }}",
                 r.mode,
                 r.workers,
                 r.cache,
                 r.queries,
+                r.warmup,
+                r.iters,
                 r.elapsed_micros,
                 r.qps,
                 r.plan_hit_rate,

@@ -32,7 +32,9 @@ use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xtwig_storage::{BufferPool, IoStatsSnapshot};
+use xtwig_obs::{SpanCounters, Trace};
+use xtwig_opt::{CalibrationLog, CalibrationSample};
+use xtwig_storage::{BufferPool, IoStatsSnapshot, PoolCounters};
 use xtwig_xml::{NodeId, TagId, TwigPattern, XmlForest};
 
 // The strategy menu lives in `xtwig-opt` — the cost-based decision
@@ -198,6 +200,9 @@ pub struct QueryEngine<F: Borrow<XmlForest> = Arc<XmlForest>> {
     pub(crate) asr: Option<(AccessSupportRelations, Arc<BufferPool>)>,
     pub(crate) ji: Option<(JoinIndices, Arc<BufferPool>)>,
     pub(crate) structural_ad_joins: bool,
+    // Optimizer-feedback ring fed by traced executions; forks share the
+    // parent's log so samples accumulate across snapshots.
+    pub(crate) calibration: Arc<CalibrationLog>,
 }
 
 /// A partial result row: per-twig-node bindings plus captured ancestor
@@ -308,6 +313,7 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
             asr,
             ji,
             structural_ad_joins: options.structural_ad_joins,
+            calibration: Arc::new(CalibrationLog::new(CalibrationLog::DEFAULT_CAPACITY)),
         }
     }
 
@@ -472,6 +478,44 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         }
     }
 
+    /// The engine's optimizer-feedback ring: one [`CalibrationSample`]
+    /// per traced execution (see [`QueryEngine::answer_traced`]).
+    /// Forks share the parent's log so samples accumulate across
+    /// snapshots; indexes reopened from disk start with a fresh one.
+    pub fn calibration_log(&self) -> &CalibrationLog {
+        &self.calibration
+    }
+
+    /// Cheap shared counter handles, one per built structure's buffer
+    /// pool: cumulative page reads, misses, and pins since build. The
+    /// handles clone an `Arc` around the pool's atomics, so a metrics
+    /// scraper can poll them without touching the query surface.
+    pub fn pool_counters(&self) -> Vec<(&'static str, PoolCounters)> {
+        let mut out = Vec::new();
+        if let Some((_, p)) = &self.rp {
+            out.push(("rootpaths", p.counters()));
+        }
+        if let Some((_, p)) = &self.dp {
+            out.push(("datapaths", p.counters()));
+        }
+        if let Some((_, p)) = &self.edge {
+            out.push(("edge", p.counters()));
+        }
+        if let Some((_, p)) = &self.dg {
+            out.push(("dataguide", p.counters()));
+        }
+        if let Some((_, p)) = &self.fab {
+            out.push(("fabric", p.counters()));
+        }
+        if let Some((_, p)) = &self.asr {
+            out.push(("asr", p.counters()));
+        }
+        if let Some((_, p)) = &self.ji {
+            out.push(("joinindex", p.counters()));
+        }
+        out
+    }
+
     fn snapshot(&self, strategy: Strategy) -> IoStatsSnapshot {
         let mut total = IoStatsSnapshot::default();
         for p in self.pools_for(strategy) {
@@ -588,6 +632,134 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         probes += self.drain_baseline_counters(strategy);
         let after = self.snapshot(strategy);
         let delta = after.since(&before);
+        QueryAnswer {
+            ids,
+            plan: plan.kind,
+            strategy,
+            metrics: QueryMetrics {
+                probes,
+                rows_fetched,
+                logical_reads: delta.logical_reads,
+                physical_reads: delta.physical_reads,
+                elapsed,
+            },
+        }
+    }
+
+    /// [`QueryEngine::answer`] with pipeline tracing: returns the
+    /// answer plus a [`Trace`] — a span tree covering planning,
+    /// auto-resolution, every plan step (index probe, structural join,
+    /// or INLJ extension), and output materialization, each with wall
+    /// time, buffer-pool logical/physical read deltas, probe counts,
+    /// and rows.
+    ///
+    /// The result and counter totals are identical to
+    /// [`QueryEngine::answer`] (pinned by the `observability` suite);
+    /// the untraced path shares none of the instrumentation — it
+    /// executes the exact pre-tracing code — so tracing *off* costs
+    /// nothing. Tracing *on* additionally ranks the strategy menu to
+    /// capture the cost model's estimate and records one
+    /// [`CalibrationSample`] into [`QueryEngine::calibration_log`].
+    ///
+    /// # Panics
+    /// Panics if the strategy's structures were not built.
+    pub fn answer_traced(&self, twig: &TwigPattern, strategy: Strategy) -> (QueryAnswer, Trace) {
+        let mut trace = Trace::new();
+        let q = trace.begin("query", strategy.label());
+        let p = trace.begin("plan", "");
+        match self.compile(twig) {
+            Err(_) => {
+                trace.annotate(p, "unknown tag: empty result");
+                trace.end(p, SpanCounters::default());
+                trace.end(q, SpanCounters::default());
+                (QueryAnswer::empty(strategy), trace)
+            }
+            Ok((compiled, plan)) => {
+                trace.annotate(p, format!("{:?}, {} steps", plan.kind, plan.steps.len()));
+                trace.end(
+                    p,
+                    SpanCounters { rows: plan.steps.len() as u64, ..SpanCounters::default() },
+                );
+                let answer =
+                    self.answer_compiled_traced(&compiled, &plan, strategy, None, &mut trace);
+                let m = &answer.metrics;
+                trace.end(
+                    q,
+                    SpanCounters {
+                        logical_reads: m.logical_reads,
+                        physical_reads: m.physical_reads,
+                        probes: m.probes,
+                        rows: answer.ids.len() as u64,
+                    },
+                );
+                (answer, trace)
+            }
+        }
+    }
+
+    /// The execution back half of [`QueryEngine::answer_traced`],
+    /// taking an already-compiled twig (the service's slow-query log
+    /// re-executes cached plans through this). Appends `resolve`,
+    /// `execute`, `step`, and `materialize` spans to `trace`; results
+    /// and counter totals match [`QueryEngine::answer_compiled_with`].
+    pub fn answer_compiled_traced(
+        &self,
+        compiled: &CompiledTwig,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        memo: Option<&mut ProbeMemo>,
+        trace: &mut Trace,
+    ) -> QueryAnswer {
+        let requested = strategy;
+        let r = trace.begin("resolve", "");
+        let strategy = self.resolve_strategy(strategy, compiled, plan);
+        let est_reads = self
+            .rank_strategies(compiled, plan)
+            .into_iter()
+            .find(|c| c.strategy == strategy)
+            .map(|c| c.est_page_reads);
+        if requested == Strategy::Auto {
+            trace.annotate(r, format!("auto\u{2192}{}", strategy.label()));
+        } else {
+            trace.annotate(r, strategy.label());
+        }
+        trace.end(r, SpanCounters::default());
+
+        let e = trace.begin("execute", strategy.label());
+        let before = self.snapshot(strategy);
+        self.drain_baseline_counters(strategy);
+        let start = Instant::now();
+        let mut probes = 0u64;
+        let mut rows_fetched = 0u64;
+        let ids = self.execute_traced(
+            compiled,
+            plan,
+            strategy,
+            &mut probes,
+            &mut rows_fetched,
+            memo,
+            trace,
+        );
+        let elapsed = start.elapsed();
+        probes += self.drain_baseline_counters(strategy);
+        let after = self.snapshot(strategy);
+        let delta = after.since(&before);
+        trace.end(
+            e,
+            SpanCounters {
+                logical_reads: delta.logical_reads,
+                physical_reads: delta.physical_reads,
+                probes,
+                rows: rows_fetched,
+            },
+        );
+        self.calibration.record(CalibrationSample {
+            shape: twig_shape(&compiled.twig),
+            strategy,
+            est_reads: est_reads.unwrap_or(0.0),
+            actual_reads: delta.physical_reads,
+            micros: elapsed.as_micros() as u64,
+        });
         QueryAnswer {
             ids,
             plan: plan.kind,
@@ -726,6 +898,114 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         }
         let out = compiled.twig.output;
         rows.into_iter().map(|r| r.bind[out]).filter(|&id| id != UNBOUND).collect()
+    }
+
+    /// Instrumented copy of [`QueryEngine::execute`]: the identical
+    /// algorithm, plus a `step` span per plan step (with per-step
+    /// buffer-pool and probe deltas) and a `materialize` span around
+    /// the final output projection.
+    ///
+    /// Kept as a separate body — rather than branching on a tracing
+    /// flag inside `execute` — so the untraced hot path carries zero
+    /// instrumentation cost; the `observability` suite pins result
+    /// identity between the two across every strategy.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_traced(
+        &self,
+        compiled: &CompiledTwig,
+        plan: &QueryPlan,
+        strategy: Strategy,
+        probes: &mut u64,
+        rows_fetched: &mut u64,
+        mut memo: Option<&mut ProbeMemo>,
+        trace: &mut Trace,
+    ) -> BTreeSet<u64> {
+        let n = compiled.twig.len();
+        let use_inlj = plan.kind == PlanKind::IndexNestedLoop
+            && strategy == Strategy::DataPaths
+            && self.dp.is_some();
+        let needed = self.needed_nodes(compiled, plan);
+        let interior_needed = |sp: &crate::decompose::SubpathSpec| {
+            sp.nodes[..sp.nodes.len() - 1].iter().any(|n| needed.contains(n))
+        };
+        let mut rows: Vec<Row> = Vec::new();
+        for (i, step) in plan.steps.iter().enumerate() {
+            let sp = &compiled.subpaths[step.subpath];
+            let io_before = self.snapshot(strategy);
+            let probes_before = *probes;
+            let fetched_before = *rows_fetched;
+            let t = trace.begin("step", String::new());
+            let how;
+            if i == 0 {
+                let (matches, full) = self.eval_free_memo(
+                    strategy,
+                    &sp.q,
+                    interior_needed(sp),
+                    probes,
+                    memo.as_deref_mut(),
+                );
+                *rows_fetched += matches.len() as u64;
+                rows = self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, &matches, full);
+                how = "probe";
+            } else {
+                if rows.is_empty() {
+                    trace.annotate(t, format!("#{i} skipped: empty input"));
+                    trace.end(t, SpanCounters::default());
+                    return BTreeSet::new();
+                }
+                let (keep, _) = self.keep_after(compiled, plan, i);
+                let join = step.join.as_ref().expect("non-first steps carry joins");
+                let already: HashSet<usize> = match join {
+                    JoinHow::SharedNode { shared, .. } => shared.iter().copied().collect(),
+                    JoinHow::AncestorOf { .. } | JoinHow::DescendantBound { .. } => HashSet::new(),
+                };
+                let semi =
+                    sp.nodes.iter().all(|node| already.contains(node) || !keep.contains(node));
+                let probe_ok = use_inlj
+                    && step.probe.as_ref().is_some_and(|p| self.probe_head_allowed(compiled, p));
+                if probe_ok {
+                    let probe = step.probe.as_ref().unwrap();
+                    rows = self.inlj_extend(compiled, rows, probe, semi, probes, rows_fetched);
+                    how = if semi { "inlj semi-join" } else { "inlj" };
+                } else {
+                    let (matches, full) = self.eval_free_memo(
+                        strategy,
+                        &sp.q,
+                        interior_needed(sp),
+                        probes,
+                        memo.as_deref_mut(),
+                    );
+                    *rows_fetched += matches.len() as u64;
+                    let new_rows =
+                        self.rows_from_matches(n, sp.nodes.as_slice(), &sp.q, &matches, full);
+                    rows = self.join(rows, new_rows, join, semi, probes);
+                    how = if semi { "semi-join" } else { "join" };
+                }
+            }
+            self.project_rows(compiled, plan, i, &mut rows);
+            // Attribute the Edge family's deferred lookup counters to
+            // the step that issued them; the wrapper's final drain then
+            // collects nothing, so the query total matches the
+            // untraced path exactly.
+            *probes += self.drain_baseline_counters(strategy);
+            let io = self.snapshot(strategy).since(&io_before);
+            trace.annotate(t, format!("#{i} subpath {} {how}", step.subpath));
+            trace.end(
+                t,
+                SpanCounters {
+                    logical_reads: io.logical_reads,
+                    physical_reads: io.physical_reads,
+                    probes: *probes - probes_before,
+                    rows: *rows_fetched - fetched_before,
+                },
+            );
+        }
+        let m = trace.begin("materialize", format!("output node {}", compiled.twig.output));
+        let out = compiled.twig.output;
+        let ids: BTreeSet<u64> =
+            rows.into_iter().map(|r| r.bind[out]).filter(|&id| id != UNBOUND).collect();
+        trace.end(m, SpanCounters { rows: ids.len() as u64, ..SpanCounters::default() });
+        ids
     }
 
     /// Twig nodes consumed by steps after `done`, plus the output node;
@@ -1250,6 +1530,31 @@ impl<F: Borrow<XmlForest>> QueryEngine<F> {
         }
         out
     }
+}
+
+/// Shape of a twig for calibration-sample keys: tags and axes with
+/// value literals elided (`=?`) and the output node starred, so
+/// repeated queries differing only in constants aggregate together.
+pub fn twig_shape(twig: &TwigPattern) -> String {
+    fn node(t: &TwigPattern, i: usize, out: &mut String) {
+        let n = &t.nodes[i];
+        out.push_str(&n.tag);
+        if n.value.is_some() {
+            out.push_str("=?");
+        }
+        if i == t.output {
+            out.push('*');
+        }
+        for (axis, c) in &n.children {
+            out.push('[');
+            out.push_str(&axis.to_string());
+            node(t, *c, out);
+            out.push(']');
+        }
+    }
+    let mut s = twig.root_axis.to_string();
+    node(twig, 0, &mut s);
+    s
 }
 
 /// Matches carrying only the final step's id (interior skipped).

@@ -142,6 +142,7 @@ impl<F: Borrow<XmlForest> + Clone> QueryEngine<F> {
             ),
             ji: share(&self.ji, JoinIndices::write_meta, JoinIndices::open_meta),
             structural_ad_joins: self.structural_ad_joins,
+            calibration: self.calibration.clone(),
         })
     }
 }

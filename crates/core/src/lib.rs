@@ -63,10 +63,15 @@ pub mod xpath;
 
 pub use auto::Explanation;
 pub use engine::{
-    ParseStrategyError, ProbeMemo, ProbeMemoStats, QueryAnswer, QueryEngine, QueryMetrics, Strategy,
+    twig_shape, ParseStrategyError, ProbeMemo, ProbeMemoStats, QueryAnswer, QueryEngine,
+    QueryMetrics, Strategy,
 };
+// Tracing and feedback types, re-exported so engine callers need not
+// depend on `xtwig-obs`/`xtwig-opt` directly.
 pub use family::{BoundIndex, FamilyPosition, FreeIndex, PathIndex, PathMatch, PcSubpathQuery};
 pub use fork::ForkError;
 pub use parallel::ShardPlan;
 pub use persist::{OpenError, OpenReport, PersistError, PersistReport};
 pub use xpath::parse_xpath;
+pub use xtwig_obs::{Span, SpanCounters, Trace};
+pub use xtwig_opt::{AdviseReport, CalibrationLog, CalibrationSample};

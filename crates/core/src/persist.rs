@@ -51,6 +51,7 @@ use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 use xtwig_btree::{BTree, BTreeOptions};
+use xtwig_opt::CalibrationLog;
 use xtwig_rel::codec::IdListCodec;
 use xtwig_storage::{
     BufferPool, DiskManager, ExtentBackend, FileBackend, PageId, StorageBackend, PAGE_SIZE,
@@ -793,6 +794,7 @@ impl QueryEngine<Arc<XmlForest>> {
             asr,
             ji,
             structural_ad_joins,
+            calibration: Arc::new(CalibrationLog::new(CalibrationLog::DEFAULT_CAPACITY)),
         };
 
         // Reattachment must not have built anything: no pool allocated

@@ -38,6 +38,7 @@
 pub mod calibration;
 pub mod cost;
 pub mod estimate;
+pub mod feedback;
 pub mod strategy;
 
 pub use calibration::Calibration;
@@ -46,4 +47,5 @@ pub use cost::{
     TreeProfile, TwigCostInput,
 };
 pub use estimate::{leaf_candidates, pattern_matches, CardinalitySource};
+pub use feedback::{AdviseReport, CalibrationLog, CalibrationSample, StrategyAdvice};
 pub use strategy::{ParseStrategyError, Strategy};

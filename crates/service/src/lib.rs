@@ -64,14 +64,18 @@
 //! ```
 
 pub mod cache;
+pub mod metrics;
 pub mod service;
 pub mod shape;
 pub mod stats;
 
 pub use cache::{CacheStats, PlanCache, ResultCache};
+pub use metrics::{render_metrics, MetricsRegistry, SlowQuery};
 pub use service::{
     BatchTicket, ServiceAnswer, ServiceError, ServiceOptions, SharedEngine, Ticket, TwigService,
     UpdateOp,
 };
 pub use shape::{exact_key, shape_key};
-pub use stats::{LatencySnapshot, ServiceSnapshot, ServiceStats, StrategyCostSnapshot};
+pub use stats::{
+    json_escape, LatencySnapshot, ServiceSnapshot, ServiceStats, StrategyCostSnapshot,
+};

@@ -24,7 +24,8 @@
 //! lose a committed update.
 
 use crate::cache::{PlanCache, ResultCache};
-use crate::shape::exact_key;
+use crate::metrics::{render_metrics, MetricsRegistry, SlowQuery};
+use crate::shape::{exact_key, shape_key};
 use crate::stats::{ServiceSnapshot, ServiceStats};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeSet;
@@ -83,6 +84,12 @@ pub struct ServiceOptions {
     pub result_cache_capacity: usize,
     /// Deadline applied to submissions that don't carry their own.
     pub default_deadline: Option<Duration>,
+    /// Executions at or above this many microseconds are captured into
+    /// the slow-query log with a traced re-execution (`None` disables
+    /// the log; default).
+    pub slow_query_micros: Option<u64>,
+    /// Slow-query records retained, oldest evicted first (default 32).
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServiceOptions {
@@ -93,6 +100,8 @@ impl Default for ServiceOptions {
             plan_cache_capacity: 4096,
             result_cache_capacity: 1024,
             default_deadline: None,
+            slow_query_micros: None,
+            slow_query_capacity: 32,
         }
     }
 }
@@ -327,6 +336,7 @@ struct Shared {
     /// [`TwigService::generation`] and stats).
     generation: AtomicU64,
     stats: ServiceStats,
+    metrics: MetricsRegistry,
     /// Which strategies the *current* engine has built — atomic because
     /// [`TwigService::rebuild_parallel`] may swap in an engine with a
     /// different strategy set while submissions race the check.
@@ -406,6 +416,7 @@ impl TwigService {
             result_cache: ResultCache::new(options.result_cache_capacity),
             generation: AtomicU64::new(0),
             stats: ServiceStats::default(),
+            metrics: MetricsRegistry::new(options.slow_query_micros, options.slow_query_capacity),
             available,
         });
         let (tx, rx) = std::sync::mpsc::channel::<Job>();
@@ -627,6 +638,24 @@ impl TwigService {
     /// Worker threads serving the queue.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Renders every service metric in the Prometheus text exposition
+    /// format: submission/cache counters, per-strategy execution costs
+    /// and log2 latency histograms, per-pool page-read/miss/pin
+    /// counters from the current engine, per-shape traffic, and the
+    /// slow-query count. Scrape-safe: holds no lock across query
+    /// execution (the engine is pinned like any reader).
+    pub fn metrics_text(&self) -> String {
+        let snapshot = self.stats();
+        let pools = self.with_engine(|e| e.pool_counters());
+        render_metrics(&snapshot, &pools, &self.shared.metrics)
+    }
+
+    /// The retained slow-query records, oldest first (see
+    /// [`ServiceOptions::slow_query_micros`]).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared.metrics.slow_queries()
     }
 
     /// Graceful shutdown: stop accepting submissions, let the workers
@@ -865,6 +894,22 @@ fn answer_miss(
     let answer = engine.answer_compiled_with(&compiled, &plan, strategy, memo);
     shared.stats.record_latency(strategy, answer.metrics.elapsed);
     shared.stats.record_cost(strategy, &answer.metrics);
+    shared.metrics.observe_shape(&shape_key(twig), answer.metrics.elapsed);
+    if shared.metrics.is_slow(answer.metrics.elapsed) {
+        // Capture the pipeline breakdown with a read-only traced
+        // re-execution against the same pinned epoch (the result is
+        // discarded — only the span tree is kept). Costs one extra
+        // execution, paid only for queries already past the threshold.
+        let mut trace = xtwig_core::Trace::new();
+        let _ = engine.answer_compiled_traced(&compiled, &plan, strategy, None, &mut trace);
+        shared.metrics.record_slow(SlowQuery {
+            query: twig.to_string(),
+            strategy,
+            micros: answer.metrics.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            generation,
+            spans: trace.render(),
+        });
+    }
     let ids = Arc::new(answer.ids);
     shared.result_cache.insert(key, strategy, ids.clone(), answer.plan, generation);
     ServiceAnswer { ids, plan: answer.plan, strategy, from_cache: false, metrics: answer.metrics }
@@ -1393,6 +1438,40 @@ mod tests {
             let a = t.wait().expect("queued work drains during graceful shutdown");
             assert!(!a.ids.is_empty());
         }
+    }
+
+    #[test]
+    fn metrics_text_and_slow_query_log() {
+        let svc = TwigService::build(
+            fig1_book_document(),
+            EngineOptions { pool_pages: 256, ..Default::default() },
+            ServiceOptions {
+                workers: 1,
+                // Zero threshold: every executed query is "slow".
+                slow_query_micros: Some(0),
+                slow_query_capacity: 4,
+                ..Default::default()
+            },
+        );
+        let twig = parse_xpath("//author[fn='jane']").unwrap();
+        svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        let text = svc.metrics_text();
+        assert!(text.contains("xtwig_queries_completed_total 1"), "{text}");
+        assert!(text.contains("xtwig_strategy_executed_total{strategy=\"RP\"} 1"));
+        assert!(text.contains("xtwig_pool_page_reads_total{pool=\"rootpaths\"}"));
+        assert!(text.contains("xtwig_query_latency_micros_bucket{strategy=\"RP\",le=\"+Inf\"} 1"));
+        assert!(text.contains("xtwig_shape_queries_total{shape="));
+        assert!(text.contains("xtwig_slow_queries_total 1"));
+        let slow = svc.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].strategy, Strategy::RootPaths);
+        assert_eq!(slow[0].generation, 0);
+        assert!(slow[0].spans.contains("execute"), "{}", slow[0].spans);
+        assert!(slow[0].query.contains("author"));
+        // A cache hit does no index work: not slow, not re-counted.
+        svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert_eq!(svc.slow_queries().len(), 1);
+        svc.shutdown();
     }
 
     #[test]

@@ -41,6 +41,7 @@ impl StrategyLatency {
         LatencySnapshot {
             strategy,
             count,
+            total_micros: total,
             mean_micros: if count == 0 { 0.0 } else { total as f64 / count as f64 },
             p50_micros: percentile_upper_bound(&buckets, count, 0.50),
             p95_micros: percentile_upper_bound(&buckets, count, 0.95),
@@ -96,6 +97,29 @@ impl StrategyCost {
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Escapes a string for embedding in a double-quoted JSON string
+/// literal: backslash, quote, and control characters. Prometheus label
+/// values use the same escapes (`\\`, `\"`, `\n`), so the metrics
+/// exposition shares this helper.
+pub fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Upper bound (bucket boundary) of the requested percentile.
@@ -221,6 +245,8 @@ pub struct LatencySnapshot {
     pub strategy: Strategy,
     /// Queries executed (cache hits are not latency-measured).
     pub count: u64,
+    /// Summed execution latency in microseconds.
+    pub total_micros: u64,
     /// Mean execution latency in microseconds.
     pub mean_micros: f64,
     /// Median upper bound (power-of-two bucket boundary).
@@ -311,7 +337,11 @@ impl ServiceSnapshot {
                 format!(
                     "{indent}    {{\"strategy\": \"{}\", \"count\": {}, \"mean_micros\": {:.1}, \
                      \"p50_micros\": {}, \"p95_micros\": {}}}",
-                    l.strategy, l.count, l.mean_micros, l.p50_micros, l.p95_micros
+                    json_escape(&l.strategy.to_string()),
+                    l.count,
+                    l.mean_micros,
+                    l.p50_micros,
+                    l.p95_micros
                 )
             })
             .collect();
@@ -323,7 +353,7 @@ impl ServiceSnapshot {
                     "{indent}    {{\"strategy\": \"{}\", \"executed\": {}, \"auto_picks\": {}, \
                      \"probes\": {}, \"rows_fetched\": {}, \"logical_reads\": {}, \
                      \"physical_reads\": {}}}",
-                    c.strategy,
+                    json_escape(&c.strategy.to_string()),
                     c.executed,
                     c.auto_picks,
                     c.probes,
@@ -429,6 +459,17 @@ mod tests {
         let edge = costs.iter().find(|c| c.strategy == Strategy::Edge).unwrap();
         assert_eq!(edge.executed, 0, "a pick that hit the result cache executes nothing");
         assert_eq!(edge.auto_picks, 1);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("line\nbreak\ttab\rcr"), "line\\nbreak\\ttab\\rcr");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        // Non-ASCII passes through unescaped (JSON strings are UTF-8).
+        assert_eq!(json_escape("café→"), "café→");
     }
 
     #[test]

@@ -41,7 +41,7 @@
 
 use crate::disk::DiskManager;
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
-use crate::stats::IoStats;
+use crate::stats::{IoStats, PoolCounters};
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
@@ -112,6 +112,13 @@ impl BufferPool {
     /// The shared I/O statistics.
     pub fn stats(&self) -> &Arc<IoStats> {
         &self.stats
+    }
+
+    /// A cheap cloneable handle onto this pool's page-read/miss/pin
+    /// counters, for observability layers that sample them without
+    /// holding the pool.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters::new(self.stats.clone())
     }
 
     /// Number of frames.
@@ -288,6 +295,7 @@ impl BufferPool {
             let inner = self.inner.lock();
             if let Some(&idx) = inner.table.get(&pid) {
                 self.frames[idx].pin.fetch_add(1, Ordering::SeqCst);
+                self.stats.record_pin();
                 self.touch(idx);
                 return idx;
             }
@@ -303,6 +311,7 @@ impl BufferPool {
         // Re-check: another thread may have installed it concurrently.
         if let Some(&idx) = inner.table.get(&pid) {
             self.frames[idx].pin.fetch_add(1, Ordering::SeqCst);
+            self.stats.record_pin();
             self.touch(idx);
             return idx;
         }
@@ -323,6 +332,7 @@ impl BufferPool {
         };
         let frame = &self.frames[idx];
         frame.pin.store(1, Ordering::SeqCst);
+        self.stats.record_pin();
         {
             let mut data = frame.data.write();
             if load {
@@ -428,6 +438,26 @@ mod tests {
         drop(g);
         let g = pool.fetch(pid);
         assert_eq!(crate::page::get_u64(&g, 0), 42);
+    }
+
+    #[test]
+    fn counters_handle_counts_reads_misses_and_pins() {
+        let pool = BufferPool::in_memory(4);
+        let counters = pool.counters();
+        let (pid, g) = pool.allocate();
+        assert_eq!(counters.pins(), 1); // allocate pins the fresh frame
+        drop(g);
+        let g = pool.fetch(pid); // hit: logical, no miss, one more pin
+        drop(g);
+        assert_eq!(counters.page_reads(), 1);
+        assert_eq!(counters.misses(), 0);
+        assert_eq!(counters.pins(), 2);
+        pool.clear_cache();
+        let g = pool.fetch(pid); // cold: logical + miss + pin
+        drop(g);
+        assert_eq!(counters.page_reads(), 2);
+        assert_eq!(counters.misses(), 1);
+        assert_eq!(counters.pins(), 3);
     }
 
     #[test]

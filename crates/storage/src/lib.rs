@@ -21,4 +21,4 @@ pub mod stats;
 pub use buffer::{BufferPool, PageReadGuard, PageWriteGuard};
 pub use disk::{CowBackend, DiskManager, ExtentBackend, FileBackend, MemBackend, StorageBackend};
 pub use page::{PageBuf, PageId, PAGE_SIZE};
-pub use stats::{IoStats, IoStatsSnapshot};
+pub use stats::{IoStats, IoStatsSnapshot, PoolCounters};

@@ -6,6 +6,7 @@
 //! reports both, alongside wall-clock time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Thread-safe I/O counters shared by a buffer pool and its clients.
 #[derive(Debug, Default)]
@@ -20,6 +21,8 @@ pub struct IoStats {
     pub evictions: AtomicU64,
     /// Pages allocated.
     pub allocations: AtomicU64,
+    /// Frame pins acquired (cumulative; never decremented on unpin).
+    pub pins: AtomicU64,
 }
 
 impl IoStats {
@@ -53,6 +56,11 @@ impl IoStats {
         self.allocations.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn record_pin(&self) {
+        self.pins.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -61,6 +69,7 @@ impl IoStats {
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
+            pins: self.pins.load(Ordering::Relaxed),
         }
     }
 
@@ -71,6 +80,7 @@ impl IoStats {
         self.physical_writes.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.allocations.store(0, Ordering::Relaxed);
+        self.pins.store(0, Ordering::Relaxed);
     }
 }
 
@@ -88,6 +98,8 @@ pub struct IoStatsSnapshot {
     pub evictions: u64,
     /// Pages allocated.
     pub allocations: u64,
+    /// Frame pins acquired.
+    pub pins: u64,
 }
 
 impl IoStatsSnapshot {
@@ -99,6 +111,7 @@ impl IoStatsSnapshot {
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             allocations: self.allocations.saturating_sub(earlier.allocations),
+            pins: self.pins.saturating_sub(earlier.pins),
         }
     }
 
@@ -109,6 +122,45 @@ impl IoStatsSnapshot {
         } else {
             1.0 - (self.physical_reads as f64 / self.logical_reads as f64)
         }
+    }
+}
+
+/// Cheap cloneable handle onto one pool's counters, for observability
+/// layers that sample page reads/misses/pins without holding the pool
+/// itself (obtained via `BufferPool::counters`).
+///
+/// Reads are single relaxed atomic loads; cloning is one `Arc` clone.
+/// The handle stays valid (and keeps its final values) after the pool
+/// is dropped.
+#[derive(Debug, Clone)]
+pub struct PoolCounters {
+    stats: Arc<IoStats>,
+}
+
+impl PoolCounters {
+    /// Wraps a pool's shared counters.
+    pub(crate) fn new(stats: Arc<IoStats>) -> Self {
+        PoolCounters { stats }
+    }
+
+    /// Buffer-pool page requests (hits + misses).
+    pub fn page_reads(&self) -> u64 {
+        self.stats.logical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Buffer misses (pages read from the backend).
+    pub fn misses(&self) -> u64 {
+        self.stats.physical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Frame pins acquired (cumulative).
+    pub fn pins(&self) -> u64 {
+        self.stats.pins.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
     }
 }
 
@@ -140,12 +192,14 @@ mod tests {
         s.record_physical_write();
         s.record_eviction();
         s.record_allocation();
+        s.record_pin();
         let snap = s.snapshot();
         assert_eq!(snap.logical_reads, 2);
         assert_eq!(snap.physical_reads, 1);
         assert_eq!(snap.physical_writes, 1);
         assert_eq!(snap.evictions, 1);
         assert_eq!(snap.allocations, 1);
+        assert_eq!(snap.pins, 1);
         s.reset();
         assert_eq!(s.snapshot(), IoStatsSnapshot::default());
     }
@@ -172,5 +226,22 @@ mod tests {
         assert_eq!(all_miss.hit_ratio(), 0.0);
         let half = IoStatsSnapshot { logical_reads: 4, physical_reads: 2, ..Default::default() };
         assert!((half.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_counters_track_shared_stats() {
+        let stats = Arc::new(IoStats::new());
+        let handle = PoolCounters::new(stats.clone());
+        let clone = handle.clone();
+        stats.record_logical();
+        stats.record_physical_read();
+        stats.record_pin();
+        stats.record_pin();
+        assert_eq!(handle.page_reads(), 1);
+        assert_eq!(handle.misses(), 1);
+        assert_eq!(clone.pins(), 2);
+        drop(stats);
+        // The handle outlives its pool and keeps the final values.
+        assert_eq!(clone.snapshot().pins, 2);
     }
 }

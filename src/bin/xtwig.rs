@@ -7,8 +7,10 @@
 //! ```text
 //! xtwig query   <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]
 //! xtwig query   --index idx.xtwig '<xpath>' [--strategy ...] [--explain]
-//! xtwig explain <file.xml> '<xpath>' [--shards N]
-//! xtwig explain --index idx.xtwig '<xpath>'
+//! xtwig explain <file.xml> '<xpath>' [--analyze] [--shards N]
+//! xtwig explain --index idx.xtwig '<xpath>' [--analyze]
+//! xtwig advise  <file.xml> '<xpath>' ['<xpath>' ...] [--shards N]
+//! xtwig advise  --index idx.xtwig '<xpath>' ['<xpath>' ...]
 //! xtwig build   [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]
 //! xtwig bench   <file.xml> '<xpath>' [--shards N]   # run against every strategy
 //! xtwig stats   <file.xml> [--shards N]             # dataset + index statistics
@@ -21,7 +23,16 @@
 //! the whole ranking — estimated page reads, probes and rows per
 //! strategy — next to the chosen merge/INLJ plan, and runs against a
 //! persisted index **without rebuilding anything** (statistics and tree
-//! shapes are stored in the index catalog).
+//! shapes are stored in the index catalog). `--analyze` additionally
+//! *executes* the query traced under every ranked strategy, printing
+//! each pipeline stage's wall time and I/O counters next to the
+//! estimate (EXPLAIN ANALYZE).
+//!
+//! `xtwig advise` closes the feedback loop: it replays the given
+//! queries traced under every built strategy and summarizes the
+//! engine's calibration log — per-strategy estimate accuracy, the worst
+//! misestimates, and which cost-model constant each would rescale. The
+//! report is advisory only; nothing is auto-tuned.
 //!
 //! `--shards N` builds the indexes with the shard-parallel builder
 //! (`QueryEngine::build_parallel`); the resulting indexes are
@@ -45,7 +56,7 @@ use xtwig::xml::{parse_document, NodeId, XmlForest};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig explain <file.xml> '<xpath>' [--shards N]\n  xtwig explain --index idx.xtwig '<xpath>'\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]"
+        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig explain <file.xml> '<xpath>' [--analyze] [--shards N]\n  xtwig explain --index idx.xtwig '<xpath>' [--analyze]\n  xtwig advise <file.xml> '<xpath>' ['<xpath>' ...] [--shards N]\n  xtwig advise --index idx.xtwig '<xpath>' ['<xpath>' ...]\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]"
     );
     ExitCode::from(2)
 }
@@ -155,6 +166,75 @@ fn explain_twig<F: Borrow<XmlForest>>(engine: &QueryEngine<F>, xpath: &str) -> E
             ExitCode::SUCCESS
         }
     }
+}
+
+/// `explain --analyze`: after the estimate ranking, actually execute
+/// the query traced under every ranked (= built) strategy and print
+/// each span tree — per-stage wall time, logical/physical reads,
+/// probes and rows — next to the optimizer's estimate for that
+/// strategy, so mis-estimates are visible at a glance.
+fn analyze_twig<F: Borrow<XmlForest>>(engine: &QueryEngine<F>, xpath: &str) -> ExitCode {
+    let twig = match xtwig::parse_xpath(xpath) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ex = match engine.explain(&twig) {
+        Ok(ex) => ex,
+        Err(e) => {
+            println!("{e}; the result is empty under every strategy");
+            return ExitCode::SUCCESS;
+        }
+    };
+    print_explanation(&ex);
+    for choice in &ex.choices {
+        let (a, trace) = engine.answer_traced(&twig, choice.strategy);
+        // +1 on both sides keeps zero-read queries finite (matches the
+        // calibration log's ratio definition).
+        let ratio = (a.metrics.physical_reads as f64 + 1.0) / (choice.est_page_reads + 1.0);
+        println!(
+            "\n=== {} | {} result(s) | est {:.1} pages, actual {} physical reads (ratio {:.2}x) ===",
+            choice.strategy.label(),
+            a.ids.len(),
+            choice.est_page_reads,
+            a.metrics.physical_reads,
+            ratio,
+        );
+        print!("{}", trace.render());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `xtwig advise`: replay the given queries traced under every built
+/// strategy, then summarize the calibration log the traced runs fed —
+/// the optimizer-feedback loop, surfaced as an advisory report.
+fn run_advise<F: Borrow<XmlForest>>(engine: &QueryEngine<F>, xpaths: &[String]) -> ExitCode {
+    let mut traced = 0usize;
+    for xpath in xpaths {
+        let twig = match xtwig::parse_xpath(xpath) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{xpath}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if engine.explain(&twig).is_err() {
+            // Unknown tag: nothing executes, so no sample to record.
+            println!("skipping {xpath}: empty result under every strategy");
+            continue;
+        }
+        for s in Strategy::ALL {
+            if engine.has_strategy(s) {
+                let _ = engine.answer_traced(&twig, s);
+                traced += 1;
+            }
+        }
+    }
+    println!("traced {traced} execution(s) over {} quer(y/ies)\n", xpaths.len());
+    println!("{}", engine.calibration_log().advise(10));
+    ExitCode::SUCCESS
 }
 
 fn run_query(
@@ -287,26 +367,24 @@ fn run_query_indexed(index: &str, xpath: &str, strategy: Strategy, explain: bool
     ExitCode::SUCCESS
 }
 
-/// `xtwig explain`: compile, rank every built strategy with the cost
-/// model, and print estimates next to the chosen plan. Over `--index`
-/// this never rebuilds: the statistics and tree shapes come from the
-/// persisted catalog (the open report's zero-allocation assertion
-/// guards it, as for `query --index`).
-fn run_explain_indexed(index: &str, xpath: &str) -> ExitCode {
+/// Reopens a persisted index for a read-only subcommand, asserting the
+/// zero-rebuild invariant (shared by `explain --index` and
+/// `advise --index`; `query --index` keeps its richer report line).
+fn open_index(index: &str) -> Result<QueryEngine, ExitCode> {
     let started = std::time::Instant::now();
     let (engine, report) = match QueryEngine::open_with_report(index) {
         Ok(opened) => opened,
         Err(e) => {
             eprintln!("cannot open {index}: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
     if report.open_allocations != 0 {
         eprintln!(
-            "BUG: open allocated {} index page(s) — explain must not rebuild",
+            "BUG: open allocated {} index page(s) — reopen must not rebuild",
             report.open_allocations
         );
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     }
     println!(
         "opened {index}: {} pages, 0 pages built, [{}] in {:.2?}",
@@ -314,7 +392,20 @@ fn run_explain_indexed(index: &str, xpath: &str) -> ExitCode {
         report.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join(", "),
         started.elapsed(),
     );
-    explain_twig(&engine, xpath)
+    Ok(engine)
+}
+
+/// `xtwig explain`: compile, rank every built strategy with the cost
+/// model, and print estimates next to the chosen plan. Over `--index`
+/// this never rebuilds: the statistics and tree shapes come from the
+/// persisted catalog (the open report's zero-allocation assertion
+/// guards it, as for `query --index`).
+fn run_explain_indexed(index: &str, xpath: &str, analyze: bool) -> ExitCode {
+    match open_index(index) {
+        Ok(engine) if analyze => analyze_twig(&engine, xpath),
+        Ok(engine) => explain_twig(&engine, xpath),
+        Err(code) => code,
+    }
 }
 
 fn run_bench(forest: &XmlForest, xpath: &str, shards: usize) -> ExitCode {
@@ -454,10 +545,11 @@ fn main() -> ExitCode {
             }
         }
         "explain" => {
+            let analyze = args.iter().any(|a| a == "--analyze");
             if let Some(index) = flag_value(&args, "--index") {
                 let ops = operands(&args[1..]);
                 let Some(xpath) = ops.first() else { return usage() };
-                return run_explain_indexed(index, xpath);
+                return run_explain_indexed(index, xpath, analyze);
             }
             let ops = operands(&args[1..]);
             let (Some(path), Some(xpath)) = (ops.first(), ops.get(1)) else { return usage() };
@@ -468,7 +560,41 @@ fn main() -> ExitCode {
                         EngineOptions { pool_pages: 5_120, ..Default::default() },
                         shards_from(),
                     );
-                    explain_twig(&engine, xpath)
+                    if analyze {
+                        analyze_twig(&engine, xpath)
+                    } else {
+                        explain_twig(&engine, xpath)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "advise" => {
+            if let Some(index) = flag_value(&args, "--index") {
+                let ops = operands(&args[1..]);
+                if ops.is_empty() {
+                    return usage();
+                }
+                return match open_index(index) {
+                    Ok(engine) => run_advise(&engine, &ops),
+                    Err(code) => code,
+                };
+            }
+            let ops = operands(&args[1..]);
+            if ops.len() < 2 {
+                return usage();
+            }
+            match load(&ops[0]) {
+                Ok(forest) => {
+                    let engine = QueryEngine::build_parallel(
+                        &forest,
+                        EngineOptions { pool_pages: 5_120, ..Default::default() },
+                        shards_from(),
+                    );
+                    run_advise(&engine, &ops[1..])
                 }
                 Err(e) => {
                     eprintln!("{e}");

@@ -49,6 +49,7 @@
 //! | [`btree`] | `xtwig-btree` | disk-format B+-tree with prefix scans and bulk load |
 //! | [`rel`] | `xtwig-rel` | values, order-preserving codec, heap files, join operators |
 //! | [`core`] | `xtwig-core` | ROOTPATHS, DATAPATHS, the index family, baselines, planner, engine |
+//! | [`obs`] | `xtwig-obs` | query observability: span traces and per-stage I/O counters |
 //! | [`opt`] | `xtwig-opt` | cost-based strategy selection: estimator, per-strategy cost model |
 //! | [`service`] | `xtwig-service` | concurrent query service: worker pool, plan/result caches, batching |
 //! | [`datagen`] | `xtwig-datagen` | XMark-like and DBLP-like generators, the Q1–Q15 workload |
@@ -58,6 +59,7 @@ pub use xtwig_bench as bench;
 pub use xtwig_btree as btree;
 pub use xtwig_core as core;
 pub use xtwig_datagen as datagen;
+pub use xtwig_obs as obs;
 pub use xtwig_opt as opt;
 pub use xtwig_rel as rel;
 pub use xtwig_service as service;

@@ -1,0 +1,288 @@
+//! End-to-end observability: traced execution must be purely
+//! observational (identical answers and cost counters to the untraced
+//! path, on every strategy and corpus), span shapes must be stable for
+//! a fixed query, the service's Prometheus-style metrics text must
+//! expose monotonic counters and well-formed histograms, the slow-query
+//! log must evict at capacity, and traced runs must feed the
+//! calibration log with value-elided shapes.
+
+use std::collections::BTreeMap;
+use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
+use xtwig::parse_xpath;
+use xtwig::service::{ServiceOptions, TwigService};
+use xtwig::xml::tree::fig1_book_document;
+use xtwig::xml::XmlForest;
+
+struct Corpus {
+    name: &'static str,
+    forest: XmlForest,
+    queries: Vec<String>,
+}
+
+fn multi_book_forest() -> XmlForest {
+    let mut f = XmlForest::new();
+    for i in 0..6 {
+        let mut b = f.builder();
+        b.open("book");
+        b.leaf("title", if i % 2 == 0 { "XML" } else { "SQL" });
+        b.open("allauthors");
+        b.open("author");
+        b.leaf("fn", "jane");
+        b.leaf("ln", if i == 3 { "doe" } else { "poe" });
+        b.close();
+        b.close();
+        b.close();
+        b.finish();
+    }
+    f
+}
+
+fn corpora() -> Vec<Corpus> {
+    let mut out = Vec::new();
+    out.push(Corpus {
+        name: "fig1",
+        forest: fig1_book_document(),
+        queries: [
+            "/book[title='XML']//author[fn='jane'][ln='doe']",
+            "/book/allauthors/author/fn[. = 'jane']",
+            "//section/head",
+            "//title",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    });
+    out.push(Corpus {
+        name: "books",
+        forest: multi_book_forest(),
+        queries: ["/book[title='XML']//author[fn='jane'][ln='doe']", "//author[fn = 'jane']/ln"]
+            .map(str::to_owned)
+            .to_vec(),
+    });
+    let mut xmark = XmlForest::new();
+    xtwig::datagen::generate_xmark(
+        &mut xmark,
+        xtwig::datagen::XmarkConfig { scale: 0.002, seed: 7 },
+    );
+    out.push(Corpus {
+        name: "xmark",
+        forest: xmark,
+        queries: xtwig::datagen::xmark_queries()
+            .iter()
+            .take(5)
+            .map(|bq| bq.xpath.to_owned())
+            .collect(),
+    });
+    out
+}
+
+fn engine(forest: &XmlForest) -> QueryEngine<&XmlForest> {
+    QueryEngine::build(forest, EngineOptions { pool_pages: 2048, ..Default::default() })
+}
+
+/// Tracing is observation, not behavior: on every corpus, every query,
+/// every concrete strategy plus `Auto`, the traced answer carries the
+/// same ids, resolved strategy, probes, rows and logical reads as the
+/// untraced one, and the trace actually covers the pipeline.
+/// (Physical reads are deliberately not compared: the first of the two
+/// runs warms the buffer pool for the second.)
+#[test]
+fn traced_answers_match_untraced_on_every_strategy_and_corpus() {
+    for corpus in corpora() {
+        let e = engine(&corpus.forest);
+        for q in &corpus.queries {
+            let twig = parse_xpath(q).unwrap();
+            for s in Strategy::ALL.iter().copied().chain([Strategy::Auto]) {
+                let plain = e.answer(&twig, s);
+                let (traced, trace) = e.answer_traced(&twig, s);
+                let ctx = format!("{} {q} [{}]", corpus.name, s.label());
+                assert_eq!(plain.ids, traced.ids, "{ctx}: ids diverged");
+                assert_eq!(plain.strategy, traced.strategy, "{ctx}: resolved strategy diverged");
+                assert_eq!(plain.plan, traced.plan, "{ctx}: plan diverged");
+                assert_eq!(plain.metrics.probes, traced.metrics.probes, "{ctx}: probes");
+                assert_eq!(plain.metrics.rows_fetched, traced.metrics.rows_fetched, "{ctx}: rows");
+                assert_eq!(
+                    plain.metrics.logical_reads, traced.metrics.logical_reads,
+                    "{ctx}: logical reads"
+                );
+                assert!(!trace.is_empty(), "{ctx}: no spans");
+                for name in ["query", "plan", "resolve", "execute"] {
+                    assert!(trace.find(name).is_some(), "{ctx}: missing span {name}");
+                }
+                // An empty-input step short-circuits before the final
+                // collect, so materialize only appears on full runs.
+                if !traced.ids.is_empty() {
+                    assert!(trace.find("materialize").is_some(), "{ctx}: missing materialize");
+                }
+                // The execute span's counters must equal the answer's
+                // own metrics — one source of truth, surfaced twice.
+                let exec = trace.total("execute");
+                assert_eq!(exec.probes, traced.metrics.probes, "{ctx}: span probes");
+                assert_eq!(exec.logical_reads, traced.metrics.logical_reads, "{ctx}: span reads");
+            }
+        }
+    }
+}
+
+/// The span *shape* (names, nesting, details — no timings) of a fixed
+/// query is deterministic: identical across repeated runs and across
+/// independently built engines, and pinned to a literal so accidental
+/// pipeline-structure changes show up in review.
+#[test]
+fn span_shape_is_stable_for_a_fixed_query() {
+    let forest = fig1_book_document();
+    let e = engine(&forest);
+    let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+    let (_, first) = e.answer_traced(&twig, Strategy::RootPaths);
+    let (_, again) = e.answer_traced(&twig, Strategy::RootPaths);
+    assert_eq!(first.shape(), again.shape(), "same engine, same query: shape changed");
+
+    let forest2 = fig1_book_document();
+    let e2 = engine(&forest2);
+    let (_, other) = e2.answer_traced(&twig, Strategy::RootPaths);
+    assert_eq!(first.shape(), other.shape(), "independent engine: shape changed");
+
+    assert_eq!(
+        first.shape(),
+        "query(RP)\n\
+         \u{20}\u{20}plan(Merge, 3 steps)\n\
+         \u{20}\u{20}resolve(RP)\n\
+         \u{20}\u{20}execute(RP)\n\
+         \u{20}\u{20}\u{20}\u{20}step(#0 subpath 0 probe)\n\
+         \u{20}\u{20}\u{20}\u{20}step(#1 subpath 1 join)\n\
+         \u{20}\u{20}\u{20}\u{20}step(#2 subpath 2 semi-join)\n\
+         \u{20}\u{20}\u{20}\u{20}materialize(output node 2)\n",
+    );
+}
+
+/// Splits Prometheus exposition text into (metric-with-labels, value)
+/// samples, skipping `# HELP`/`# TYPE` comment lines.
+fn parse_samples(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("unparsable value: {line}"));
+        assert!(out.insert(name.to_owned(), value).is_none(), "duplicate sample {name}");
+    }
+    out
+}
+
+/// `metrics_text` parses as one sample per line, counters never move
+/// backwards between scrapes, and the latency histogram is well-formed
+/// (cumulative buckets, `+Inf` == `_count`).
+#[test]
+fn metrics_text_parses_and_counters_are_monotonic() {
+    let service = TwigService::build(
+        fig1_book_document(),
+        EngineOptions { pool_pages: 256, ..Default::default() },
+        ServiceOptions { workers: 2, result_cache_capacity: 0, ..Default::default() },
+    );
+    let queries = ["/book[title='XML']//author[fn='jane'][ln='doe']", "//section/head", "//title"];
+    for q in &queries[..2] {
+        let twig = parse_xpath(q).unwrap();
+        service.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+    }
+    let first = parse_samples(&service.metrics_text());
+    for q in &queries {
+        let twig = parse_xpath(q).unwrap();
+        service.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+    }
+    let second = parse_samples(&service.metrics_text());
+
+    assert!(first.keys().any(|k| k.starts_with("xtwig_queries_completed_total")));
+    assert!(first.keys().any(|k| k.starts_with("xtwig_pool_page_reads_total{pool=")));
+    for (name, &before) in &first {
+        // Gauges (queue depth) may legitimately go down; everything
+        // else in the exposition is a counter or histogram component.
+        if name.starts_with("xtwig_queue_depth") {
+            continue;
+        }
+        let after = *second.get(name).unwrap_or_else(|| panic!("{name} vanished from scrape"));
+        assert!(after >= before, "{name} went backwards: {before} -> {after}");
+    }
+    assert_eq!(second["xtwig_queries_completed_total"], 5.0);
+
+    // Histogram (per strategy): cumulative over le, +Inf == _count.
+    let mut buckets: Vec<(f64, f64)> = second
+        .iter()
+        .filter_map(|(k, &v)| {
+            let le = k.strip_prefix("xtwig_query_latency_micros_bucket{strategy=\"RP\",le=\"")?;
+            let le = le.strip_suffix("\"}")?;
+            Some((if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() }, v))
+        })
+        .collect();
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    assert!(!buckets.is_empty(), "no latency buckets emitted");
+    for pair in buckets.windows(2) {
+        assert!(pair[1].1 >= pair[0].1, "bucket counts not cumulative");
+    }
+    assert_eq!(
+        buckets.last().unwrap().1,
+        second["xtwig_query_latency_micros_count{strategy=\"RP\"}"]
+    );
+    service.shutdown();
+}
+
+/// The slow-query ring keeps the newest `slow_query_capacity` entries,
+/// evicting the oldest, while the total counter keeps counting every
+/// capture — and each entry carries a rendered span tree.
+#[test]
+fn slow_query_log_evicts_at_capacity() {
+    let service = TwigService::build(
+        fig1_book_document(),
+        EngineOptions { pool_pages: 256, ..Default::default() },
+        ServiceOptions {
+            workers: 1,
+            result_cache_capacity: 0,
+            slow_query_micros: Some(0), // every execution is "slow"
+            slow_query_capacity: 2,
+            ..Default::default()
+        },
+    );
+    let queries = ["//title", "//section/head", "//author[fn = 'jane']/ln", "/book/title"];
+    for q in queries {
+        let twig = parse_xpath(q).unwrap();
+        service.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+    }
+    let slow = service.slow_queries();
+    assert_eq!(slow.len(), 2, "ring must hold exactly its capacity");
+    // Newest two survive, oldest two were evicted.
+    assert!(slow[0].query.contains("author"), "kept: {}", slow[0].query);
+    assert!(slow[1].query.contains("title"), "kept: {}", slow[1].query);
+    for entry in &slow {
+        assert_eq!(entry.strategy, Strategy::RootPaths);
+        assert!(entry.spans.contains("execute"), "entry lacks its span tree");
+    }
+    let samples = parse_samples(&service.metrics_text());
+    assert_eq!(samples["xtwig_slow_queries_total"], 4.0, "total must count evicted captures too");
+    service.shutdown();
+}
+
+/// Traced executions feed the engine's calibration log with
+/// literal-elided shapes; untraced executions do not.
+#[test]
+fn traced_runs_feed_the_calibration_log() {
+    let forest = fig1_book_document();
+    let e = engine(&forest);
+    let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+
+    e.answer(&twig, Strategy::RootPaths);
+    assert!(e.calibration_log().is_empty(), "untraced run must not record samples");
+
+    e.answer_traced(&twig, Strategy::RootPaths);
+    e.answer_traced(&twig, Strategy::DataPaths);
+    let samples = e.calibration_log().samples();
+    assert_eq!(samples.len(), 2);
+    for s in &samples {
+        // Literals elided, output node starred — two ways the shape key
+        // proves it aggregates across constants.
+        assert!(s.shape.contains("=?"), "literal not elided: {}", s.shape);
+        assert!(s.shape.contains('*'), "output not starred: {}", s.shape);
+        assert!(s.shape.contains("author"), "wrong shape: {}", s.shape);
+    }
+    let report = e.calibration_log().advise(5).to_string();
+    assert!(report.contains("RP"), "advise must cover the traced strategies: {report}");
+    assert!(report.contains("advisory"), "advise must declare itself advisory: {report}");
+}
