@@ -1,4 +1,4 @@
-//! Join Indices (paper §5.1.2, §5.2.6, [Valduriez]).
+//! Join Indices (paper §5.1.2, §5.2.6, Valduriez).
 //!
 //! A join index materializes the endpoint pairs of a path expression:
 //! only the **starting and ending node id** of each instance are stored.

@@ -1,0 +1,186 @@
+//! A blocking client for the xtwig wire protocol: one TCP connection,
+//! strict request/response alternation.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{ErrorCode, Request, Response, WireOp};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// The response frame arrived but did not decode.
+    Decode(String),
+    /// The server answered with a typed error.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Decode(m) => write!(f, "undecodable response: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A decoded query answer (the client-side view of
+/// [`crate::proto::Response::Answer`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireAnswer {
+    /// Strategy that answered (concrete, even for `auto` requests).
+    pub strategy: String,
+    /// The relational plan kind that ran.
+    pub plan: String,
+    /// Served from the server's result cache.
+    pub from_cache: bool,
+    /// Server-side execution time in microseconds.
+    pub micros: u64,
+    /// Distinct ids bound to the output node, ascending.
+    pub ids: Vec<u64>,
+}
+
+/// One connection to an xtwig server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, None)
+    }
+
+    /// Connects with read/write timeouts so a wedged server cannot hang
+    /// the caller (used by the CI smoke harness).
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let (op, payload) = req.encode();
+        write_frame(&mut self.writer, op, &payload)?;
+        let frame = read_frame(&mut self.reader)?;
+        Response::decode(&frame).map_err(|e| ClientError::Decode(e.0))
+    }
+
+    fn expect_text(resp: Response) -> Result<String, ClientError> {
+        match resp {
+            Response::Text(t) => Ok(t),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Answers `xpath` against index `index` under `strategy` (a label
+    /// like `RP` or `auto`).
+    pub fn query(
+        &mut self,
+        index: &str,
+        xpath: &str,
+        strategy: &str,
+    ) -> Result<WireAnswer, ClientError> {
+        let req = Request::Query {
+            index: index.to_owned(),
+            xpath: xpath.to_owned(),
+            strategy: strategy.to_owned(),
+        };
+        match self.call(&req)? {
+            Response::Answer { strategy, plan, from_cache, micros, ids } => {
+                Ok(WireAnswer { strategy, plan, from_cache, micros, ids })
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The server's strategy ranking for `xpath`, rendered.
+    pub fn explain(&mut self, index: &str, xpath: &str) -> Result<String, ClientError> {
+        let req = Request::Explain { index: index.to_owned(), xpath: xpath.to_owned() };
+        Self::expect_text(self.call(&req)?)
+    }
+
+    /// Applies a maintenance transaction; returns the new generation.
+    pub fn update(&mut self, index: &str, ops: Vec<WireOp>) -> Result<u64, ClientError> {
+        let req = Request::Update { index: index.to_owned(), ops };
+        match self.call(&req)? {
+            Response::UpdateAck { generation } => Ok(generation),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Prometheus text exposition for index `index`.
+    pub fn metrics(&mut self, index: &str) -> Result<String, ClientError> {
+        Self::expect_text(self.call(&Request::Metrics { index: index.to_owned() })?)
+    }
+
+    /// Service-stats JSON for index `index`.
+    pub fn stats(&mut self, index: &str) -> Result<String, ClientError> {
+        Self::expect_text(self.call(&Request::Stats { index: index.to_owned() })?)
+    }
+
+    /// `name\tattached|registered` lines, one per catalog entry.
+    pub fn catalog(&mut self) -> Result<String, ClientError> {
+        Self::expect_text(self.call(&Request::CatalogList)?)
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Sends `bytes` raw on the socket (no framing) and reads one
+    /// response frame — the deliberately-malformed-input probe the CI
+    /// smoke uses to check that garbage gets a typed error, not a hang.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<Response, ClientError> {
+        use std::io::Write;
+        self.writer.write_all(bytes).map_err(FrameError::Io)?;
+        self.writer.flush().map_err(FrameError::Io)?;
+        let frame = read_frame(&mut self.reader)?;
+        Response::decode(&frame).map_err(|e| ClientError::Decode(e.0))
+    }
+}

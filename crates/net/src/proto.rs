@@ -1,0 +1,444 @@
+//! Wire messages: what the opcodes mean and how payloads are encoded.
+//!
+//! Payloads reuse the index file format's primitives
+//! ([`ByteWriter`]/[`ByteReader`] from `xtwig_core::persist`): all
+//! integers little-endian, strings length-prefixed UTF-8. Strategies
+//! travel as their paper labels (`RP`, `DP`, `auto`, …) and update ops
+//! carry tag *names*, not `TagId`s — ids are an engine-local interning
+//! detail a client cannot know; the server resolves names through the
+//! target index's dictionary and answers `UnknownTag` for names the
+//! document never contained.
+//!
+//! Every request names the index it targets (the server fronts a
+//! [`xtwig_service::Catalog`], not one engine), except the
+//! catalog-wide ops `Ping`, `CatalogList`, and `Shutdown`.
+//!
+//! Decoding is strict: unknown opcodes, short payloads, and trailing
+//! bytes are all errors. Strictness is what makes the typed
+//! `Malformed` response possible — a lenient decoder would have to
+//! guess.
+
+use xtwig_core::persist::{ByteReader, ByteWriter, FormatError};
+
+use crate::frame::Frame;
+
+/// One maintenance operation in wire form (see module docs for why
+/// tags are names here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireOp {
+    /// `true` = insert the path, `false` = delete it.
+    pub insert: bool,
+    /// Schema path, root first, as tag names.
+    pub tags: Vec<String>,
+    /// Node-id list, parallel to `tags`.
+    pub ids: Vec<u64>,
+    /// Leaf value of the path's head node.
+    pub value: Option<String>,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Answer `xpath` against index `index` under `strategy` (a label
+    /// accepted by `Strategy::from_str`, e.g. `RP` or `auto`).
+    Query {
+        /// Catalog name of the target index.
+        index: String,
+        /// The twig query, XPath syntax.
+        xpath: String,
+        /// Strategy label.
+        strategy: String,
+    },
+    /// Rank every built strategy for `xpath` (rendered text comes
+    /// back).
+    Explain {
+        /// Catalog name of the target index.
+        index: String,
+        /// The twig query, XPath syntax.
+        xpath: String,
+    },
+    /// Apply a maintenance transaction to index `index`.
+    Update {
+        /// Catalog name of the target index.
+        index: String,
+        /// The operations, applied as one committed batch.
+        ops: Vec<WireOp>,
+    },
+    /// Prometheus text exposition for index `index`.
+    Metrics {
+        /// Catalog name of the target index.
+        index: String,
+    },
+    /// Names of every registered index (`name\tattached` lines).
+    CatalogList,
+    /// Service-stats JSON for index `index`.
+    Stats {
+        /// Catalog name of the target index.
+        index: String,
+    },
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// A query answer.
+    Answer {
+        /// Strategy that answered (concrete, even for `auto`
+        /// submissions).
+        strategy: String,
+        /// The relational plan kind that ran (debug label).
+        plan: String,
+        /// Served from the result cache.
+        from_cache: bool,
+        /// Server-side execution time in microseconds.
+        micros: u64,
+        /// Distinct ids bound to the output node, ascending.
+        ids: Vec<u64>,
+    },
+    /// Rendered text (explain rankings, metrics, stats JSON, catalog
+    /// listings).
+    Text(String),
+    /// Update committed; the index's new invalidation generation.
+    UpdateAck {
+        /// Generation the update published.
+        generation: u64,
+    },
+    /// Typed failure.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Shutdown acknowledged; the server exits after this frame.
+    ShutdownAck,
+}
+
+/// Machine-readable error categories a client can branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request frame decoded but the payload made no sense (or an
+    /// unknown opcode / trailing bytes).
+    Malformed = 1,
+    /// No index with that name in the catalog.
+    UnknownIndex = 2,
+    /// The XPath failed to parse or referenced unknown tags.
+    BadQuery = 3,
+    /// The named strategy is not built in the target index.
+    StrategyNotBuilt = 4,
+    /// Admission control shed this request; retry with backoff.
+    Overloaded = 5,
+    /// The server (or target service) is shutting down.
+    ShuttingDown = 6,
+    /// An update op named a tag the target document never contained.
+    UnknownTag = 7,
+    /// Anything else; the message has the detail.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<ErrorCode, FormatError> {
+        Ok(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownIndex,
+            3 => ErrorCode::BadQuery,
+            4 => ErrorCode::StrategyNotBuilt,
+            5 => ErrorCode::Overloaded,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::UnknownTag,
+            8 => ErrorCode::Internal,
+            other => return Err(FormatError(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownIndex => "unknown-index",
+            ErrorCode::BadQuery => "bad-query",
+            ErrorCode::StrategyNotBuilt => "strategy-not-built",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::UnknownTag => "unknown-tag",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+// Request opcodes.
+const OP_PING: u8 = 0x01;
+const OP_QUERY: u8 = 0x02;
+const OP_EXPLAIN: u8 = 0x04;
+const OP_UPDATE: u8 = 0x05;
+const OP_METRICS: u8 = 0x06;
+const OP_CATALOG_LIST: u8 = 0x07;
+const OP_STATS: u8 = 0x08;
+const OP_SHUTDOWN: u8 = 0x09;
+
+// Response opcodes (high bit set).
+const OP_PONG: u8 = 0x81;
+const OP_ANSWER: u8 = 0x82;
+const OP_TEXT: u8 = 0x83;
+const OP_UPDATE_ACK: u8 = 0x84;
+const OP_ERROR: u8 = 0x85;
+const OP_SHUTDOWN_ACK: u8 = 0x86;
+
+fn push_wire_op(w: &mut ByteWriter, op: &WireOp) {
+    w.push_bool(op.insert);
+    w.push_u32(op.tags.len() as u32);
+    for t in &op.tags {
+        w.push_str(t);
+    }
+    w.push_u32(op.ids.len() as u32);
+    for id in &op.ids {
+        w.push_u64(*id);
+    }
+    match &op.value {
+        Some(v) => {
+            w.push_bool(true);
+            w.push_str(v);
+        }
+        None => w.push_bool(false),
+    }
+}
+
+fn read_wire_op(r: &mut ByteReader<'_>) -> Result<WireOp, FormatError> {
+    let insert = r.bool()?;
+    let ntags = r.u32()? as usize;
+    let mut tags = Vec::with_capacity(ntags.min(1024));
+    for _ in 0..ntags {
+        tags.push(r.str()?);
+    }
+    let nids = r.u32()? as usize;
+    let mut ids = Vec::with_capacity(nids.min(1024));
+    for _ in 0..nids {
+        ids.push(r.u64()?);
+    }
+    let value = if r.bool()? { Some(r.str()?) } else { None };
+    Ok(WireOp { insert, tags, ids, value })
+}
+
+fn done(r: &ByteReader<'_>) -> Result<(), FormatError> {
+    if r.remaining() == 0 {
+        Ok(())
+    } else {
+        Err(FormatError(format!("{} trailing payload bytes", r.remaining())))
+    }
+}
+
+impl Request {
+    /// Serializes into an opcode + payload ready for
+    /// [`crate::frame::write_frame`].
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = ByteWriter::new();
+        let opcode = match self {
+            Request::Ping => OP_PING,
+            Request::Query { index, xpath, strategy } => {
+                w.push_str(index);
+                w.push_str(xpath);
+                w.push_str(strategy);
+                OP_QUERY
+            }
+            Request::Explain { index, xpath } => {
+                w.push_str(index);
+                w.push_str(xpath);
+                OP_EXPLAIN
+            }
+            Request::Update { index, ops } => {
+                w.push_str(index);
+                w.push_u32(ops.len() as u32);
+                for op in ops {
+                    push_wire_op(&mut w, op);
+                }
+                OP_UPDATE
+            }
+            Request::Metrics { index } => {
+                w.push_str(index);
+                OP_METRICS
+            }
+            Request::CatalogList => OP_CATALOG_LIST,
+            Request::Stats { index } => {
+                w.push_str(index);
+                OP_STATS
+            }
+            Request::Shutdown => OP_SHUTDOWN,
+        };
+        (opcode, w.finish())
+    }
+
+    /// Decodes a received frame. Any failure here becomes a
+    /// [`ErrorCode::Malformed`] response on the server.
+    pub fn decode(frame: &Frame) -> Result<Request, FormatError> {
+        let mut r = ByteReader::new(&frame.payload);
+        let req = match frame.opcode {
+            OP_PING => Request::Ping,
+            OP_QUERY => Request::Query { index: r.str()?, xpath: r.str()?, strategy: r.str()? },
+            OP_EXPLAIN => Request::Explain { index: r.str()?, xpath: r.str()? },
+            OP_UPDATE => {
+                let index = r.str()?;
+                let n = r.u32()? as usize;
+                let mut ops = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ops.push(read_wire_op(&mut r)?);
+                }
+                Request::Update { index, ops }
+            }
+            OP_METRICS => Request::Metrics { index: r.str()? },
+            OP_CATALOG_LIST => Request::CatalogList,
+            OP_STATS => Request::Stats { index: r.str()? },
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(FormatError(format!("unknown request opcode {other:#04x}"))),
+        };
+        done(&r)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes into an opcode + payload ready for
+    /// [`crate::frame::write_frame`].
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut w = ByteWriter::new();
+        let opcode = match self {
+            Response::Pong => OP_PONG,
+            Response::Answer { strategy, plan, from_cache, micros, ids } => {
+                w.push_str(strategy);
+                w.push_str(plan);
+                w.push_bool(*from_cache);
+                w.push_u64(*micros);
+                w.push_u32(ids.len() as u32);
+                for id in ids {
+                    w.push_u64(*id);
+                }
+                OP_ANSWER
+            }
+            Response::Text(text) => {
+                w.push_str(text);
+                OP_TEXT
+            }
+            Response::UpdateAck { generation } => {
+                w.push_u64(*generation);
+                OP_UPDATE_ACK
+            }
+            Response::Error { code, message } => {
+                w.push_u8(*code as u8);
+                w.push_str(message);
+                OP_ERROR
+            }
+            Response::ShutdownAck => OP_SHUTDOWN_ACK,
+        };
+        (opcode, w.finish())
+    }
+
+    /// Decodes a received frame.
+    pub fn decode(frame: &Frame) -> Result<Response, FormatError> {
+        let mut r = ByteReader::new(&frame.payload);
+        let resp = match frame.opcode {
+            OP_PONG => Response::Pong,
+            OP_ANSWER => {
+                let strategy = r.str()?;
+                let plan = r.str()?;
+                let from_cache = r.bool()?;
+                let micros = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut ids = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    ids.push(r.u64()?);
+                }
+                Response::Answer { strategy, plan, from_cache, micros, ids }
+            }
+            OP_TEXT => Response::Text(r.str()?),
+            OP_UPDATE_ACK => Response::UpdateAck { generation: r.u64()? },
+            OP_ERROR => {
+                let code = ErrorCode::from_u8(r.u8()?)?;
+                Response::Error { code, message: r.str()? }
+            }
+            OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            other => return Err(FormatError(format!("unknown response opcode {other:#04x}"))),
+        };
+        done(&r)?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let (opcode, payload) = req.encode();
+        let back = Request::decode(&Frame { opcode, payload }).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let (opcode, payload) = resp.encode();
+        let back = Response::decode(&Frame { opcode, payload }).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Query {
+            index: "xmark".into(),
+            xpath: "//author[fn='jane']".into(),
+            strategy: "auto".into(),
+        });
+        roundtrip_request(Request::Explain { index: "a".into(), xpath: "//b".into() });
+        roundtrip_request(Request::Update {
+            index: "a".into(),
+            ops: vec![
+                WireOp {
+                    insert: true,
+                    tags: vec!["book".into(), "title".into()],
+                    ids: vec![900, 901],
+                    value: Some("Twigs".into()),
+                },
+                WireOp { insert: false, tags: vec!["book".into()], ids: vec![900], value: None },
+            ],
+        });
+        roundtrip_request(Request::Metrics { index: "a".into() });
+        roundtrip_request(Request::CatalogList);
+        roundtrip_request(Request::Stats { index: "a".into() });
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Answer {
+            strategy: "RP".into(),
+            plan: "Merge".into(),
+            from_cache: true,
+            micros: 42,
+            ids: vec![1, 5, 9],
+        });
+        roundtrip_response(Response::Text("xtwig_queries_submitted_total 3\n".into()));
+        roundtrip_response(Response::UpdateAck { generation: 7 });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "1024 in flight".into(),
+        });
+        roundtrip_response(Response::ShutdownAck);
+    }
+
+    #[test]
+    fn unknown_opcodes_and_trailing_bytes_are_malformed() {
+        assert!(Request::decode(&Frame { opcode: 0x7f, payload: vec![] }).is_err());
+        assert!(Response::decode(&Frame { opcode: 0x01, payload: vec![] }).is_err());
+        let (opcode, mut payload) = Request::Ping.encode();
+        payload.push(0);
+        assert!(Request::decode(&Frame { opcode, payload }).is_err(), "trailing byte");
+    }
+}

@@ -1,0 +1,340 @@
+//! The TCP server: an accept loop, one thread per connection, and the
+//! request handler that bridges wire messages onto the catalog.
+//!
+//! Threading model: each connection's thread *is* its dispatcher —
+//! requests run on it via [`TwigService::execute`] (the service's
+//! direct-dispatch door), so the server adds no queue of its own, and
+//! back-pressure is exactly the service's admission budget: when it is
+//! exhausted the client sees a typed `Overloaded` response immediately
+//! instead of a silently growing backlog.
+//!
+//! Error discipline per connection: a payload that *decodes wrong* gets
+//! a typed `Malformed` response and the connection keeps serving
+//! (framing is intact); a frame that *frames wrong* (bad magic,
+//! oversized length) gets the typed response and then the connection is
+//! dropped, because byte alignment is unrecoverable.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use xtwig_core::parse_xpath;
+use xtwig_core::Strategy;
+use xtwig_service::{Catalog, CatalogError, ServiceError, TwigService, UpdateOp};
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{ErrorCode, Request, Response, WireOp};
+
+/// A running TCP front end over a [`Catalog`].
+pub struct Server {
+    listener: TcpListener,
+    catalog: Arc<Catalog>,
+    stop: Arc<AtomicBool>,
+    /// Stream clones for every live connection, so shutdown can unblock
+    /// readers parked in `read_frame`.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+/// A handle that can stop a [`Server`] from another thread (the server
+/// itself blocks in [`Server::run`]).
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and unblocks the accept loop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) over the
+    /// given catalog.
+    pub fn bind(addr: &str, catalog: Arc<Catalog>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            catalog,
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle { addr: self.local_addr()?, stop: self.stop.clone() })
+    }
+
+    /// Serves until a client sends `Shutdown` or [`ServerHandle::stop`]
+    /// fires; then closes every live connection, joins their threads,
+    /// and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut joins = Vec::new();
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.stop.load(Ordering::SeqCst) {
+                break; // the wake-up connection itself, or raced stop
+            }
+            if let Ok(clone) = stream.try_clone() {
+                self.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+            }
+            let catalog = self.catalog.clone();
+            let stop = self.stop.clone();
+            let addr = self.local_addr()?;
+            joins.push(std::thread::spawn(move || {
+                serve_connection(stream, &catalog, &stop, addr);
+            }));
+        }
+        // Unblock every connection thread still parked in read_frame.
+        for conn in self.conns.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for j in joins {
+            let _ = j.join();
+        }
+        Ok(())
+    }
+}
+
+/// One connection's serve loop; returns when the peer hangs up, framing
+/// is lost, or shutdown begins.
+fn serve_connection(
+    stream: TcpStream,
+    catalog: &Catalog,
+    stop: &Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) {
+    // Never let one stuck peer pin a thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(300)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    // Closing on exit must be explicit: the server's shutdown registry
+    // holds another clone of this stream, so merely dropping our
+    // handles would leave the socket open and the peer hanging.
+    let closer = stream.try_clone().ok();
+    let mut reader = std::io::BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    serve_loop(&mut reader, &mut writer, catalog, stop, server_addr);
+    if let Some(s) = closer {
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// The request/response pump; returning ends the connection.
+fn serve_loop(
+    reader: &mut std::io::BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    catalog: &Catalog,
+    stop: &Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(reader) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => return,
+            Err(e @ (FrameError::BadMagic(_) | FrameError::Oversized(_))) => {
+                // Typed rejection, then drop: the byte stream is no
+                // longer frame-aligned, so nothing after it is
+                // trustworthy.
+                let resp = Response::Error { code: ErrorCode::Malformed, message: e.to_string() };
+                let (op, payload) = resp.encode();
+                let _ = write_frame(writer, op, &payload);
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let (resp, shutdown) = match Request::decode(&frame) {
+            Ok(Request::Shutdown) => (Response::ShutdownAck, true),
+            Ok(req) => (handle_request(catalog, &req), false),
+            Err(e) => (
+                // Framing held, payload didn't: answer and keep going.
+                Response::Error { code: ErrorCode::Malformed, message: e.0 },
+                false,
+            ),
+        };
+        let (op, payload) = resp.encode();
+        if write_frame(writer, op, &payload).is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(server_addr); // unblock accept
+            return;
+        }
+    }
+}
+
+/// Maps a catalog lookup failure to its wire category.
+fn catalog_error(e: CatalogError) -> Response {
+    let code = match &e {
+        CatalogError::UnknownIndex(_) => ErrorCode::UnknownIndex,
+        CatalogError::Open { .. } => ErrorCode::Internal,
+    };
+    Response::Error { code, message: e.to_string() }
+}
+
+/// Maps a service-layer failure to its wire category.
+fn service_error(e: ServiceError) -> Response {
+    let code = match &e {
+        ServiceError::Overloaded { .. } => ErrorCode::Overloaded,
+        ServiceError::StrategyNotBuilt(_) => ErrorCode::StrategyNotBuilt,
+        ServiceError::ShuttingDown => ErrorCode::ShuttingDown,
+        ServiceError::DeadlineExceeded | ServiceError::Canceled => ErrorCode::Internal,
+    };
+    Response::Error { code, message: e.to_string() }
+}
+
+/// Executes one decoded request against the catalog. Pure
+/// request-in/response-out — no socket state — so tests can drive it
+/// directly.
+pub fn handle_request(catalog: &Catalog, req: &Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShutdownAck,
+        Request::CatalogList => {
+            let mut out = String::new();
+            for e in catalog.entries() {
+                out.push_str(&e.name);
+                out.push('\t');
+                out.push_str(if e.attached { "attached" } else { "registered" });
+                out.push('\n');
+            }
+            Response::Text(out)
+        }
+        Request::Query { index, xpath, strategy } => {
+            let svc = match catalog.get(index) {
+                Ok(svc) => svc,
+                Err(e) => return catalog_error(e),
+            };
+            let strategy: Strategy = match strategy.parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    return Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: format!("unknown strategy label {strategy:?}"),
+                    }
+                }
+            };
+            let twig = match parse_xpath(xpath) {
+                Ok(t) => t,
+                Err(e) => {
+                    return Response::Error { code: ErrorCode::BadQuery, message: e.to_string() }
+                }
+            };
+            match svc.execute(&twig, strategy) {
+                Ok(answer) => Response::Answer {
+                    strategy: answer.strategy.label().to_owned(),
+                    plan: format!("{:?}", answer.plan),
+                    from_cache: answer.from_cache,
+                    micros: answer.metrics.elapsed.as_micros() as u64,
+                    ids: answer.ids.iter().copied().collect(),
+                },
+                Err(e) => service_error(e),
+            }
+        }
+        Request::Explain { index, xpath } => {
+            let svc = match catalog.get(index) {
+                Ok(svc) => svc,
+                Err(e) => return catalog_error(e),
+            };
+            let twig = match parse_xpath(xpath) {
+                Ok(t) => t,
+                Err(e) => {
+                    return Response::Error { code: ErrorCode::BadQuery, message: e.to_string() }
+                }
+            };
+            match svc.with_engine(|e| e.explain(&twig)) {
+                Ok(ex) => {
+                    let mut out =
+                        format!("plan: {:?} ({} steps)\n", ex.plan.kind, ex.plan.steps.len());
+                    for c in &ex.choices {
+                        out.push_str(&format!(
+                            "{:8} est_page_reads={:.1} est_probes={:.1} est_rows={:.1}\n",
+                            c.strategy.label(),
+                            c.est_page_reads,
+                            c.est_probes,
+                            c.est_rows
+                        ));
+                    }
+                    Response::Text(out)
+                }
+                Err(e) => Response::Error { code: ErrorCode::BadQuery, message: e.to_string() },
+            }
+        }
+        Request::Update { index, ops } => {
+            let svc = match catalog.get(index) {
+                Ok(svc) => svc,
+                Err(e) => return catalog_error(e),
+            };
+            let resolved = match resolve_ops(&svc, ops) {
+                Ok(resolved) => resolved,
+                Err(resp) => return resp,
+            };
+            let generation = svc.apply_update(resolved);
+            Response::UpdateAck { generation }
+        }
+        Request::Metrics { index } => match catalog.get(index) {
+            Ok(svc) => Response::Text(svc.metrics_text()),
+            Err(e) => catalog_error(e),
+        },
+        Request::Stats { index } => match catalog.get(index) {
+            Ok(svc) => Response::Text(svc.stats().to_json("")),
+            Err(e) => catalog_error(e),
+        },
+    }
+}
+
+/// Resolves wire ops (tag *names*) into engine ops (`TagId`s) through
+/// the target index's dictionary. A name the document never contained
+/// is a typed `UnknownTag` error — the wire cannot intern new tags,
+/// because `TagId` assignment is an engine-build detail (a documented
+/// limitation: updates extend existing vocabularies only).
+fn resolve_ops(svc: &TwigService, ops: &[WireOp]) -> Result<Vec<UpdateOp>, Response> {
+    svc.with_engine(|engine| {
+        let dict = engine.forest().dict();
+        ops.iter()
+            .map(|op| {
+                let tags = op
+                    .tags
+                    .iter()
+                    .map(|name| {
+                        dict.lookup(name).ok_or_else(|| Response::Error {
+                            code: ErrorCode::UnknownTag,
+                            message: format!("unknown tag {name:?}"),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if tags.len() != op.ids.len() {
+                    return Err(Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: format!("op has {} tags but {} ids", tags.len(), op.ids.len()),
+                    });
+                }
+                Ok(if op.insert {
+                    UpdateOp::InsertPath { tags, ids: op.ids.clone(), value: op.value.clone() }
+                } else {
+                    UpdateOp::DeletePath { tags, ids: op.ids.clone(), value: op.value.clone() }
+                })
+            })
+            .collect()
+    })
+}

@@ -74,7 +74,7 @@ impl fmt::Display for Strategy {
     }
 }
 
-/// Error for [`Strategy::from_str`]: the string names no known strategy.
+/// Error for `Strategy::from_str`: the string names no known strategy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseStrategyError(pub String);
 

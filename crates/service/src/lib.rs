@@ -42,6 +42,16 @@
 //!   resolves it through the engine's cost model (memoized per shape in
 //!   the plan cache), keys the result cache on the resolved concrete
 //!   strategy, and counts each pick in the stats.
+//! * **Direct dispatch + admission control** — [`TwigService::execute`]
+//!   answers on the caller's thread (the network front end's
+//!   one-connection-one-dispatcher model), and every door — queued or
+//!   direct, single or batch — draws from one bounded [`Admission`]
+//!   budget that sheds load with a typed
+//!   [`ServiceError::Overloaded`] instead of queueing without bound.
+//! * **Multi-index catalog** — a [`Catalog`] serves many persisted
+//!   `.xtwig` indexes by name, opening them on demand and keeping an
+//!   LRU of attached services (eviction never cuts off in-flight
+//!   holders; they keep their `Arc`).
 //!
 //! ## Quickstart
 //!
@@ -63,13 +73,17 @@
 //! service.shutdown();
 //! ```
 
+pub mod admission;
 pub mod cache;
+pub mod catalog;
 pub mod metrics;
 pub mod service;
 pub mod shape;
 pub mod stats;
 
+pub use admission::{Admission, Permit};
 pub use cache::{CacheStats, PlanCache, ResultCache};
+pub use catalog::{Catalog, CatalogEntry, CatalogError, CatalogOptions, CatalogStats};
 pub use metrics::{render_metrics, MetricsRegistry, SlowQuery};
 pub use service::{
     BatchTicket, ServiceAnswer, ServiceError, ServiceOptions, SharedEngine, Ticket, TwigService,

@@ -205,6 +205,18 @@ pub fn render_metrics(
         snapshot.result_cache.misses,
     );
     gauge(&mut out, "xtwig_queue_depth", "Jobs currently queued", snapshot.queue_depth as u64);
+    gauge(
+        &mut out,
+        "xtwig_in_flight",
+        "Queries admitted and not yet resolved",
+        snapshot.in_flight as u64,
+    );
+    counter(
+        &mut out,
+        "xtwig_overloaded_total",
+        "Submissions rejected by admission control",
+        snapshot.overloaded,
+    );
     gauge(&mut out, "xtwig_generation", "Current invalidation generation", snapshot.generation);
 
     // Per-strategy execution costs.

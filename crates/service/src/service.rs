@@ -1,15 +1,27 @@
 //! The concurrent query service: submission API, worker pool, deadlines,
 //! graceful shutdown, and the snapshot-isolated maintenance path.
 //!
-//! Threading model: `submit*` clones the query into a [`Job`] and sends
-//! it down an MPSC channel; `workers` std threads share the receiver
-//! behind a mutex (at most one worker blocks in `recv` at a time — the
-//! others queue briefly on the mutex, which is the textbook shared-
-//! consumer pattern over `std::sync::mpsc`). Each job carries a
-//! [`Ticket`] slot (mutex + condvar) the submitter waits on.
+//! Threading model — two dispatch doors over one execution path, both
+//! behind the same [`Admission`] budget (bounded in-flight queries,
+//! typed [`ServiceError::Overloaded`] rejection):
+//!
+//! * **Direct dispatch** ([`TwigService::execute`] /
+//!   [`TwigService::execute_batch`]): the query runs synchronously on
+//!   the *caller's* thread against a pinned epoch — no queue, no
+//!   handoff, no shared consumer lock. This is how the network front
+//!   end serves: each connection thread dispatches its own queries, so
+//!   concurrency scales with connections and cores instead of
+//!   serializing through one channel (the old shared-`mpsc`-behind-a-
+//!   mutex worker queue was single-core-shaped and is gone).
+//! * **Queued dispatch** ([`TwigService::submit`] and friends): the
+//!   query is cloned into a `Job` pushed onto a condvar-backed deque
+//!   (`JobQueue`) that `workers` std threads drain; each job carries
+//!   a [`Ticket`] slot (mutex + condvar) the submitter waits on.
+//!   Deadlines bound queue residence; shutdown closes the queue and
+//!   drains what is already accepted.
 //!
 //! Concurrency model (MVCC over the copy-on-write page layer): the
-//! engine lives inside an immutable [`EngineEpoch`] — engine plus the
+//! engine lives inside an immutable `EngineEpoch` — engine plus the
 //! generation it serves — behind an `RwLock<Arc<EngineEpoch>>` held
 //! only long enough to clone or swap the `Arc`. Readers **pin** the
 //! current epoch and execute with no lock held, so a query never waits
@@ -23,15 +35,15 @@
 //! the maintenance lock before swapping it in, so a rebuild can never
 //! lose a committed update.
 
+use crate::admission::{Admission, Permit};
 use crate::cache::{PlanCache, ResultCache};
 use crate::metrics::{render_metrics, MetricsRegistry, SlowQuery};
 use crate::shape::{exact_key, shape_key};
 use crate::stats::{ServiceSnapshot, ServiceStats};
 use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
@@ -56,6 +68,15 @@ pub enum ServiceError {
     DeadlineExceeded,
     /// The job was dropped without an answer (worker panic or teardown).
     Canceled,
+    /// The admission budget is exhausted: too many queries in flight.
+    /// Typed so callers (and the wire protocol) can back off instead of
+    /// piling onto an overloaded service.
+    Overloaded {
+        /// Queries in flight when the submission was refused.
+        in_flight: usize,
+        /// The configured [`ServiceOptions::max_in_flight`] bound.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -65,6 +86,9 @@ impl fmt::Display for ServiceError {
             ServiceError::StrategyNotBuilt(s) => write!(f, "strategy {s} was not built"),
             ServiceError::DeadlineExceeded => write!(f, "query deadline exceeded while queued"),
             ServiceError::Canceled => write!(f, "query canceled without an answer"),
+            ServiceError::Overloaded { in_flight, limit } => {
+                write!(f, "service overloaded: {in_flight} queries in flight (limit {limit})")
+            }
         }
     }
 }
@@ -90,6 +114,11 @@ pub struct ServiceOptions {
     pub slow_query_micros: Option<u64>,
     /// Slow-query records retained, oldest evicted first (default 32).
     pub slow_query_capacity: usize,
+    /// Admission bound: queries in flight (queued + executing, across
+    /// both dispatch doors) beyond which submissions are refused with
+    /// [`ServiceError::Overloaded`]. `0` disables the bound (default
+    /// 1024).
+    pub max_in_flight: usize,
 }
 
 impl Default for ServiceOptions {
@@ -102,6 +131,7 @@ impl Default for ServiceOptions {
             default_deadline: None,
             slow_query_micros: None,
             slow_query_capacity: 32,
+            max_in_flight: 1024,
         }
     }
 }
@@ -227,6 +257,73 @@ struct Job {
     kind: JobKind,
     deadline: Option<Instant>,
     slot: Arc<Slot>,
+    /// Admission units held for the whole queued + executing lifetime;
+    /// released when the job is dropped, i.e. exactly when it resolves.
+    _permit: Option<Permit>,
+}
+
+/// The worker queue: a plain deque under a mutex with a condvar, shared
+/// by every worker. This replaced the original `mpsc::Receiver` behind
+/// a `Mutex` (where a worker had to win two locks to take a job and
+/// at most one could block on `recv`): workers park on the condvar and
+/// each push wakes exactly one. Closing the queue wakes everyone;
+/// already-accepted jobs drain before workers exit (graceful shutdown).
+struct JobQueue {
+    inner: StdMutex<JobQueueInner>,
+    cv: Condvar,
+}
+
+struct JobQueueInner {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+impl JobQueue {
+    fn new() -> Arc<JobQueue> {
+        Arc::new(JobQueue {
+            inner: StdMutex::new(JobQueueInner { jobs: VecDeque::new(), open: true }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Enqueues `job`, or hands it back when the queue is closed.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if !inner.open {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Takes the next job, blocking while the queue is open and empty.
+    /// `None` means closed *and* drained — the worker should exit.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops accepting jobs and wakes every parked worker to drain.
+    fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.open = false;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    fn is_open(&self) -> bool {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).open
+    }
 }
 
 impl JobKind {
@@ -381,7 +478,8 @@ fn fork_engine(epoch: &EngineEpoch) -> SharedEngine {
 /// A multi-threaded twig query service over one shared [`SharedEngine`].
 pub struct TwigService {
     shared: Arc<Shared>,
-    sender: Mutex<Option<Sender<Job>>>,
+    queue: Arc<JobQueue>,
+    admission: Arc<Admission>,
     workers: Vec<JoinHandle<()>>,
     default_deadline: Option<Duration>,
 }
@@ -419,21 +517,21 @@ impl TwigService {
             metrics: MetricsRegistry::new(options.slow_query_micros, options.slow_query_capacity),
             available,
         });
-        let (tx, rx) = std::sync::mpsc::channel::<Job>();
-        let rx = Arc::new(StdMutex::new(rx));
+        let queue = JobQueue::new();
         let workers = (0..options.workers.max(1))
             .map(|i| {
                 let shared = shared.clone();
-                let rx = rx.clone();
+                let queue = queue.clone();
                 std::thread::Builder::new()
                     .name(format!("xtwig-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                    .spawn(move || worker_loop(&shared, &queue))
                     .expect("spawn worker thread")
             })
             .collect();
         TwigService {
             shared,
-            sender: Mutex::new(Some(tx)),
+            queue,
+            admission: Admission::new(options.max_in_flight),
             workers,
             default_deadline: options.default_deadline,
         }
@@ -493,20 +591,107 @@ impl TwigService {
         if !available {
             return Err(ServiceError::StrategyNotBuilt(strategy));
         }
-        let sender = self.sender.lock();
-        let Some(tx) = sender.as_ref() else {
+        if !self.queue.is_open() {
             return Err(ServiceError::ShuttingDown);
+        }
+        let queries = kind.query_count();
+        let Some(permit) = self.admission.try_acquire(queries as usize) else {
+            return Err(ServiceError::Overloaded {
+                in_flight: self.admission.in_flight(),
+                limit: self.admission.limit(),
+            });
         };
         let slot = Slot::new();
-        let queries = kind.query_count();
-        let job = Job { kind, deadline: deadline.map(|d| Instant::now() + d), slot: slot.clone() };
+        let job = Job {
+            kind,
+            deadline: deadline.map(|d| Instant::now() + d),
+            slot: slot.clone(),
+            _permit: Some(permit),
+        };
         self.shared.stats.enqueue(queries);
-        if tx.send(job).is_err() {
-            // Unreachable while we hold a live sender, but be safe.
+        if let Err(job) = self.queue.push(job) {
+            // The queue closed between the open check and the push; the
+            // dropped job resolves its slot to Canceled, but no ticket
+            // ever sees it — the caller gets the typed rejection.
             self.shared.stats.dequeue();
+            drop(job);
             return Err(ServiceError::ShuttingDown);
         }
         Ok(slot)
+    }
+
+    /// Answers `twig` synchronously on the **caller's** thread — the
+    /// direct-dispatch door the network front end uses (one connection
+    /// thread = one dispatcher; see the module docs). Shares everything
+    /// with the queued path: the pinned-epoch snapshot discipline, plan
+    /// and result caches, stats, and the admission budget. Rejects with
+    /// [`ServiceError::Overloaded`] when the budget is exhausted and
+    /// [`ServiceError::ShuttingDown`] after shutdown began.
+    pub fn execute(
+        &self,
+        twig: &TwigPattern,
+        strategy: Strategy,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        self.check_strategy_available(strategy)?;
+        if !self.queue.is_open() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let Some(_permit) = self.admission.try_acquire(1) else {
+            return Err(ServiceError::Overloaded {
+                in_flight: self.admission.in_flight(),
+                limit: self.admission.limit(),
+            });
+        };
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        match answer_one(&self.shared, twig, strategy) {
+            Ok(answer) => {
+                self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(answer)
+            }
+            Err(e) => {
+                self.shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`TwigService::execute`] for a batch: answered on the caller's
+    /// thread as one unit against one pinned epoch, with index probes
+    /// deduplicated across the batch's shared PCsubpaths. The whole
+    /// batch draws its member count from the admission budget.
+    pub fn execute_batch(
+        &self,
+        twigs: &[TwigPattern],
+        strategy: Strategy,
+    ) -> Result<Vec<ServiceAnswer>, ServiceError> {
+        self.check_strategy_available(strategy)?;
+        if !self.queue.is_open() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let Some(_permit) = self.admission.try_acquire(twigs.len()) else {
+            return Err(ServiceError::Overloaded {
+                in_flight: self.admission.in_flight(),
+                limit: self.admission.limit(),
+            });
+        };
+        self.shared.stats.submitted.fetch_add(twigs.len() as u64, Ordering::Relaxed);
+        answer_batch(&self.shared, twigs, strategy)
+    }
+
+    /// The submit-time availability check both doors share (see
+    /// `answer_one` for the execution-time recheck that closes the
+    /// rebuild TOCTOU).
+    fn check_strategy_available(&self, strategy: Strategy) -> Result<(), ServiceError> {
+        let available = if strategy.is_auto() {
+            self.shared.available.iter().any(|a| a.load(Ordering::SeqCst))
+        } else {
+            self.shared.available[strategy_index(strategy)].load(Ordering::SeqCst)
+        };
+        if available {
+            Ok(())
+        } else {
+            Err(ServiceError::StrategyNotBuilt(strategy))
+        }
     }
 
     /// Commits a batch of index-maintenance operations atomically and
@@ -627,6 +812,9 @@ impl TwigService {
             memo_misses: s.memo_misses.load(Ordering::Relaxed),
             queue_depth: s.queue_depth.load(Ordering::Relaxed),
             queue_high_water: s.queue_high_water.load(Ordering::Relaxed),
+            in_flight: self.admission.in_flight(),
+            admission_limit: self.admission.limit(),
+            overloaded: self.admission.rejected(),
             generation: self.generation(),
             plan_cache: self.shared.plan_cache.stats(),
             result_cache: self.shared.result_cache.stats(),
@@ -665,7 +853,7 @@ impl TwigService {
     }
 
     fn do_shutdown(&mut self) {
-        *self.sender.lock() = None; // closes the channel once workers drain it
+        self.queue.close(); // rejects new pushes; workers drain what's queued
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -682,18 +870,12 @@ fn strategy_index(strategy: Strategy) -> usize {
     Strategy::ALL.iter().position(|s| *s == strategy).expect("strategy in ALL")
 }
 
-fn worker_loop(shared: &Shared, rx: &StdMutex<Receiver<Job>>) {
-    loop {
-        let job = {
-            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
-            rx.recv()
-        };
-        let Ok(job) = job else {
-            return; // channel closed and drained: shutdown
-        };
+fn worker_loop(shared: &Shared, queue: &JobQueue) {
+    while let Some(job) = queue.pop() {
         shared.stats.dequeue();
         run_job(shared, job);
     }
+    // `pop` returned None: queue closed and drained — shutdown.
 }
 
 fn run_job(shared: &Shared, job: Job) {
@@ -716,50 +898,63 @@ fn run_job(shared: &Shared, job: Job) {
             }
         },
         JobKind::Batch(twigs, strategy) => {
-            // ONE pinned epoch for the whole batch: the memo must not
-            // straddle an update, or matches memoized before it could
-            // be re-served — and cached — under the post-update
-            // generation. The epoch carries its own generation, so the
-            // batch's snapshot and its cache tag cannot disagree.
-            let epoch = shared.pin();
-            let mut memo = ProbeMemo::new();
-            let answers: Result<Vec<ServiceAnswer>, ServiceError> = {
-                // Recheck against the engine actually executing: a
-                // rebuild may have dropped the strategy after submit's
-                // availability check passed (see `answer_one`).
-                if epoch.engine.has_strategy(*strategy) {
-                    Ok(twigs
-                        .iter()
-                        .map(|t| {
-                            answer_pinned(
-                                shared,
-                                &epoch.engine,
-                                t,
-                                *strategy,
-                                Some(&mut memo),
-                                epoch.generation,
-                            )
-                        })
-                        .collect())
-                } else {
-                    Err(ServiceError::StrategyNotBuilt(*strategy))
-                }
-            };
-            match answers {
-                Ok(answers) => {
-                    let memo_stats = memo.stats();
-                    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.batch_queries.fetch_add(queries, Ordering::Relaxed);
-                    shared.stats.memo_hits.fetch_add(memo_stats.hits, Ordering::Relaxed);
-                    shared.stats.memo_misses.fetch_add(memo_stats.misses, Ordering::Relaxed);
-                    shared.stats.completed.fetch_add(queries, Ordering::Relaxed);
-                    job.slot.resolve(Ok(answers));
-                }
-                Err(e) => {
-                    shared.stats.failed.fetch_add(queries, Ordering::Relaxed);
-                    job.slot.resolve(Err(e));
-                }
-            }
+            job.slot.resolve(answer_batch(shared, twigs, *strategy));
+        }
+    }
+}
+
+/// Answers a batch as one unit: one pinned epoch, one shared probe
+/// memo, full completion/failure accounting. Shared by the queued path
+/// (`run_job`) and the direct-dispatch door
+/// ([`TwigService::execute_batch`]).
+fn answer_batch(
+    shared: &Shared,
+    twigs: &[TwigPattern],
+    strategy: Strategy,
+) -> Result<Vec<ServiceAnswer>, ServiceError> {
+    let queries = twigs.len() as u64;
+    // ONE pinned epoch for the whole batch: the memo must not
+    // straddle an update, or matches memoized before it could
+    // be re-served — and cached — under the post-update
+    // generation. The epoch carries its own generation, so the
+    // batch's snapshot and its cache tag cannot disagree.
+    let epoch = shared.pin();
+    let mut memo = ProbeMemo::new();
+    let answers: Result<Vec<ServiceAnswer>, ServiceError> = {
+        // Recheck against the engine actually executing: a
+        // rebuild may have dropped the strategy after submit's
+        // availability check passed (see `answer_one`).
+        if epoch.engine.has_strategy(strategy) {
+            Ok(twigs
+                .iter()
+                .map(|t| {
+                    answer_pinned(
+                        shared,
+                        &epoch.engine,
+                        t,
+                        strategy,
+                        Some(&mut memo),
+                        epoch.generation,
+                    )
+                })
+                .collect())
+        } else {
+            Err(ServiceError::StrategyNotBuilt(strategy))
+        }
+    };
+    match answers {
+        Ok(answers) => {
+            let memo_stats = memo.stats();
+            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            shared.stats.batch_queries.fetch_add(queries, Ordering::Relaxed);
+            shared.stats.memo_hits.fetch_add(memo_stats.hits, Ordering::Relaxed);
+            shared.stats.memo_misses.fetch_add(memo_stats.misses, Ordering::Relaxed);
+            shared.stats.completed.fetch_add(queries, Ordering::Relaxed);
+            Ok(answers)
+        }
+        Err(e) => {
+            shared.stats.failed.fetch_add(queries, Ordering::Relaxed);
+            Err(e)
         }
     }
 }
@@ -927,6 +1122,80 @@ mod tests {
             EngineOptions { pool_pages: 256, ..Default::default() },
             ServiceOptions { workers, ..Default::default() },
         )
+    }
+
+    #[test]
+    fn execute_answers_on_the_caller_thread_and_shares_the_caches() {
+        let svc = small_service(1);
+        let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+        let a = svc.execute(&twig, Strategy::RootPaths).unwrap();
+        assert_eq!(a.ids.len(), 1);
+        assert!(!a.from_cache);
+        // A queued submission of the same query hits the result cache
+        // populated by the direct dispatch — one cache, two doors.
+        let b = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert!(b.from_cache);
+        assert!(Arc::ptr_eq(&a.ids, &b.ids));
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.in_flight, 0, "permits released when queries resolve");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn execute_batch_matches_queued_batch_answers() {
+        let svc = small_service(1);
+        let twigs: Vec<TwigPattern> = ["//author[fn='jane']", "//author[fn='john']"]
+            .iter()
+            .map(|q| parse_xpath(q).unwrap())
+            .collect();
+        let direct = svc.execute_batch(&twigs, Strategy::DataPaths).unwrap();
+        let queued = svc.submit_batch(&twigs, Strategy::DataPaths).unwrap().wait().unwrap();
+        assert_eq!(direct.len(), queued.len());
+        for (d, q) in direct.iter().zip(queued.iter()) {
+            assert_eq!(d.ids, q.ids);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.batch_queries, 4);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn exhausted_admission_budget_rejects_both_doors_and_recovers() {
+        let svc = TwigService::build(
+            fig1_book_document(),
+            EngineOptions { pool_pages: 256, ..Default::default() },
+            ServiceOptions { workers: 1, max_in_flight: 1, ..Default::default() },
+        );
+        let twig = parse_xpath("//author[fn='jane']").unwrap();
+        let hold = svc.admission.try_acquire(1).unwrap();
+        match svc.execute(&twig, Strategy::RootPaths) {
+            Err(ServiceError::Overloaded { in_flight, limit }) => {
+                assert_eq!((in_flight, limit), (1, 1));
+            }
+            other => panic!("expected Overloaded, got {:?}", other.map(|a| a.ids)),
+        }
+        assert!(matches!(
+            svc.submit(&twig, Strategy::RootPaths),
+            Err(ServiceError::Overloaded { .. })
+        ));
+        // A batch larger than the whole budget can never be admitted.
+        let twigs = vec![twig.clone(), twig.clone()];
+        drop(hold);
+        assert!(matches!(
+            svc.execute_batch(&twigs, Strategy::RootPaths),
+            Err(ServiceError::Overloaded { .. })
+        ));
+        // Releasing the unit restores single-query service.
+        let a = svc.execute(&twig, Strategy::RootPaths).unwrap();
+        assert!(!a.ids.is_empty());
+        let stats = svc.stats();
+        assert_eq!(stats.overloaded, 3);
+        assert_eq!(stats.admission_limit, 1);
+        assert_eq!(stats.in_flight, 0);
+        svc.shutdown();
     }
 
     #[test]

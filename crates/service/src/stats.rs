@@ -313,6 +313,13 @@ pub struct ServiceSnapshot {
     pub queue_depth: usize,
     /// Highest queue depth observed.
     pub queue_high_water: usize,
+    /// Queries currently admitted and not yet resolved (queued plus
+    /// executing, across both dispatch doors).
+    pub in_flight: usize,
+    /// The configured admission bound (`0` = unbounded).
+    pub admission_limit: usize,
+    /// Submissions rejected by admission control.
+    pub overloaded: u64,
     /// Current invalidation generation.
     pub generation: u64,
     /// Plan-cache counters.
@@ -380,6 +387,9 @@ impl ServiceSnapshot {
              {indent}  \"memo_misses\": {},\n\
              {indent}  \"queue_depth\": {},\n\
              {indent}  \"queue_high_water\": {},\n\
+             {indent}  \"in_flight\": {},\n\
+             {indent}  \"admission_limit\": {},\n\
+             {indent}  \"overloaded\": {},\n\
              {indent}  \"generation\": {},\n\
              {indent}  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n\
              {indent}  \"result_cache\": {{\"hits\": {}, \"misses\": {}, \"invalidated\": {}, \"hit_rate\": {:.4}}},\n\
@@ -401,6 +411,9 @@ impl ServiceSnapshot {
             self.memo_misses,
             self.queue_depth,
             self.queue_high_water,
+            self.in_flight,
+            self.admission_limit,
+            self.overloaded,
             self.generation,
             self.plan_cache.hits,
             self.plan_cache.misses,
@@ -502,6 +515,9 @@ mod tests {
             memo_misses: 0,
             queue_depth: 0,
             queue_high_water: 1,
+            in_flight: 0,
+            admission_limit: 1024,
+            overloaded: 0,
             generation: 0,
             plan_cache: CacheStats { hits: 1, misses: 1, invalidated: 0 },
             result_cache: CacheStats::default(),

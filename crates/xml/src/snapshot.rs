@@ -7,7 +7,7 @@
 //! would be rebuild work; this module instead serializes the forest's
 //! arena directly — dictionary, value interner, and one fixed-width
 //! record per node — and reconstructs it with a linear replay through
-//! [`TreeBuilder`], which re-derives every invariant (children lists,
+//! [`TreeBuilder`](crate::tree::TreeBuilder), which re-derives every invariant (children lists,
 //! depths, subtree ends) the arena maintains.
 //!
 //! The replay pre-interns both symbol tables in stored order, so

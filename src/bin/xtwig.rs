@@ -15,6 +15,10 @@
 //! xtwig bench   <file.xml> '<xpath>' [--shards N]   # run against every strategy
 //! xtwig stats   <file.xml> [--shards N]             # dataset + index statistics
 //! xtwig demo    ['<xpath>'] [--shards N]            # generated XMark data
+//! xtwig serve   <idx.xtwig>... [--index-dir <dir>] [--addr host:port] [--addr-file <path>]
+//! xtwig client  <addr> ping|catalog|shutdown|badframe
+//! xtwig client  <addr> query <index> '<xpath>' [--strategy auto|RP|...]
+//! xtwig client  <addr> explain|metrics|stats <index> ['<xpath>']
 //! ```
 //!
 //! `--strategy` defaults to `auto`: the cost-based optimizer ranks the
@@ -56,7 +60,7 @@ use xtwig::xml::{parse_document, NodeId, XmlForest};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig explain <file.xml> '<xpath>' [--analyze] [--shards N]\n  xtwig explain --index idx.xtwig '<xpath>' [--analyze]\n  xtwig advise <file.xml> '<xpath>' ['<xpath>' ...] [--shards N]\n  xtwig advise --index idx.xtwig '<xpath>' ['<xpath>' ...]\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]"
+        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig explain <file.xml> '<xpath>' [--analyze] [--shards N]\n  xtwig explain --index idx.xtwig '<xpath>' [--analyze]\n  xtwig advise <file.xml> '<xpath>' ['<xpath>' ...] [--shards N]\n  xtwig advise --index idx.xtwig '<xpath>' ['<xpath>' ...]\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]\n  xtwig serve <idx.xtwig>... [--index-dir <dir>] [--addr host:port] [--addr-file <path>] [--max-in-flight N] [--max-attached N]\n  xtwig client <addr> ping|catalog|shutdown|badframe\n  xtwig client <addr> query <index> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI]\n  xtwig client <addr> explain <index> '<xpath>'\n  xtwig client <addr> metrics|stats <index>"
     );
     ExitCode::from(2)
 }
@@ -468,6 +472,205 @@ fn run_stats(forest: &XmlForest, shards: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `xtwig serve`: register the given `.xtwig` files (and/or every
+/// index in `--index-dir`) in a catalog and serve the wire protocol on
+/// `--addr` until a client sends `shutdown`. `--addr-file` writes the
+/// actually-bound address (port 0 resolves to an ephemeral port) for
+/// harnesses that need to discover it.
+fn run_serve(args: &[String]) -> ExitCode {
+    use xtwig::net::Server;
+    use xtwig::service::{Catalog, CatalogOptions, ServiceOptions};
+
+    let mut options = CatalogOptions::default();
+    if let Some(n) = flag_value(args, "--max-attached") {
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => options.max_attached = n,
+            _ => {
+                eprintln!("--max-attached takes a positive integer, got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--max-in-flight") {
+        match n.parse::<usize>() {
+            Ok(n) => options.service = ServiceOptions { max_in_flight: n, ..options.service },
+            Err(_) => {
+                eprintln!("--max-in-flight takes an integer (0 = unbounded), got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let catalog = if let Some(dir) = flag_value(args, "--index-dir") {
+        match Catalog::scan_dir(dir, options) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot scan {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Catalog::new(options)
+    };
+    for path in operands(args) {
+        let name = std::path::Path::new(&path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        catalog.register(&name, &path);
+    }
+    if catalog.is_empty() {
+        eprintln!("serve needs at least one index (operands or --index-dir)");
+        return ExitCode::from(2);
+    }
+    let addr = flag_value(args, "--addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
+    let server = match Server::bind(addr, std::sync::Arc::new(catalog)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = flag_value(args, "--addr-file") {
+        if let Err(e) = std::fs::write(path, format!("{bound}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("serving on {bound}");
+    match server.run() {
+        Ok(()) => {
+            println!("shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `xtwig client`: one request against a running server, printed.
+/// Every call carries a read timeout so a wedged server produces a
+/// failed exit, never a hang (the CI smoke depends on this).
+fn run_client(args: &[String]) -> ExitCode {
+    use xtwig::net::proto::ErrorCode;
+    use xtwig::net::{Client, ClientError};
+
+    let ops = operands(args);
+    let (Some(addr), Some(cmd)) = (ops.first(), ops.get(1)) else { return usage() };
+    let timeout = Some(std::time::Duration::from_secs(30));
+    let mut client = match Client::connect_with_timeout(addr.as_str(), timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fail = |e: ClientError| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    match cmd.as_str() {
+        "ping" => match client.ping() {
+            Ok(()) => {
+                println!("pong");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "catalog" => match client.catalog() {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        "query" => {
+            let (Some(index), Some(xpath)) = (ops.get(2), ops.get(3)) else { return usage() };
+            let strategy = flag_value(args, "--strategy").map(String::as_str).unwrap_or("auto");
+            match client.query(index, xpath, strategy) {
+                Ok(a) => {
+                    println!(
+                        "{} result(s)  strategy={} plan={} from_cache={} micros={}",
+                        a.ids.len(),
+                        a.strategy,
+                        a.plan,
+                        a.from_cache,
+                        a.micros
+                    );
+                    for id in a.ids.iter().take(10) {
+                        println!("  #{id}");
+                    }
+                    if a.ids.len() > 10 {
+                        println!("  … and {} more", a.ids.len() - 10);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "explain" => {
+            let (Some(index), Some(xpath)) = (ops.get(2), ops.get(3)) else { return usage() };
+            match client.explain(index, xpath) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "metrics" => {
+            let Some(index) = ops.get(2) else { return usage() };
+            match client.metrics(index) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "stats" => {
+            let Some(index) = ops.get(2) else { return usage() };
+            match client.stats(index) {
+                Ok(text) => {
+                    println!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "shutdown" => match client.shutdown() {
+            Ok(()) => {
+                println!("server acknowledged shutdown");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        },
+        // The deliberately-hostile probe: send bytes that are not a
+        // frame and succeed only if the server answers with the typed
+        // Malformed error (anything else — hang, close, crash — fails).
+        "badframe" => match client.send_raw(b"THIS IS NOT A FRAME") {
+            Ok(xtwig::net::Response::Error { code: ErrorCode::Malformed, message }) => {
+                println!("typed malformed-frame error: {message}");
+                ExitCode::SUCCESS
+            }
+            Ok(other) => {
+                eprintln!("expected a typed Malformed error, got {other:?}");
+                ExitCode::FAILURE
+            }
+            Err(e) => fail(e),
+        },
+        _ => usage(),
+    }
+}
+
 /// Returns the value following `flag`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
@@ -475,7 +678,18 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
 
 /// Non-flag operands, in order; flags that take a value consume it.
 fn operands(args: &[String]) -> Vec<String> {
-    const VALUE_FLAGS: [&str; 5] = ["--shards", "--strategy", "--strategies", "--out", "--index"];
+    const VALUE_FLAGS: [&str; 10] = [
+        "--shards",
+        "--strategy",
+        "--strategies",
+        "--out",
+        "--index",
+        "--addr",
+        "--addr-file",
+        "--index-dir",
+        "--max-in-flight",
+        "--max-attached",
+    ];
     let mut out = Vec::new();
     let mut skip = false;
     for a in args {
@@ -683,6 +897,8 @@ fn main() -> ExitCode {
             println!("generated XMark demo data ({} nodes)\nquery: {xpath}\n", forest.node_count());
             run_bench(&forest, &xpath, shards_from())
         }
+        "serve" => run_serve(&args[1..]),
+        "client" => run_client(&args[1..]),
         _ => usage(),
     }
 }

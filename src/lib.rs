@@ -52,13 +52,15 @@
 //! | [`obs`] | `xtwig-obs` | query observability: span traces and per-stage I/O counters |
 //! | [`opt`] | `xtwig-opt` | cost-based strategy selection: estimator, per-strategy cost model |
 //! | [`service`] | `xtwig-service` | concurrent query service: worker pool, plan/result caches, batching |
+//! | [`net`] | `xtwig-net` | network front end: wire protocol, TCP server over a multi-index catalog, client |
 //! | [`datagen`] | `xtwig-datagen` | XMark-like and DBLP-like generators, the Q1–Q15 workload |
-//! | [`bench`] | `xtwig-bench` | shared measurement harness behind the figure-reproduction binaries |
+//! | [`bench`](mod@bench) | `xtwig-bench` | shared measurement harness behind the figure-reproduction binaries |
 
 pub use xtwig_bench as bench;
 pub use xtwig_btree as btree;
 pub use xtwig_core as core;
 pub use xtwig_datagen as datagen;
+pub use xtwig_net as net;
 pub use xtwig_obs as obs;
 pub use xtwig_opt as opt;
 pub use xtwig_rel as rel;

@@ -194,9 +194,10 @@ fn metrics_text_parses_and_counters_are_monotonic() {
     assert!(first.keys().any(|k| k.starts_with("xtwig_queries_completed_total")));
     assert!(first.keys().any(|k| k.starts_with("xtwig_pool_page_reads_total{pool=")));
     for (name, &before) in &first {
-        // Gauges (queue depth) may legitimately go down; everything
-        // else in the exposition is a counter or histogram component.
-        if name.starts_with("xtwig_queue_depth") {
+        // Gauges (queue depth, admission in-flight) may legitimately
+        // go down; everything else in the exposition is a counter or
+        // histogram component.
+        if name.starts_with("xtwig_queue_depth") || name.starts_with("xtwig_in_flight") {
             continue;
         }
         let after = *second.get(name).unwrap_or_else(|| panic!("{name} vanished from scrape"));

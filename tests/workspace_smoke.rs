@@ -4,6 +4,7 @@
 //! against the naive in-memory matcher.
 
 use std::collections::BTreeSet;
+use std::path::Path;
 use xtwig::prelude::*;
 use xtwig::xml::naive;
 
@@ -36,6 +37,46 @@ fn intro_forest() -> XmlForest {
     )
     .unwrap();
     forest
+}
+
+/// The docs advertise the integration-suite inventory in three places
+/// (README's test-net paragraph, ROADMAP's current-state section, and
+/// the suite count itself); this test derives the ground truth from
+/// `tests/*.rs` so a new suite that forgets the docs — or a doc that
+/// invents a suite — fails CI instead of drifting silently.
+#[test]
+fn docs_track_the_integration_suite_inventory() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut suites: Vec<String> = std::fs::read_dir(root.join("tests"))
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    suites.sort();
+    assert!(
+        suites.contains(&"workspace_smoke".to_owned()),
+        "suite discovery is broken: did not find this very file"
+    );
+
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    let roadmap = std::fs::read_to_string(root.join("ROADMAP.md")).unwrap();
+    let count_phrase = format!("{} integration suites", suites.len());
+    for (doc, text) in [("README.md", &readme), ("ROADMAP.md", &roadmap)] {
+        assert!(
+            text.contains(&count_phrase),
+            "{doc} must state the suite count exactly as {count_phrase:?} \
+             (found {} suites under tests/)",
+            suites.len()
+        );
+        for suite in &suites {
+            assert!(
+                text.contains(suite.as_str()),
+                "{doc} never mentions integration suite `{suite}`"
+            );
+        }
+    }
 }
 
 #[test]
