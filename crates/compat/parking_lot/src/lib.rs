@@ -137,7 +137,13 @@ pub struct RwLock<T: ?Sized> {
     data: UnsafeCell<T>,
 }
 
+// SAFETY: same bounds std::sync::RwLock declares — the RawRwLock
+// serializes writers and excludes them from readers, so sending the
+// lock (T: Send) or sharing it (T: Send + Sync) never hands out
+// unsynchronized access to the UnsafeCell contents.
 unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: see above; shared access additionally requires T: Sync
+// because read guards alias &T across threads.
 unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {

@@ -11,6 +11,8 @@ use crate::proto::{ErrorCode, Request, Response, WireOp};
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
+    /// The TCP connection (or its timeout setup) failed.
+    Connect(std::io::Error),
     /// Transport or framing failure.
     Frame(FrameError),
     /// The response frame arrived but did not decode.
@@ -29,6 +31,7 @@ pub enum ClientError {
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
             ClientError::Frame(e) => write!(f, "{e}"),
             ClientError::Decode(m) => write!(f, "undecodable response: {m}"),
             ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
@@ -69,7 +72,7 @@ pub struct Client {
 
 impl Client {
     /// Connects to `addr`.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
         Client::connect_with_timeout(addr, None)
     }
 
@@ -78,11 +81,11 @@ impl Client {
     pub fn connect_with_timeout<A: ToSocketAddrs>(
         addr: A,
         timeout: Option<Duration>,
-    ) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(timeout)?;
-        stream.set_write_timeout(timeout)?;
-        let read_half = stream.try_clone()?;
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+        stream.set_read_timeout(timeout).map_err(ClientError::Connect)?;
+        stream.set_write_timeout(timeout).map_err(ClientError::Connect)?;
+        let read_half = stream.try_clone().map_err(ClientError::Connect)?;
         Ok(Client { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
     }
 

@@ -187,7 +187,7 @@ fn serve_loop(
 fn catalog_error(e: CatalogError) -> Response {
     let code = match &e {
         CatalogError::UnknownIndex(_) => ErrorCode::UnknownIndex,
-        CatalogError::Open { .. } => ErrorCode::Internal,
+        CatalogError::Open { .. } | CatalogError::Scan { .. } => ErrorCode::Internal,
     };
     Response::Error { code, message: e.to_string() }
 }

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used)] // property tests assert via unwrap
 //! Property tests for the wire frame codec and message layer: a peer
 //! feeding the socket garbage — truncated frames, hostile length
 //! prefixes, byte soup, drip-fed partial reads — must get an error or
@@ -113,6 +114,70 @@ proptest! {
         let frame = Frame { opcode, payload };
         let _ = Request::decode(&frame);
         let _ = Response::decode(&frame);
+    }
+
+    #[test]
+    fn corrupting_one_byte_of_a_valid_request_never_panics(
+        index in ".{0,12}",
+        xpath in ".{0,24}",
+        strategy in ".{0,8}",
+        flip_at in any::<usize>(),
+        flip_with in 1u8..=255,
+    ) {
+        // Single-byte corruption of a well-formed message exercises the
+        // decoder's interior length/utf8 checks, not just its opcode
+        // dispatch (which pure byte-soup frames mostly bounce off).
+        let (opcode, mut payload) = Request::Query { index, xpath, strategy }.encode();
+        if !payload.is_empty() {
+            let at = flip_at % payload.len();
+            payload[at] ^= flip_with;
+        }
+        let frame = Frame { opcode, payload };
+        if let Ok(req) = Request::decode(&frame) {
+            let (op2, payload2) = req.encode();
+            prop_assert_eq!(op2, frame.opcode);
+            prop_assert_eq!(payload2, frame.payload);
+        }
+    }
+
+    #[test]
+    fn truncating_a_valid_request_payload_is_typed_not_a_panic(
+        index in ".{1,12}",
+        xpath in ".{1,24}",
+        keep_pct in 0usize..100,
+    ) {
+        let (opcode, payload) =
+            Request::Explain { index, xpath }.encode();
+        let keep = payload.len() * keep_pct / 100; // always strictly short
+        let frame = Frame { opcode, payload: payload[..keep].to_vec() };
+        // Interior truncation must surface as a decode error, never as
+        // a slice-out-of-bounds panic.
+        prop_assert!(Request::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn corrupting_a_valid_answer_response_never_panics(
+        ids in proptest::collection::vec(any::<u64>(), 0..16),
+        micros in any::<u64>(),
+        from_cache in any::<bool>(),
+        flip_at in any::<usize>(),
+        flip_with in 1u8..=255,
+    ) {
+        // The Answer encoding carries counted u64 lists — the decode
+        // path where a corrupted count could over-read if unchecked.
+        let resp = Response::Answer {
+            strategy: "RP".to_owned(),
+            plan: "RootPaths".to_owned(),
+            from_cache,
+            micros,
+            ids,
+        };
+        let (opcode, mut payload) = resp.encode();
+        if !payload.is_empty() {
+            let at = flip_at % payload.len();
+            payload[at] ^= flip_with;
+        }
+        let _ = Response::decode(&Frame { opcode, payload });
     }
 
     #[test]

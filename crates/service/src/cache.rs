@@ -177,7 +177,10 @@ impl PlanCache {
         inner.map.insert(key.clone(), entry.clone());
         inner.order.push_back(key);
         while inner.map.len() > self.capacity {
-            let victim = inner.order.pop_front().expect("order tracks every entry");
+            // `order` tracks every entry; an empty queue here would mean
+            // the invariant broke, and stopping eviction (a bounded
+            // overshoot) beats panicking on a serving path.
+            let Some(victim) = inner.order.pop_front() else { break };
             inner.map.remove(&victim);
         }
         Ok(entry)
@@ -275,15 +278,18 @@ impl ResultCache {
                 let stamp = inner.clock;
                 inner.lru.remove(&old_stamp);
                 inner.lru.insert(stamp, full_key.clone());
-                inner.map.get_mut(&full_key).expect("entry present").stamp = stamp;
+                if let Some(entry) = inner.map.get_mut(&full_key) {
+                    entry.stamp = stamp;
+                }
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some((ids, plan))
             }
             Some(_) => {
                 // Stale generation: drop the entry now rather than at
                 // eviction time.
-                let entry = inner.map.remove(&full_key).expect("entry present");
-                inner.lru.remove(&entry.stamp);
+                if let Some(entry) = inner.map.remove(&full_key) {
+                    inner.lru.remove(&entry.stamp);
+                }
                 self.invalidated.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -330,7 +336,9 @@ impl ResultCache {
         }
         inner.lru.insert(stamp, full_key);
         while inner.map.len() > self.capacity {
-            let (_, victim) = inner.lru.pop_first().expect("lru tracks every entry");
+            // Same discipline as plan-cache eviction: if the LRU index
+            // ever desynced, stop evicting instead of panicking.
+            let Some((_, victim)) = inner.lru.pop_first() else { break };
             inner.map.remove(&victim);
         }
     }
@@ -356,6 +364,7 @@ impl ResultCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap is the assert
 mod tests {
     use super::*;
     use xtwig_core::engine::EngineOptions;

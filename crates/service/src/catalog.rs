@@ -51,6 +51,13 @@ pub enum CatalogError {
         /// The underlying open failure.
         error: OpenError,
     },
+    /// A registry directory scan failed (see [`Catalog::scan_dir`]).
+    Scan {
+        /// The directory being scanned.
+        dir: PathBuf,
+        /// The underlying I/O failure.
+        error: std::io::Error,
+    },
 }
 
 impl fmt::Display for CatalogError {
@@ -58,6 +65,9 @@ impl fmt::Display for CatalogError {
         match self {
             CatalogError::UnknownIndex(name) => write!(f, "unknown index {name:?}"),
             CatalogError::Open { name, error } => write!(f, "cannot open index {name:?}: {error}"),
+            CatalogError::Scan { dir, error } => {
+                write!(f, "cannot scan index directory {}: {error}", dir.display())
+            }
         }
     }
 }
@@ -135,10 +145,15 @@ impl Catalog {
     /// under `dir`, each served under its file stem (`books.xtwig` →
     /// `books`). Files are not opened — registration is free; the first
     /// `get` pays the attach.
-    pub fn scan_dir<P: AsRef<Path>>(dir: P, options: CatalogOptions) -> std::io::Result<Catalog> {
+    pub fn scan_dir<P: AsRef<Path>>(
+        dir: P,
+        options: CatalogOptions,
+    ) -> Result<Catalog, CatalogError> {
+        let dir = dir.as_ref();
+        let scan_err = |error: std::io::Error| CatalogError::Scan { dir: dir.to_path_buf(), error };
         let catalog = Catalog::new(options);
-        for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
+        for entry in std::fs::read_dir(dir).map_err(scan_err)? {
+            let path = entry.map_err(scan_err)?.path();
             if path.extension().is_some_and(|e| e == "xtwig") {
                 if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
                     catalog.register(stem, &path);
@@ -239,6 +254,7 @@ impl Catalog {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap is the assert
 mod tests {
     use super::*;
     use xtwig_core::engine::{EngineOptions, QueryEngine, Strategy};

@@ -217,7 +217,10 @@ pub struct Ticket {
 impl Ticket {
     /// Blocks until the worker resolves the query.
     pub fn wait(self) -> Result<ServiceAnswer, ServiceError> {
-        self.slot.wait().map(|mut answers| answers.pop().expect("single job has one answer"))
+        // A resolved single-query job always carries one answer; an
+        // empty vector would mean a worker bug, which surfaces as a
+        // typed error instead of panicking the waiting thread.
+        self.slot.wait().and_then(|mut answers| answers.pop().ok_or(ServiceError::Canceled))
     }
 
     /// Waits at most `timeout` for the answer; `None` leaves the ticket
@@ -227,7 +230,7 @@ impl Ticket {
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServiceAnswer, ServiceError>> {
         self.slot
             .wait_timeout(timeout)
-            .map(|r| r.map(|mut answers| answers.pop().expect("single job has one answer")))
+            .map(|r| r.and_then(|mut answers| answers.pop().ok_or(ServiceError::Canceled)))
     }
 }
 
@@ -457,8 +460,8 @@ impl Shared {
     }
 
     fn set_available(&self, engine: &SharedEngine) {
-        for (i, s) in Strategy::ALL.iter().enumerate() {
-            self.available[i].store(engine.has_strategy(*s), Ordering::SeqCst);
+        for (slot, s) in self.available.iter().zip(Strategy::ALL.iter()) {
+            slot.store(engine.has_strategy(*s), Ordering::SeqCst);
         }
     }
 }
@@ -505,8 +508,9 @@ impl TwigService {
 
     /// Starts a worker pool over an already-built shared engine.
     pub fn over(engine: SharedEngine, options: ServiceOptions) -> Self {
-        let available =
-            std::array::from_fn(|i| AtomicBool::new(engine.has_strategy(Strategy::ALL[i])));
+        let available = std::array::from_fn(|i| {
+            AtomicBool::new(Strategy::ALL.get(i).is_some_and(|s| engine.has_strategy(*s)))
+        });
         let shared = Arc::new(Shared {
             epoch: RwLock::new(Arc::new(EngineEpoch { engine, generation: 0 })),
             maintenance: Mutex::new(Maintenance { journal: Vec::new() }),
@@ -518,16 +522,28 @@ impl TwigService {
             available,
         });
         let queue = JobQueue::new();
-        let workers = (0..options.workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                let queue = queue.clone();
-                std::thread::Builder::new()
-                    .name(format!("xtwig-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &queue))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut workers = Vec::new();
+        for i in 0..options.workers.max(1) {
+            let shared = shared.clone();
+            let worker_queue = queue.clone();
+            match std::thread::Builder::new()
+                .name(format!("xtwig-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &worker_queue))
+            {
+                Ok(handle) => workers.push(handle),
+                // Spawn failure (OS thread exhaustion) degrades the
+                // pool instead of panicking the attaching thread —
+                // which is a *connection* thread when the catalog
+                // attaches an index on first use.
+                Err(_) => break,
+            }
+        }
+        if workers.is_empty() {
+            // With no workers, queued submissions would park forever;
+            // closing the queue makes them fail fast with a typed
+            // ShuttingDown. Direct dispatch (`execute`) still serves.
+            queue.close();
+        }
         TwigService {
             shared,
             queue,
@@ -583,12 +599,7 @@ impl TwigService {
     ) -> Result<Arc<Slot>, ServiceError> {
         // Auto needs any built strategy — the optimizer only ranks
         // what exists.
-        let available = if strategy.is_auto() {
-            self.shared.available.iter().any(|a| a.load(Ordering::SeqCst))
-        } else {
-            self.shared.available[strategy_index(strategy)].load(Ordering::SeqCst)
-        };
-        if !available {
+        if !strategy_available(&self.shared, strategy) {
             return Err(ServiceError::StrategyNotBuilt(strategy));
         }
         if !self.queue.is_open() {
@@ -682,12 +693,7 @@ impl TwigService {
     /// `answer_one` for the execution-time recheck that closes the
     /// rebuild TOCTOU).
     fn check_strategy_available(&self, strategy: Strategy) -> Result<(), ServiceError> {
-        let available = if strategy.is_auto() {
-            self.shared.available.iter().any(|a| a.load(Ordering::SeqCst))
-        } else {
-            self.shared.available[strategy_index(strategy)].load(Ordering::SeqCst)
-        };
-        if available {
+        if strategy_available(&self.shared, strategy) {
             Ok(())
         } else {
             Err(ServiceError::StrategyNotBuilt(strategy))
@@ -866,8 +872,19 @@ impl Drop for TwigService {
     }
 }
 
-fn strategy_index(strategy: Strategy) -> usize {
-    Strategy::ALL.iter().position(|s| *s == strategy).expect("strategy in ALL")
+/// The submit-time availability check both dispatch doors share. A
+/// strategy missing from `Strategy::ALL` reads as unavailable (a typed
+/// `StrategyNotBuilt`), never as a panic.
+fn strategy_available(shared: &Shared, strategy: Strategy) -> bool {
+    if strategy.is_auto() {
+        shared.available.iter().any(|a| a.load(Ordering::SeqCst))
+    } else {
+        Strategy::ALL
+            .iter()
+            .position(|s| *s == strategy)
+            .and_then(|i| shared.available.get(i))
+            .is_some_and(|a| a.load(Ordering::SeqCst))
+    }
 }
 
 fn worker_loop(shared: &Shared, queue: &JobQueue) {
@@ -1111,6 +1128,7 @@ fn answer_miss(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap is the assert
 mod tests {
     use super::*;
     use xtwig_core::parse_xpath;
@@ -1740,6 +1758,50 @@ mod tests {
         // A cache hit does no index work: not slow, not re-counted.
         svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
         assert_eq!(svc.slow_queries().len(), 1);
+        svc.shutdown();
+    }
+
+    /// Panics a thread while it holds `mutex`-like state guarded by
+    /// `lock`, leaving the lock poisoned for every later acquirer.
+    fn poison_by_panicking_holder<T: Send + Sync + 'static>(
+        target: Arc<T>,
+        hold: impl Fn(&T) + Send + 'static,
+    ) {
+        let handle = std::thread::spawn(move || {
+            hold(&target);
+        });
+        assert!(handle.join().is_err(), "holder thread must panic to poison the lock");
+    }
+
+    #[test]
+    fn poisoned_slot_lock_still_resolves_waiters() {
+        let slot = Slot::new();
+        poison_by_panicking_holder(slot.clone(), |slot| {
+            let _guard = slot.state.lock().unwrap();
+            panic!("poison the slot state lock");
+        });
+        assert!(slot.state.lock().is_err(), "lock must actually be poisoned");
+        // Resolve and wait both cross the poisoned lock without
+        // panicking — the waiter gets its answer, not a propagated
+        // poison panic.
+        slot.resolve(Ok(Vec::new()));
+        assert!(slot.wait().is_ok());
+    }
+
+    #[test]
+    fn poisoned_queue_lock_still_serves_queries() {
+        let svc = small_service(2);
+        poison_by_panicking_holder(svc.queue.clone(), |queue| {
+            let _guard = queue.inner.lock().unwrap();
+            panic!("poison the job queue lock");
+        });
+        assert!(svc.queue.inner.lock().is_err(), "lock must actually be poisoned");
+        // The connection path — submit, worker pop, resolve — still
+        // works end to end across the poisoned mutex.
+        let twig = parse_xpath("/book[title='XML']//author[fn='jane'][ln='doe']").unwrap();
+        let answer = svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+        assert_eq!(answer.ids.len(), 1);
+        // Shutdown also crosses the poisoned lock (close + drain).
         svc.shutdown();
     }
 

@@ -31,7 +31,11 @@ impl StrategyLatency {
         let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        // `bucket` is clamped to BUCKETS-1 above; the get() keeps the
+        // recording path structurally panic-free anyway.
+        if let Some(b) = self.buckets.get(bucket) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn snapshot(&self, strategy: Strategy) -> LatencySnapshot {
@@ -183,6 +187,12 @@ impl Default for ServiceStats {
     }
 }
 
+/// Maps a strategy to its parallel-array slot; `None` (rather than a
+/// panic) for a strategy `Strategy::ALL` does not enumerate.
+fn strategy_slot<T>(slots: &[T], strategy: Strategy) -> Option<&T> {
+    Strategy::ALL.iter().position(|s| *s == strategy).and_then(|i| slots.get(i))
+}
+
 impl ServiceStats {
     /// Accounts one enqueued job carrying `queries` queries (batches
     /// count every member, so `submitted`/`completed`/`failed` share
@@ -198,42 +208,43 @@ impl ServiceStats {
     }
 
     pub(crate) fn record_latency(&self, strategy: Strategy, elapsed: Duration) {
-        let idx = Strategy::ALL.iter().position(|s| *s == strategy).expect("known strategy");
-        self.latency[idx].record(elapsed);
+        // A strategy outside `ALL` loses its sample instead of
+        // panicking the recording thread; stats are best-effort.
+        let Some(slot) = strategy_slot(&self.latency, strategy) else { return };
+        slot.record(elapsed);
     }
 
     /// Accounts one executed answer's engine metrics against its
     /// (concrete) strategy.
     pub(crate) fn record_cost(&self, strategy: Strategy, metrics: &QueryMetrics) {
-        let idx = Strategy::ALL.iter().position(|s| *s == strategy).expect("known strategy");
-        self.costs[idx].record(metrics);
+        let Some(slot) = strategy_slot(&self.costs, strategy) else { return };
+        slot.record(metrics);
     }
 
     /// Accounts one `Strategy::Auto` submission the optimizer routed to
     /// `strategy`.
     pub(crate) fn record_auto_pick(&self, strategy: Strategy) {
-        let idx = Strategy::ALL.iter().position(|s| *s == strategy).expect("known strategy");
-        self.costs[idx].auto_picks.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = strategy_slot(&self.costs, strategy) else { return };
+        slot.auto_picks.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn latency_snapshots(&self) -> Vec<LatencySnapshot> {
-        Strategy::ALL
+        self.latency
             .iter()
-            .enumerate()
-            .filter(|(i, _)| self.latency[*i].count.load(Ordering::Relaxed) > 0)
-            .map(|(i, s)| self.latency[i].snapshot(*s))
+            .zip(Strategy::ALL.iter())
+            .filter(|(l, _)| l.count.load(Ordering::Relaxed) > 0)
+            .map(|(l, s)| l.snapshot(*s))
             .collect()
     }
 
     pub(crate) fn cost_snapshots(&self) -> Vec<StrategyCostSnapshot> {
-        Strategy::ALL
+        self.costs
             .iter()
-            .enumerate()
-            .filter(|(i, _)| {
-                self.costs[*i].executed.load(Ordering::Relaxed) > 0
-                    || self.costs[*i].auto_picks.load(Ordering::Relaxed) > 0
+            .zip(Strategy::ALL.iter())
+            .filter(|(c, _)| {
+                c.executed.load(Ordering::Relaxed) > 0 || c.auto_picks.load(Ordering::Relaxed) > 0
             })
-            .map(|(i, s)| self.costs[i].snapshot(*s))
+            .map(|(c, s)| c.snapshot(*s))
             .collect()
     }
 }
@@ -429,6 +440,7 @@ impl ServiceSnapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap is the assert
 mod tests {
     use super::*;
 

@@ -105,8 +105,10 @@ impl BufferPool {
     /// Pool sized to hold `bytes` of pages (rounded up), like "a 40 MB
     /// buffer pool".
     pub fn with_bytes(disk: DiskManager, bytes: u64) -> Self {
-        let frames = usize::try_from(bytes.div_ceil(PAGE_SIZE as u64)).unwrap().max(2);
-        BufferPool::new(disk, frames)
+        // Saturate rather than unwrap: a byte budget beyond the address
+        // space clamps to the largest representable frame count.
+        let frames = bytes.div_ceil(PAGE_SIZE as u64).min(u64::from(u32::MAX)) as usize;
+        BufferPool::new(disk, frames.max(2))
     }
 
     /// The shared I/O statistics.

@@ -1,0 +1,66 @@
+//! `xtwig-xray` — run the workspace static-analysis pass.
+//!
+//! Usage: `xtwig-xray [--root DIR] [--config FILE]`
+//! Exit codes: 0 clean, 1 findings, 2 config/usage/I-O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: xtwig-xray [--root DIR] [--config FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let config = config.unwrap_or_else(|| root.join("xray.toml"));
+    let cfg = match xtwig_xray::load_config(&config) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("xray: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match xtwig_xray::analyze(&root, &cfg) {
+        Ok(report) if report.is_clean() => {
+            println!(
+                "xray: {} files scanned, 0 findings ({} allow entries in effect)",
+                report.files_scanned,
+                cfg.allow.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            print!("{}", report.render());
+            println!(
+                "xray: {} files scanned, {} finding(s)",
+                report.files_scanned,
+                report.findings.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xray: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("xray: {message}\nusage: xtwig-xray [--root DIR] [--config FILE]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,29 @@
+//! Fixture: two inversions of the documented lock order
+//! (maintenance -> epoch -> pool -> frame), plus clean shapes the
+//! liveness heuristic must not flag.
+
+impl Shared {
+    fn inverted_epoch_then_maintenance(&self) {
+        let e = self.epoch.read();
+        let m = self.maintenance.lock();
+        drop((e, m));
+    }
+
+    fn frame_held_across_pool(&self, frame: &Frame) {
+        let g = frame.data.write();
+        let p = self.inner.lock();
+        drop((g, p));
+    }
+
+    fn correct_order_is_clean(&self) {
+        let m = self.maintenance.lock();
+        let e = self.epoch.read();
+        drop((m, e));
+    }
+
+    fn momentary_pin_is_clean(&self) {
+        let snapshot = self.epoch.read().clone();
+        let m = self.maintenance.lock();
+        drop((snapshot, m));
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: each marked line must fire `no-panic` when this file is
+//! scanned under a scoped path; the `#[cfg(test)]` block must not.
+
+pub fn unwrap_site(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn expect_site(x: Option<u8>) -> u8 {
+    x.expect("serving paths must not panic")
+}
+
+pub fn panic_site() {
+    panic!("connection thread down");
+}
+
+pub fn index_site(a: &[u8]) -> u8 {
+    a[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        None::<u8>.unwrap();
+    }
+}

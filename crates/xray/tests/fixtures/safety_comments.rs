@@ -1,0 +1,8 @@
+//! Fixture: an undocumented `unsafe` fires; one carrying a safety
+//! argument (even a multi-line one) is clean.
+
+unsafe impl Send for Bare {}
+
+// SAFETY: Documented owns no thread-affine state; every field is
+// itself Send, so moving the wrapper between threads is sound.
+unsafe impl Send for Documented {}

@@ -1,0 +1,22 @@
+//! Fixture: leaky public Result signatures fire `typed-errors`;
+//! crate-local error types and non-public fns stay clean.
+
+pub fn leaks_string() -> Result<u8, String> {
+    Ok(0)
+}
+
+pub fn leaks_io_alias() -> io::Result<u8> {
+    Ok(0)
+}
+
+pub fn leaks_boxed() -> Result<u8, Box<dyn std::error::Error>> {
+    Ok(0)
+}
+
+pub fn typed_is_clean() -> Result<u8, FrameError> {
+    Ok(0)
+}
+
+pub(crate) fn crate_scoped_is_clean() -> Result<u8, String> {
+    Ok(0)
+}

@@ -79,6 +79,38 @@ fn docs_track_the_integration_suite_inventory() {
     }
 }
 
+/// The static-analysis gate is wired in several places — the
+/// checked-in config, the per-rule fixtures, the CI lint job, and the
+/// README — and this test pins them together so that deleting any one
+/// piece fails loudly instead of quietly un-gating the workspace.
+#[test]
+fn xray_gate_stays_wired() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // The checked-in config parses, references only known rules, and
+    // justifies every exception (empty `why` is a parse error, but the
+    // assertion documents the contract where the drift test lives).
+    let cfg = xtwig::xray::load_config(&root.join("xray.toml")).unwrap();
+    assert!(!cfg.allow.is_empty(), "xray.toml lost its allow entries");
+    assert!(cfg.allow.iter().all(|a| !a.why.trim().is_empty()), "every allow entry needs a why");
+    // One fixture per rule keeps the rule engine honest.
+    let fixtures = root.join("crates/xray/tests/fixtures");
+    for fixture in [
+        "no_panic.rs",
+        "lock_order.rs",
+        "typed_errors.rs",
+        "untraced_purity.rs",
+        "safety_comments.rs",
+    ] {
+        assert!(fixtures.join(fixture).is_file(), "missing xray fixture {fixture}");
+    }
+    // CI runs the pass in the fail-fast lint job, and the README
+    // documents the gate.
+    let ci = std::fs::read_to_string(root.join(".github/workflows/ci.yml")).unwrap();
+    assert!(ci.contains("cargo run -p xtwig-xray"), "CI lint job must run xray");
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(readme.contains("## Static analysis"), "README lost its static-analysis section");
+}
+
 #[test]
 fn every_strategy_answers_the_intro_twig() {
     let forest = intro_forest();
