@@ -46,6 +46,18 @@ echo "serving on $addr (pid $server_pid)"
 "$xtwig" client "$addr" metrics demo | grep xtwig_queries_submitted_total
 "$xtwig" client "$addr" stats demo | grep admission_limit
 
+# Request-scoped observability: a sampled query must print its request
+# id, the captured span tree must be retrievable by that id, the event
+# journal must be streaming over the wire, and one-shot `top` must
+# render a snapshot.
+sampled="$("$xtwig" client "$addr" query demo "//person/name" --sample)"
+echo "$sampled"
+request_id="$(echo "$sampled" | sed -n 's/^sampled request id: \([0-9]*\).*/\1/p')"
+[ -n "$request_id" ] || { echo "sampled query printed no request id" >&2; exit 1; }
+"$xtwig" client "$addr" trace demo "$request_id" | grep "request $request_id"
+"$xtwig" client "$addr" events | grep conn-open
+"$xtwig" top "$addr" --once | grep "xtwig top"
+
 # A malformed frame must produce a typed error response — not a hang,
 # not a crash (the client subcommand exits 0 only on the typed error).
 "$xtwig" client "$addr" badframe

@@ -21,6 +21,7 @@ fig_mvcc       BENCH_mvcc.json     25.0  3
 fig_optimizer  BENCH_opt.json      4.0   20
 fig_obs        BENCH_obs.json      25.0  4
 fig_net        BENCH_net.json      25.0  3
+fig_events     BENCH_events.json   25.0  3
 "
 
 while read -r fig baseline tolerance min_matches; do

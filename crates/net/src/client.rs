@@ -6,7 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::proto::{ErrorCode, Request, Response, WireOp};
+use crate::proto::{ErrorCode, Request, Response, TraceContext, WireEvent, WireOp};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -62,12 +62,24 @@ pub struct WireAnswer {
     pub micros: u64,
     /// Distinct ids bound to the output node, ascending.
     pub ids: Vec<u64>,
+    /// The request id this answer was served under (echoed from the
+    /// trace envelope); hand it to [`Client::trace`] if sampled.
+    pub request_id: u64,
 }
 
 /// One connection to an xtwig server.
+///
+/// Every request is wrapped in the trace envelope with a
+/// connection-local monotonically increasing request id; the server
+/// echoes the id back and the client verifies it, so a desynchronized
+/// response stream surfaces as a typed error instead of silent
+/// misattribution.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    next_id: u64,
+    sample: bool,
+    last_request_id: u64,
 }
 
 impl Client {
@@ -86,15 +98,48 @@ impl Client {
         stream.set_read_timeout(timeout).map_err(ClientError::Connect)?;
         stream.set_write_timeout(timeout).map_err(ClientError::Connect)?;
         let read_half = stream.try_clone().map_err(ClientError::Connect)?;
-        Ok(Client { reader: BufReader::new(read_half), writer: BufWriter::new(stream) })
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            sample: false,
+            last_request_id: 0,
+        })
     }
 
-    /// Sends one request and reads one response.
+    /// When on, every subsequent request asks the server to capture a
+    /// full execution trace (retrievable via [`Client::trace`]) even if
+    /// the query is not slow. Sampled queries bypass the result cache.
+    pub fn set_sampling(&mut self, sample: bool) {
+        self.sample = sample;
+    }
+
+    /// The id stamped on the most recent request sent on this
+    /// connection (0 before the first call).
+    pub fn last_request_id(&self) -> u64 {
+        self.last_request_id
+    }
+
+    /// Sends one request and reads one response, wrapping the request
+    /// in the trace envelope and verifying the echoed request id.
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let (op, payload) = req.encode();
+        let ctx = TraceContext { request_id: self.next_id, sample: self.sample };
+        self.next_id += 1;
+        self.last_request_id = ctx.request_id;
+        let (op, payload) = req.encode_enveloped(ctx);
         write_frame(&mut self.writer, op, &payload)?;
         let frame = read_frame(&mut self.reader)?;
-        Response::decode(&frame).map_err(|e| ClientError::Decode(e.0))
+        let (echoed, resp) =
+            Response::decode_enveloped(&frame).map_err(|e| ClientError::Decode(e.0))?;
+        if let Some(id) = echoed {
+            if id != ctx.request_id {
+                return Err(ClientError::Unexpected(format!(
+                    "response for request {id} arrived while waiting for {}",
+                    ctx.request_id
+                )));
+            }
+        }
+        Ok(resp)
     }
 
     fn expect_text(resp: Response) -> Result<String, ClientError> {
@@ -128,9 +173,34 @@ impl Client {
             strategy: strategy.to_owned(),
         };
         match self.call(&req)? {
-            Response::Answer { strategy, plan, from_cache, micros, ids } => {
-                Ok(WireAnswer { strategy, plan, from_cache, micros, ids })
-            }
+            Response::Answer { strategy, plan, from_cache, micros, ids } => Ok(WireAnswer {
+                strategy,
+                plan,
+                from_cache,
+                micros,
+                ids,
+                request_id: self.last_request_id,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the rendered span tree captured for `request_id` on
+    /// index `index` (a request that was sampled, or slow enough for
+    /// the slow-query ring). `UnknownTrace` means the ring never held
+    /// it or has since evicted it.
+    pub fn trace(&mut self, index: &str, request_id: u64) -> Result<String, ClientError> {
+        let req = Request::Trace { index: index.to_owned(), request_id };
+        Self::expect_text(self.call(&req)?)
+    }
+
+    /// Reads the server event journal from cursor `after` (exclusive),
+    /// at most `max` entries. Poll with the last returned `seq` as the
+    /// next cursor to follow the journal.
+    pub fn events(&mut self, after: u64, max: u32) -> Result<Vec<WireEvent>, ClientError> {
+        match self.call(&Request::Events { after, max })? {
+            Response::Events { events } => Ok(events),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }

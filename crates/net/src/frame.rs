@@ -27,6 +27,10 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"XTWG");
 /// garbage length prefix cannot drive allocation.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// Header bytes per frame (magic u32 + opcode u8 + length u32), used by
+/// per-connection byte accounting.
+pub const FRAME_OVERHEAD: usize = 9;
+
 /// One decoded frame: an opcode and its raw payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {

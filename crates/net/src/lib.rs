@@ -30,6 +30,13 @@
 //! transactions (tag *names* on the wire, resolved through the target
 //! index's dictionary), Prometheus `metrics_text`, and service-stats
 //! JSON.
+//!
+//! Requests additionally travel inside a *trace envelope* carrying a
+//! client-assigned request id and a sample flag; the server echoes the
+//! id, threads it into slow-query records, and serves the captured
+//! span tree back over `Trace` — so a slow query seen in the event
+//! journal (`Events`) is attributable end-to-end. Bare v1 frames still
+//! decode, so old clients keep working.
 
 pub mod client;
 pub mod frame;
@@ -37,6 +44,8 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError, WireAnswer};
-pub use frame::{read_frame, write_frame, Frame, FrameError, MAGIC, MAX_FRAME_LEN};
-pub use proto::{ErrorCode, Request, Response, WireOp};
-pub use server::{handle_request, Server, ServerHandle};
+pub use frame::{read_frame, write_frame, Frame, FrameError, FRAME_OVERHEAD, MAGIC, MAX_FRAME_LEN};
+pub use proto::{ErrorCode, Request, Response, TraceContext, WireEvent, WireOp};
+pub use server::{
+    handle_request, handle_request_ctx, ConnStats, Server, ServerHandle, ServerOptions,
+};

@@ -14,6 +14,7 @@
 //! the service shuts down (draining its queue) when the last clone
 //! goes away, so eviction can never cut an in-flight query short.
 
+use crate::events::{Event, EventJournal};
 use crate::service::{ServiceOptions, TwigService};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -123,6 +124,10 @@ pub struct Catalog {
     registry: Mutex<BTreeMap<String, PathBuf>>,
     attached: Mutex<Attached>,
     options: CatalogOptions,
+    /// One journal for the whole catalog: every attached service emits
+    /// into it (injected via [`ServiceOptions::events`]), so the wire
+    /// `Events` opcode serves a single cross-index stream.
+    events: Arc<EventJournal>,
     hits: AtomicU64,
     opens: AtomicU64,
     evictions: AtomicU64,
@@ -130,15 +135,32 @@ pub struct Catalog {
 
 impl Catalog {
     /// An empty catalog; register indexes with [`Catalog::register`].
-    pub fn new(options: CatalogOptions) -> Catalog {
+    /// Adopts [`ServiceOptions::events`] when the caller supplies a
+    /// journal, otherwise creates one of
+    /// [`ServiceOptions::event_capacity`] entries shared by every
+    /// service this catalog attaches.
+    pub fn new(mut options: CatalogOptions) -> Catalog {
+        let events = options
+            .service
+            .events
+            .clone()
+            .unwrap_or_else(|| Arc::new(EventJournal::new(options.service.event_capacity)));
+        options.service.events = Some(events.clone());
         Catalog {
             registry: Mutex::new(BTreeMap::new()),
             attached: Mutex::new(Attached::default()),
             options,
+            events,
             hits: AtomicU64::new(0),
             opens: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The catalog-wide event journal (shared with every attached
+    /// service and the network server).
+    pub fn events(&self) -> Arc<EventJournal> {
+        self.events.clone()
     }
 
     /// A catalog pre-registered with every `*.xtwig` file directly
@@ -194,11 +216,13 @@ impl Catalog {
                 .map_err(|error| CatalogError::Open { name: name.to_owned(), error })?,
         );
         self.opens.fetch_add(1, Ordering::Relaxed);
+        self.events.emit(Event::CatalogAttached { name: name.to_owned() });
         attached.entries.push((name.to_owned(), service.clone()));
         let capacity = self.options.max_attached.max(1);
         while attached.entries.len() > capacity {
-            let (_, evicted) = attached.entries.remove(0);
+            let (evicted_name, evicted) = attached.entries.remove(0);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.events.emit(Event::CatalogEvicted { name: evicted_name });
             // Dropped outside the registry: in-flight holders keep
             // their clone; the service drains when the last one drops.
             drop(evicted);

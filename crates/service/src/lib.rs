@@ -76,6 +76,7 @@
 pub mod admission;
 pub mod cache;
 pub mod catalog;
+pub mod events;
 pub mod metrics;
 pub mod service;
 pub mod shape;
@@ -84,10 +85,11 @@ pub mod stats;
 pub use admission::{Admission, Permit};
 pub use cache::{CacheStats, PlanCache, ResultCache};
 pub use catalog::{Catalog, CatalogEntry, CatalogError, CatalogOptions, CatalogStats};
+pub use events::{Event, EventJournal, JournalEntry, EVENT_KINDS};
 pub use metrics::{render_metrics, MetricsRegistry, SlowQuery};
 pub use service::{
-    BatchTicket, ServiceAnswer, ServiceError, ServiceOptions, SharedEngine, Ticket, TwigService,
-    UpdateOp,
+    BatchTicket, RequestCtx, ServiceAnswer, ServiceError, ServiceOptions, SharedEngine, Ticket,
+    TwigService, UpdateOp,
 };
 pub use shape::{exact_key, shape_key};
 pub use stats::{

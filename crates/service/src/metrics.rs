@@ -24,8 +24,8 @@ use std::time::Duration;
 use xtwig_core::Strategy;
 use xtwig_storage::PoolCounters;
 
-/// One slow query's record: what ran, how long it took, and the traced
-/// span tree of a read-only re-execution.
+/// One slow (or explicitly sampled) query's record: what ran, how long
+/// it took, and the traced span tree of a read-only re-execution.
 #[derive(Debug, Clone)]
 pub struct SlowQuery {
     /// The query's XPath rendering.
@@ -39,6 +39,12 @@ pub struct SlowQuery {
     /// Rendered span tree ([`xtwig_core::Trace::render`]) of the traced
     /// re-execution.
     pub spans: String,
+    /// Wire request id (0 for local, un-stamped submissions); the
+    /// `Trace` opcode fetches records by this id.
+    pub request_id: u64,
+    /// Peer address of the connection that issued the query (empty for
+    /// local submissions).
+    pub peer: String,
 }
 
 #[derive(Default)]
@@ -102,11 +108,34 @@ impl MetricsRegistry {
     /// Appends a slow-query record, evicting the oldest past capacity.
     pub fn record_slow(&self, entry: SlowQuery) {
         self.slow_total.fetch_add(1, Ordering::Relaxed);
+        self.push_record(entry);
+    }
+
+    /// Appends an explicitly sampled record (trace requested by the
+    /// client) without counting it as slow — the ring serves `Trace`
+    /// lookups, but `xtwig_slow_queries_total` stays an SLO signal.
+    pub fn record_sampled(&self, entry: SlowQuery) {
+        self.push_record(entry);
+    }
+
+    fn push_record(&self, entry: SlowQuery) {
+        if self.slow_capacity == 0 {
+            return;
+        }
         let mut slow = self.slow.lock();
         if slow.len() == self.slow_capacity {
             slow.pop_front();
         }
         slow.push_back(entry);
+    }
+
+    /// Finds the most recent retained record stamped with
+    /// `request_id` (0 never matches — local submissions share it).
+    pub fn find_trace(&self, request_id: u64) -> Option<SlowQuery> {
+        if request_id == 0 {
+            return None;
+        }
+        self.slow.lock().iter().rev().find(|s| s.request_id == request_id).cloned()
     }
 
     /// The retained slow-query records, oldest first.
@@ -156,12 +185,13 @@ fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
 }
 
 /// Renders the full exposition from a stats snapshot, the engine's
-/// per-pool counter handles, and the registry. Free function so tests
-/// can render without standing up a worker pool.
+/// per-pool counter handles, the registry, and the event journal. Free
+/// function so tests can render without standing up a worker pool.
 pub fn render_metrics(
     snapshot: &ServiceSnapshot,
     pools: &[(&'static str, PoolCounters)],
     registry: &MetricsRegistry,
+    journal: &crate::events::EventJournal,
 ) -> String {
     let mut out = String::with_capacity(4096);
     counter(&mut out, "xtwig_queries_submitted_total", "Queries accepted", snapshot.submitted);
@@ -324,6 +354,19 @@ pub fn render_metrics(
         "Queries at or above the slow-query threshold",
         registry.slow_total(),
     );
+
+    // Event-journal families: per-kind emission counts (every kind is
+    // present every scrape, so the family is stable) plus ring drops.
+    header(&mut out, "xtwig_events_total", "Serving-layer events emitted per kind", "counter");
+    for (kind, count) in journal.kind_counts() {
+        let _ = writeln!(out, "xtwig_events_total{{kind=\"{kind}\"}} {count}");
+    }
+    counter(
+        &mut out,
+        "xtwig_events_dropped_total",
+        "Journal entries evicted by the ring bound",
+        journal.dropped(),
+    );
     out
 }
 
@@ -339,7 +382,27 @@ mod tests {
             micros,
             generation: 0,
             spans: String::new(),
+            request_id: 0,
+            peer: String::new(),
         }
+    }
+
+    fn slow_with_id(query: &str, request_id: u64) -> SlowQuery {
+        SlowQuery { request_id, ..slow(query, 100) }
+    }
+
+    #[test]
+    fn find_trace_prefers_newest_and_ignores_zero() {
+        let r = MetricsRegistry::new(Some(100), 4);
+        r.record_slow(slow_with_id("old", 7));
+        r.record_sampled(slow_with_id("new", 7));
+        r.record_sampled(slow_with_id("other", 9));
+        assert_eq!(r.find_trace(7).unwrap().query, "new");
+        assert_eq!(r.find_trace(9).unwrap().query, "other");
+        assert!(r.find_trace(0).is_none());
+        assert!(r.find_trace(42).is_none());
+        // Sampled records do not inflate the slow counter.
+        assert_eq!(r.slow_total(), 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 use crate::admission::{Admission, Permit};
 use crate::cache::{PlanCache, ResultCache};
+use crate::events::{Event, EventJournal};
 use crate::metrics::{render_metrics, MetricsRegistry, SlowQuery};
 use crate::shape::{exact_key, shape_key};
 use crate::stats::{ServiceSnapshot, ServiceStats};
@@ -119,6 +120,13 @@ pub struct ServiceOptions {
     /// [`ServiceError::Overloaded`]. `0` disables the bound (default
     /// 1024).
     pub max_in_flight: usize,
+    /// Event journal this service emits into. `None` (default) gives
+    /// the service a private journal of [`ServiceOptions::event_capacity`]
+    /// entries; the catalog injects one shared journal so every index's
+    /// events land in a single stream the wire `Events` opcode serves.
+    pub events: Option<Arc<EventJournal>>,
+    /// Ring capacity of a privately created journal (default 256).
+    pub event_capacity: usize,
 }
 
 impl Default for ServiceOptions {
@@ -132,8 +140,26 @@ impl Default for ServiceOptions {
             slow_query_micros: None,
             slow_query_capacity: 32,
             max_in_flight: 1024,
+            events: None,
+            event_capacity: 256,
         }
     }
+}
+
+/// Per-request context the wire front end threads through direct
+/// dispatch: the client-stamped request id, whether the client asked
+/// for a trace capture, and the connection's peer address. Local
+/// submissions use the default (id 0, unsampled, no peer).
+#[derive(Debug, Clone, Default)]
+pub struct RequestCtx {
+    /// Client-stamped wire request id (0 = unstamped/local).
+    pub request_id: u64,
+    /// True when the client requested a traced execution: the result
+    /// cache is bypassed and a span tree is captured regardless of the
+    /// slow threshold, retrievable via the `Trace` opcode.
+    pub sample: bool,
+    /// Peer address of the issuing connection (empty for local).
+    pub peer: String,
 }
 
 /// One answered query.
@@ -437,6 +463,9 @@ struct Shared {
     generation: AtomicU64,
     stats: ServiceStats,
     metrics: MetricsRegistry,
+    /// Structured event journal (shared with the catalog/server when
+    /// injected via [`ServiceOptions::events`]).
+    events: Arc<EventJournal>,
     /// Which strategies the *current* engine has built — atomic because
     /// [`TwigService::rebuild_parallel`] may swap in an engine with a
     /// different strategy set while submissions race the check.
@@ -511,6 +540,10 @@ impl TwigService {
         let available = std::array::from_fn(|i| {
             AtomicBool::new(Strategy::ALL.get(i).is_some_and(|s| engine.has_strategy(*s)))
         });
+        let events = options
+            .events
+            .clone()
+            .unwrap_or_else(|| Arc::new(EventJournal::new(options.event_capacity)));
         let shared = Arc::new(Shared {
             epoch: RwLock::new(Arc::new(EngineEpoch { engine, generation: 0 })),
             maintenance: Mutex::new(Maintenance { journal: Vec::new() }),
@@ -519,6 +552,7 @@ impl TwigService {
             generation: AtomicU64::new(0),
             stats: ServiceStats::default(),
             metrics: MetricsRegistry::new(options.slow_query_micros, options.slow_query_capacity),
+            events,
             available,
         });
         let queue = JobQueue::new();
@@ -607,10 +641,7 @@ impl TwigService {
         }
         let queries = kind.query_count();
         let Some(permit) = self.admission.try_acquire(queries as usize) else {
-            return Err(ServiceError::Overloaded {
-                in_flight: self.admission.in_flight(),
-                limit: self.admission.limit(),
-            });
+            return Err(self.reject_overloaded());
         };
         let slot = Slot::new();
         let job = Job {
@@ -643,18 +674,28 @@ impl TwigService {
         twig: &TwigPattern,
         strategy: Strategy,
     ) -> Result<ServiceAnswer, ServiceError> {
+        self.execute_with(twig, strategy, &RequestCtx::default())
+    }
+
+    /// [`TwigService::execute`] with a wire [`RequestCtx`]: the request
+    /// id and peer stamp any slow-query capture, and `ctx.sample`
+    /// forces a traced execution (bypassing the result cache) whose
+    /// span tree the `Trace` opcode can fetch by id.
+    pub fn execute_with(
+        &self,
+        twig: &TwigPattern,
+        strategy: Strategy,
+        ctx: &RequestCtx,
+    ) -> Result<ServiceAnswer, ServiceError> {
         self.check_strategy_available(strategy)?;
         if !self.queue.is_open() {
             return Err(ServiceError::ShuttingDown);
         }
         let Some(_permit) = self.admission.try_acquire(1) else {
-            return Err(ServiceError::Overloaded {
-                in_flight: self.admission.in_flight(),
-                limit: self.admission.limit(),
-            });
+            return Err(self.reject_overloaded());
         };
         self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        match answer_one(&self.shared, twig, strategy) {
+        match answer_one(&self.shared, twig, strategy, ctx) {
             Ok(answer) => {
                 self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                 Ok(answer)
@@ -680,13 +721,21 @@ impl TwigService {
             return Err(ServiceError::ShuttingDown);
         }
         let Some(_permit) = self.admission.try_acquire(twigs.len()) else {
-            return Err(ServiceError::Overloaded {
-                in_flight: self.admission.in_flight(),
-                limit: self.admission.limit(),
-            });
+            return Err(self.reject_overloaded());
         };
         self.shared.stats.submitted.fetch_add(twigs.len() as u64, Ordering::Relaxed);
         answer_batch(&self.shared, twigs, strategy)
+    }
+
+    /// Builds the typed Overloaded rejection and journals it — every
+    /// admission refusal (queued, direct, batch) leaves an event.
+    fn reject_overloaded(&self) -> ServiceError {
+        let in_flight = self.admission.in_flight();
+        let limit = self.admission.limit();
+        self.shared
+            .events
+            .emit(Event::AdmissionRejected { in_flight: in_flight as u64, limit: limit as u64 });
+        ServiceError::Overloaded { in_flight, limit }
     }
 
     /// The submit-time availability check both doors share (see
@@ -717,13 +766,15 @@ impl TwigService {
         for op in &ops {
             apply_op(&mut engine, op);
         }
-        self.shared.stats.journal_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
+        let op_count = ops.len() as u64;
+        self.shared.stats.journal_ops.fetch_add(op_count, Ordering::Relaxed);
         maint.journal.extend(ops);
         let generation = current.generation + 1;
         drop(current);
         let old = self.shared.publish(Arc::new(EngineEpoch { engine, generation }));
         self.shared.stats.updates.fetch_add(1, Ordering::Relaxed);
         drop(maint);
+        self.shared.events.emit(Event::UpdateCommitted { generation, ops: op_count });
         // Displaced epoch may hold the last reference to forked pools;
         // drop it outside both locks.
         drop(old);
@@ -749,17 +800,20 @@ impl TwigService {
     pub fn rebuild_parallel(&self, options: EngineOptions, shards: usize) {
         let forest = self.shared.pin().engine.forest_handle();
         let mut new_engine = QueryEngine::build_parallel(forest, options, shards);
-        let old = {
+        let (old, generation, replayed_ops) = {
             let maint = self.shared.maintenance.lock();
             for op in &maint.journal {
                 apply_op(&mut new_engine, op);
             }
-            self.shared.stats.replayed_ops.fetch_add(maint.journal.len() as u64, Ordering::Relaxed);
+            let replayed = maint.journal.len() as u64;
+            self.shared.stats.replayed_ops.fetch_add(replayed, Ordering::Relaxed);
             self.shared.set_available(&new_engine);
             let generation = self.shared.pin().generation + 1;
             self.shared.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
-            self.shared.publish(Arc::new(EngineEpoch { engine: new_engine, generation }))
+            let old = self.shared.publish(Arc::new(EngineEpoch { engine: new_engine, generation }));
+            (old, generation, replayed)
         };
+        self.shared.events.emit(Event::RebuildSwapped { generation, replayed_ops });
         // Tear the old epoch down (up to seven strategies' pools and
         // trees) only after releasing the locks — readers must not
         // stall behind the deallocation.
@@ -777,11 +831,13 @@ impl TwigService {
         &self,
         path: P,
     ) -> Result<PersistReport, PersistError> {
+        let path = path.as_ref();
         let maint = self.shared.maintenance.lock();
         let epoch = self.shared.pin();
         let report = epoch.engine.persist(path)?;
         self.shared.stats.folds.fetch_add(1, Ordering::Relaxed);
         drop(maint);
+        self.shared.events.emit(Event::PersistFolded { path: path.display().to_string() });
         Ok(report)
     }
 
@@ -843,13 +899,25 @@ impl TwigService {
     pub fn metrics_text(&self) -> String {
         let snapshot = self.stats();
         let pools = self.with_engine(|e| e.pool_counters());
-        render_metrics(&snapshot, &pools, &self.shared.metrics)
+        render_metrics(&snapshot, &pools, &self.shared.metrics, &self.shared.events)
     }
 
     /// The retained slow-query records, oldest first (see
     /// [`ServiceOptions::slow_query_micros`]).
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.shared.metrics.slow_queries()
+    }
+
+    /// The event journal this service emits into (shared when the
+    /// catalog injected one; see [`ServiceOptions::events`]).
+    pub fn events(&self) -> Arc<EventJournal> {
+        self.shared.events.clone()
+    }
+
+    /// The newest retained trace record stamped with `request_id`
+    /// (slow-query capture or an explicitly sampled request).
+    pub fn find_trace(&self, request_id: u64) -> Option<SlowQuery> {
+        self.shared.metrics.find_trace(request_id)
     }
 
     /// Graceful shutdown: stop accepting submissions, let the workers
@@ -904,16 +972,18 @@ fn run_job(shared: &Shared, job: Job) {
         return;
     }
     match &job.kind {
-        JobKind::Single(twig, strategy) => match answer_one(shared, twig, *strategy) {
-            Ok(answer) => {
-                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                job.slot.resolve(Ok(vec![answer]));
+        JobKind::Single(twig, strategy) => {
+            match answer_one(shared, twig, *strategy, &RequestCtx::default()) {
+                Ok(answer) => {
+                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    job.slot.resolve(Ok(vec![answer]));
+                }
+                Err(e) => {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    job.slot.resolve(Err(e));
+                }
             }
-            Err(e) => {
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                job.slot.resolve(Err(e));
-            }
-        },
+        }
         JobKind::Batch(twigs, strategy) => {
             job.slot.resolve(answer_batch(shared, twigs, *strategy));
         }
@@ -997,13 +1067,16 @@ fn answer_one(
     shared: &Shared,
     twig: &TwigPattern,
     strategy: Strategy,
+    ctx: &RequestCtx,
 ) -> Result<ServiceAnswer, ServiceError> {
     let epoch = shared.pin();
     let key = exact_key(twig);
     // Concrete strategies check the result cache before touching the
     // engine. Auto must compile (cheap on a plan-cache hit) to learn
-    // its concrete key first — see `answer_miss`.
-    if !strategy.is_auto() {
+    // its concrete key first — see `answer_miss`. A sampled request
+    // skips the cache: the client asked for a trace of a real
+    // execution, so a cache hit would return nothing to trace.
+    if !strategy.is_auto() && !ctx.sample {
         if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, epoch.generation) {
             return Ok(ServiceAnswer {
                 ids,
@@ -1017,7 +1090,7 @@ fn answer_one(
     if !epoch.engine.has_strategy(strategy) {
         return Err(ServiceError::StrategyNotBuilt(strategy));
     }
-    Ok(answer_miss(shared, &epoch.engine, twig, strategy, None, epoch.generation, key))
+    Ok(answer_miss(shared, &epoch.engine, twig, strategy, None, epoch.generation, key, ctx))
 }
 
 /// Answers one query of a batch against the batch's pinned epoch and
@@ -1042,7 +1115,7 @@ fn answer_pinned(
             };
         }
     }
-    answer_miss(shared, engine, twig, strategy, memo, generation, key)
+    answer_miss(shared, engine, twig, strategy, memo, generation, key, &RequestCtx::default())
 }
 
 /// The execution path: compile and resolve the strategy (through the
@@ -1050,6 +1123,7 @@ fn answer_pinned(
 /// concrete pick), check/fill the result cache *under the resolved
 /// strategy* (so auto and explicit submissions of one query share
 /// entries), execute, and record latency and cost counters.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by three call sites
 fn answer_miss(
     shared: &Shared,
     engine: &SharedEngine,
@@ -1058,6 +1132,7 @@ fn answer_miss(
     memo: Option<&mut ProbeMemo>,
     generation: u64,
     key: String,
+    ctx: &RequestCtx,
 ) -> ServiceAnswer {
     let (compiled, plan, strategy) =
         match shared.plan_cache.compile_resolved(engine, twig, requested) {
@@ -1092,35 +1167,54 @@ fn answer_miss(
     if requested.is_auto() {
         shared.stats.record_auto_pick(strategy);
         // The pick's concrete key may already be cached (by an earlier
-        // auto submission or an explicit one).
-        if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
-            return ServiceAnswer {
-                ids,
-                plan,
-                strategy,
-                from_cache: true,
-                metrics: QueryMetrics::default(),
-            };
+        // auto submission or an explicit one). A sampled request skips
+        // the hit for the same reason `answer_one` does.
+        if !ctx.sample {
+            if let Some((ids, plan)) = shared.result_cache.get(&key, strategy, generation) {
+                return ServiceAnswer {
+                    ids,
+                    plan,
+                    strategy,
+                    from_cache: true,
+                    metrics: QueryMetrics::default(),
+                };
+            }
         }
     }
     let answer = engine.answer_compiled_with(&compiled, &plan, strategy, memo);
     shared.stats.record_latency(strategy, answer.metrics.elapsed);
     shared.stats.record_cost(strategy, &answer.metrics);
     shared.metrics.observe_shape(&shape_key(twig), answer.metrics.elapsed);
-    if shared.metrics.is_slow(answer.metrics.elapsed) {
+    let slow = shared.metrics.is_slow(answer.metrics.elapsed);
+    if slow || ctx.sample {
         // Capture the pipeline breakdown with a read-only traced
         // re-execution against the same pinned epoch (the result is
         // discarded — only the span tree is kept). Costs one extra
-        // execution, paid only for queries already past the threshold.
+        // execution, paid only for queries already past the threshold
+        // or explicitly sampled by the client.
         let mut trace = xtwig_core::Trace::new();
         let _ = engine.answer_compiled_traced(&compiled, &plan, strategy, None, &mut trace);
-        shared.metrics.record_slow(SlowQuery {
+        let micros = answer.metrics.elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let record = SlowQuery {
             query: twig.to_string(),
             strategy,
-            micros: answer.metrics.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            micros,
             generation,
             spans: trace.render(),
-        });
+            request_id: ctx.request_id,
+            peer: ctx.peer.clone(),
+        };
+        if slow {
+            shared.metrics.record_slow(record);
+            shared.events.emit(Event::SlowQuery {
+                query: twig.to_string(),
+                micros,
+                request_id: ctx.request_id,
+                peer: ctx.peer.clone(),
+            });
+        } else {
+            shared.metrics.record_sampled(record);
+        }
     }
     let ids = Arc::new(answer.ids);
     shared.result_cache.insert(key, strategy, ids.clone(), answer.plan, generation);

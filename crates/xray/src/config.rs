@@ -45,6 +45,11 @@ pub struct Config {
     pub purity_functions: Vec<String>,
     /// Identifiers forbidden inside those functions.
     pub purity_forbid: Vec<String>,
+    /// Path prefixes where `no-blocking-in-handler` applies: request
+    /// dispatch code that must not do filesystem work inline.
+    pub blocking_paths: Vec<String>,
+    /// Identifiers forbidden in those paths (outside `#[cfg(test)]`).
+    pub blocking_forbid: Vec<String>,
     /// Deliberate exceptions.
     pub allow: Vec<AllowEntry>,
 }
@@ -124,6 +129,11 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                 cfg.purity_file = take_str(&mut sec, "file")?;
                 cfg.purity_functions = take_list(&mut sec, "functions")?;
                 cfg.purity_forbid = take_list(&mut sec, "forbid")?;
+                finish(sec)?;
+            }
+            "rule.no-blocking-in-handler" => {
+                cfg.blocking_paths = take_list(&mut sec, "paths")?;
+                cfg.blocking_forbid = take_list(&mut sec, "forbid")?;
                 finish(sec)?;
             }
             "allow" => {
@@ -335,6 +345,10 @@ file = "crates/core/src/engine.rs"
 functions = ["execute"]
 forbid = ["Instant", "Trace"]
 
+[rule.no-blocking-in-handler]
+paths = ["crates/net/src/server.rs"]
+forbid = ["File", "read_to_string"]
+
 [[allow]]
 rule = "no-panic"
 path = "crates/net/src/frame.rs"
@@ -348,6 +362,8 @@ why = "fixed-size stack array, constant offsets"
         assert_eq!(cfg.no_panic_paths, vec!["crates/net/src", "crates/service/src"]);
         assert_eq!(cfg.maintenance_receiver, "maintenance");
         assert_eq!(cfg.purity_functions, vec!["execute"]);
+        assert_eq!(cfg.blocking_paths, vec!["crates/net/src/server.rs"]);
+        assert_eq!(cfg.blocking_forbid, vec!["File", "read_to_string"]);
         assert_eq!(cfg.allow.len(), 1);
         assert_eq!(cfg.allow[0].contains, "header[");
     }

@@ -31,6 +31,7 @@ pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_TYPED_ERRORS: &str = "typed-errors";
 pub const RULE_UNTRACED_PURITY: &str = "untraced-purity";
 pub const RULE_SAFETY_COMMENTS: &str = "safety-comments";
+pub const RULE_NO_BLOCKING: &str = "no-blocking-in-handler";
 /// Reported against the config file itself when an allow entry matches
 /// nothing — stale exceptions are drift, not documentation.
 pub const RULE_STALE_ALLOW: &str = "stale-allow";
@@ -42,6 +43,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_TYPED_ERRORS,
     RULE_UNTRACED_PURITY,
     RULE_SAFETY_COMMENTS,
+    RULE_NO_BLOCKING,
 ];
 
 /// True when `rel` is `prefix` itself or lies under it as a directory.
@@ -237,6 +239,9 @@ pub fn scan_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     }
     if rel == cfg.purity_file {
         rule_untraced_purity(rel, &view, cfg, &mut findings);
+    }
+    if path_in_any(rel, &cfg.blocking_paths) {
+        rule_no_blocking(rel, &view, cfg, &mut findings);
     }
     rule_safety_comments(rel, &view, &mut findings);
     findings.sort_by_key(|f| (f.line, f.col));
@@ -604,6 +609,33 @@ fn rule_untraced_purity(rel: &str, view: &FileView<'_>, cfg: &Config, out: &mut 
     }
 }
 
+/// Rule 6: no blocking filesystem work in request-dispatch code. The
+/// configured paths run on connection threads where every millisecond
+/// of inline I/O is tail latency for that peer; filesystem access
+/// belongs behind the catalog's attach path or in maintenance. Flags
+/// any configured identifier outside `#[cfg(test)]`; deliberate
+/// exceptions (e.g. catalog open-on-demand) go in the allowlist with a
+/// justification.
+fn rule_no_blocking(rel: &str, view: &FileView<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    for ci in 0..view.len() {
+        if view.suppressed(ci) {
+            continue;
+        }
+        let t = view.tok(ci);
+        if t.kind == TokenKind::Ident && cfg.blocking_forbid.contains(&t.text) {
+            out.push(finding(
+                RULE_NO_BLOCKING,
+                rel,
+                t,
+                format!(
+                    "request-dispatch code must not block on the filesystem, but mentions `{}`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 /// Rule 5: every `unsafe` keyword needs a `// SAFETY:` comment on one
 /// of the three lines above it (or its own line). Applies everywhere,
 /// tests included — a safety argument is documentation, not overhead.
@@ -669,6 +701,8 @@ mod tests {
             purity_file: "crates/core/src/engine.rs".into(),
             purity_functions: vec!["execute".into()],
             purity_forbid: vec!["Instant".into(), "Trace".into()],
+            blocking_paths: vec!["crates/net/src/server.rs".into()],
+            blocking_forbid: vec!["File".into(), "read_to_string".into()],
             allow: Vec::new(),
         }
     }
@@ -688,6 +722,15 @@ mod tests {
     fn cfg_test_suppresses_no_panic() {
         let src = "#[cfg(test)]\nmod tests {\n fn f() { None::<u8>.unwrap(); }\n}";
         assert!(rules_fired("crates/net/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_fs_work_fires_only_in_handler_paths_and_not_in_tests() {
+        let src = "fn f() -> String { std::fs::read_to_string(\"x\").unwrap_or_default() }";
+        assert!(rules_fired("crates/net/src/server.rs", src).contains(&RULE_NO_BLOCKING));
+        assert!(!rules_fired("crates/net/src/client.rs", src).contains(&RULE_NO_BLOCKING));
+        let test_src = "#[cfg(test)]\nmod tests {\n use std::fs::File;\n}";
+        assert!(!rules_fired("crates/net/src/server.rs", test_src).contains(&RULE_NO_BLOCKING));
     }
 
     #[test]

@@ -23,6 +23,8 @@ fn fixture_config() -> Config {
         purity_file: "crates/core/src/engine.rs".into(),
         purity_functions: vec!["execute".into()],
         purity_forbid: vec!["Instant".into()],
+        blocking_paths: vec!["crates/net/src/server.rs".into()],
+        blocking_forbid: vec!["File".into(), "read_to_string".into()],
         allow: Vec::new(),
     }
 }
@@ -75,6 +77,19 @@ fn safety_comments_fixture_fires_on_the_bare_unsafe_only() {
     let src = include_str!("fixtures/safety_comments.rs");
     let findings = analyze_source("crates/misc/src/safety.rs", src, &fixture_config());
     assert_eq!(rule_lines(&findings), vec![("safety-comments", 4)], "{findings:#?}");
+}
+
+#[test]
+fn no_blocking_fixture_fires_outside_cfg_test_and_scoped_path_only() {
+    let src = include_str!("fixtures/no_blocking_in_handler.rs");
+    let findings = analyze_source("crates/net/src/server.rs", src, &fixture_config());
+    assert_eq!(
+        rule_lines(&findings),
+        vec![("no-blocking-in-handler", 5), ("no-blocking-in-handler", 9)],
+        "{findings:#?}"
+    );
+    // The same content outside the dispatch paths is not xray's business.
+    assert!(analyze_source("crates/net/src/client.rs", src, &fixture_config()).is_empty());
 }
 
 #[test]

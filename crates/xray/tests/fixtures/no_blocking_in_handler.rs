@@ -1,0 +1,19 @@
+//! Fixture: blocking filesystem work inside request-dispatch code.
+//! Both production fns fire; the `#[cfg(test)]` block is exempt.
+
+fn handle_debug_dump() -> String {
+    std::fs::read_to_string("index.xtwig").unwrap_or_default()
+}
+
+fn handle_side_channel() {
+    let _ = std::fs::File::create("access.log");
+}
+
+#[cfg(test)]
+mod tests {
+    use std::fs::File;
+
+    fn scratch() {
+        let _ = File::create("fixture.tmp");
+    }
+}

@@ -15,10 +15,13 @@
 //! xtwig bench   <file.xml> '<xpath>' [--shards N]   # run against every strategy
 //! xtwig stats   <file.xml> [--shards N]             # dataset + index statistics
 //! xtwig demo    ['<xpath>'] [--shards N]            # generated XMark data
-//! xtwig serve   <idx.xtwig>... [--index-dir <dir>] [--addr host:port] [--addr-file <path>]
-//! xtwig client  <addr> ping|catalog|shutdown|badframe
-//! xtwig client  <addr> query <index> '<xpath>' [--strategy auto|RP|...]
+//! xtwig serve   <idx.xtwig>... [--index-dir <dir>] [--addr host:port] [--addr-file <path>] [--idle-timeout SECS] [--access-log]
+//! xtwig client  <addr> ping|catalog|shutdown|badframe [--timeout SECS]
+//! xtwig client  <addr> query <index> '<xpath>' [--strategy auto|RP|...] [--sample]
 //! xtwig client  <addr> explain|metrics|stats <index> ['<xpath>']
+//! xtwig client  <addr> trace <index> <request_id>
+//! xtwig client  <addr> events [--after N] [--max N] [--follow]
+//! xtwig top     <addr> [--index NAME] [--interval SECS] [--once]
 //! ```
 //!
 //! `--strategy` defaults to `auto`: the cost-based optimizer ranks the
@@ -61,7 +64,7 @@ use xtwig::xml::{parse_document, NodeId, XmlForest};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig explain <file.xml> '<xpath>' [--analyze] [--shards N]\n  xtwig explain --index idx.xtwig '<xpath>' [--analyze]\n  xtwig advise <file.xml> '<xpath>' ['<xpath>' ...] [--shards N]\n  xtwig advise --index idx.xtwig '<xpath>' ['<xpath>' ...]\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]\n  xtwig serve <idx.xtwig>... [--index-dir <dir>] [--addr host:port] [--addr-file <path>] [--max-in-flight N] [--max-attached N]\n  xtwig client <addr> ping|catalog|shutdown|badframe\n  xtwig client <addr> query <index> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI]\n  xtwig client <addr> explain <index> '<xpath>'\n  xtwig client <addr> metrics|stats <index>\n  xtwig xray [--root DIR] [--config FILE]"
+        "usage:\n  xtwig query <file.xml> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--explain] [--shards N]\n  xtwig query --index idx.xtwig '<xpath>' [--strategy ...] [--explain]\n  xtwig explain <file.xml> '<xpath>' [--analyze] [--shards N]\n  xtwig explain --index idx.xtwig '<xpath>' [--analyze]\n  xtwig advise <file.xml> '<xpath>' ['<xpath>' ...] [--shards N]\n  xtwig advise --index idx.xtwig '<xpath>' ['<xpath>' ...]\n  xtwig build [<file.xml>] --out idx.xtwig [--strategies RP,DP,...] [--shards N]\n  xtwig bench <file.xml> '<xpath>' [--shards N]\n  xtwig stats <file.xml> [--shards N]\n  xtwig demo ['<xpath>'] [--shards N]\n  xtwig serve <idx.xtwig>... [--index-dir <dir>] [--addr host:port] [--addr-file <path>] [--max-in-flight N] [--max-attached N] [--idle-timeout SECS] [--access-log]\n  xtwig client <addr> ping|catalog|shutdown|badframe [--timeout SECS]\n  xtwig client <addr> query <index> '<xpath>' [--strategy auto|RP|DP|Edge|DG|IF|ASR|JI] [--sample]\n  xtwig client <addr> explain <index> '<xpath>'\n  xtwig client <addr> metrics|stats <index>\n  xtwig client <addr> trace <index> <request_id>\n  xtwig client <addr> events [--after N] [--max N] [--follow]\n  xtwig top <addr> [--index NAME] [--interval SECS] [--once]\n  xtwig xray [--root DIR] [--config FILE]"
     );
     ExitCode::from(2)
 }
@@ -479,9 +482,21 @@ fn run_stats(forest: &XmlForest, shards: usize) -> ExitCode {
 /// actually-bound address (port 0 resolves to an ephemeral port) for
 /// harnesses that need to discover it.
 fn run_serve(args: &[String]) -> ExitCode {
-    use xtwig::net::Server;
+    use xtwig::net::{Server, ServerOptions};
     use xtwig::service::{Catalog, CatalogOptions, ServiceOptions};
 
+    let mut server_options = ServerOptions::default();
+    if let Some(n) = flag_value(args, "--idle-timeout") {
+        match n.parse::<u64>() {
+            Ok(0) => server_options.idle_timeout = None,
+            Ok(secs) => server_options.idle_timeout = Some(std::time::Duration::from_secs(secs)),
+            Err(_) => {
+                eprintln!("--idle-timeout takes seconds (0 = never disconnect), got {n:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    server_options.access_log = args.iter().any(|a| a == "--access-log");
     let mut options = CatalogOptions::default();
     if let Some(n) = flag_value(args, "--max-attached") {
         match n.parse::<usize>() {
@@ -524,7 +539,7 @@ fn run_serve(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     let addr = flag_value(args, "--addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
-    let server = match Server::bind(addr, std::sync::Arc::new(catalog)) {
+    let server = match Server::bind_with(addr, std::sync::Arc::new(catalog), server_options) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
@@ -566,7 +581,17 @@ fn run_client(args: &[String]) -> ExitCode {
 
     let ops = operands(args);
     let (Some(addr), Some(cmd)) = (ops.first(), ops.get(1)) else { return usage() };
-    let timeout = Some(std::time::Duration::from_secs(30));
+    // Finite by default: a wedged server must produce a failed exit,
+    // never a hang. `--timeout 0` opts out for long interactive waits.
+    let timeout = match flag_value(args, "--timeout").map(|s| s.parse::<u64>()) {
+        None => Some(std::time::Duration::from_secs(10)),
+        Some(Ok(0)) => None,
+        Some(Ok(secs)) => Some(std::time::Duration::from_secs(secs)),
+        Some(Err(_)) => {
+            eprintln!("--timeout takes seconds (0 = no timeout)");
+            return ExitCode::from(2);
+        }
+    };
     let mut client = match Client::connect_with_timeout(addr.as_str(), timeout) {
         Ok(c) => c,
         Err(e) => {
@@ -596,6 +621,8 @@ fn run_client(args: &[String]) -> ExitCode {
         "query" => {
             let (Some(index), Some(xpath)) = (ops.get(2), ops.get(3)) else { return usage() };
             let strategy = flag_value(args, "--strategy").map(String::as_str).unwrap_or("auto");
+            let sample = args.iter().any(|a| a == "--sample");
+            client.set_sampling(sample);
             match client.query(index, xpath, strategy) {
                 Ok(a) => {
                     println!(
@@ -612,9 +639,62 @@ fn run_client(args: &[String]) -> ExitCode {
                     if a.ids.len() > 10 {
                         println!("  … and {} more", a.ids.len() - 10);
                     }
+                    if sample {
+                        println!(
+                            "sampled request id: {} (fetch with `xtwig client {addr} trace {index} {}`)",
+                            a.request_id, a.request_id
+                        );
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => fail(e),
+            }
+        }
+        "trace" => {
+            let (Some(index), Some(id)) = (ops.get(2), ops.get(3)) else { return usage() };
+            let Ok(request_id) = id.parse::<u64>() else {
+                eprintln!("trace takes a numeric request id, got {id:?}");
+                return ExitCode::from(2);
+            };
+            match client.trace(index, request_id) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "events" => {
+            let mut after = match flag_value(args, "--after").map(|s| s.parse::<u64>()) {
+                None => 0,
+                Some(Ok(n)) => n,
+                Some(Err(_)) => {
+                    eprintln!("--after takes a sequence number");
+                    return ExitCode::from(2);
+                }
+            };
+            let max = match flag_value(args, "--max").map(|s| s.parse::<u32>()) {
+                None => 100,
+                Some(Ok(n)) => n,
+                Some(Err(_)) => {
+                    eprintln!("--max takes a count");
+                    return ExitCode::from(2);
+                }
+            };
+            let follow = args.iter().any(|a| a == "--follow");
+            loop {
+                let events = match client.events(after, max) {
+                    Ok(events) => events,
+                    Err(e) => return fail(e),
+                };
+                for e in &events {
+                    println!("{}", e.render_text());
+                    after = after.max(e.seq);
+                }
+                if !follow {
+                    return ExitCode::SUCCESS;
+                }
+                std::thread::sleep(std::time::Duration::from_secs(1));
             }
         }
         "explain" => {
@@ -672,6 +752,159 @@ fn run_client(args: &[String]) -> ExitCode {
     }
 }
 
+/// Sums every sample of a Prometheus family in an exposition text:
+/// lines starting `name ` or `name{` (so labeled families aggregate
+/// across their label sets). Returns `None` when the family is absent.
+fn metric_sum(text: &str, name: &str) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut seen = false;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let matches = line
+            .strip_prefix(name)
+            .map(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+            .unwrap_or(false);
+        if !matches {
+            continue;
+        }
+        if let Some(value) = line.rsplit(' ').next().and_then(|v| v.parse::<f64>().ok()) {
+            sum += value;
+            seen = true;
+        }
+    }
+    seen.then_some(sum)
+}
+
+/// One sampled snapshot of the counters `xtwig top` differentiates.
+#[derive(Default, Clone, Copy)]
+struct TopSample {
+    completed: f64,
+    failed: f64,
+    latency_sum: f64,
+    cache_hits: f64,
+    cache_misses: f64,
+    overloaded: f64,
+    slow: f64,
+}
+
+fn top_sample(text: &str) -> TopSample {
+    TopSample {
+        completed: metric_sum(text, "xtwig_queries_completed_total").unwrap_or(0.0),
+        failed: metric_sum(text, "xtwig_queries_failed_total").unwrap_or(0.0),
+        latency_sum: metric_sum(text, "xtwig_query_latency_micros_sum").unwrap_or(0.0),
+        cache_hits: metric_sum(text, "xtwig_result_cache_hits_total").unwrap_or(0.0),
+        cache_misses: metric_sum(text, "xtwig_result_cache_misses_total").unwrap_or(0.0),
+        overloaded: metric_sum(text, "xtwig_overloaded_total").unwrap_or(0.0),
+        slow: metric_sum(text, "xtwig_slow_queries_total").unwrap_or(0.0),
+    }
+}
+
+/// `xtwig top <addr> [--index NAME] [--interval SECS] [--once]` — a
+/// live console over the wire: polls `Metrics` + `Events` and prints
+/// one block per tick (rates are deltas between ticks; the first tick
+/// shows totals since server start). `--once` prints a single snapshot
+/// and exits, which is what the CI smoke drives.
+fn run_top(args: &[String]) -> ExitCode {
+    use xtwig::net::{Client, ClientError};
+
+    let ops = operands(args);
+    let Some(addr) = ops.first() else { return usage() };
+    let interval = match flag_value(args, "--interval").map(|s| s.parse::<u64>()) {
+        None => 2,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("--interval takes a positive number of seconds");
+            return ExitCode::from(2);
+        }
+    };
+    let once = args.iter().any(|a| a == "--once");
+    let mut client =
+        match Client::connect_with_timeout(addr.as_str(), Some(std::time::Duration::from_secs(10)))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let fail = |e: ClientError| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    // Default to the first attached-or-registered index in the catalog.
+    let index = match flag_value(args, "--index") {
+        Some(name) => name.clone(),
+        None => {
+            let listing = match client.catalog() {
+                Ok(text) => text,
+                Err(e) => return fail(e),
+            };
+            let Some(first) = listing.lines().next().and_then(|l| l.split('\t').next()) else {
+                eprintln!("server catalog is empty; pass --index");
+                return ExitCode::FAILURE;
+            };
+            first.to_owned()
+        }
+    };
+    let mut prev: Option<TopSample> = None;
+    let mut cursor = 0u64;
+    loop {
+        let text = match client.metrics(&index) {
+            Ok(t) => t,
+            Err(e) => return fail(e),
+        };
+        let cur = top_sample(&text);
+        let base = prev.unwrap_or_default();
+        let dt = if prev.is_some() { interval as f64 } else { 1.0 };
+        let completed = cur.completed - base.completed;
+        let lat = cur.latency_sum - base.latency_sum;
+        let hits = cur.cache_hits - base.cache_hits;
+        let misses = cur.cache_misses - base.cache_misses;
+        let lookups = hits + misses;
+        println!(
+            "=== xtwig top | index {} | {} ===",
+            index,
+            if prev.is_some() { "last interval" } else { "since server start" }
+        );
+        println!(
+            "qps {:>8.1}   mean latency {:>8.0} us   cache hit {:>5.1}%   failed {}   overloaded {}   slow {}",
+            completed / dt,
+            if completed > 0.0 { lat / completed } else { 0.0 },
+            if lookups > 0.0 { 100.0 * hits / lookups } else { 0.0 },
+            cur.failed - base.failed,
+            cur.overloaded - base.overloaded,
+            cur.slow - base.slow,
+        );
+        println!(
+            "in-flight {}   queue depth {}   events journaled {}   events dropped {}",
+            metric_sum(&text, "xtwig_in_flight").unwrap_or(0.0),
+            metric_sum(&text, "xtwig_queue_depth").unwrap_or(0.0),
+            metric_sum(&text, "xtwig_events_total").unwrap_or(0.0),
+            metric_sum(&text, "xtwig_events_dropped_total").unwrap_or(0.0),
+        );
+        match client.events(cursor, 256) {
+            Ok(events) => {
+                let skip = events.len().saturating_sub(8);
+                for e in events.iter().skip(skip) {
+                    println!("  {}", e.render_text());
+                }
+                if let Some(last) = events.last() {
+                    cursor = last.seq;
+                }
+            }
+            Err(e) => return fail(e),
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        prev = Some(cur);
+        println!();
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
+}
+
 /// Returns the value following `flag`, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
@@ -679,7 +912,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
 
 /// Non-flag operands, in order; flags that take a value consume it.
 fn operands(args: &[String]) -> Vec<String> {
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 15] = [
         "--shards",
         "--strategy",
         "--strategies",
@@ -690,6 +923,11 @@ fn operands(args: &[String]) -> Vec<String> {
         "--index-dir",
         "--max-in-flight",
         "--max-attached",
+        "--timeout",
+        "--idle-timeout",
+        "--interval",
+        "--after",
+        "--max",
     ];
     let mut out = Vec::new();
     let mut skip = false;
@@ -900,6 +1138,7 @@ fn main() -> ExitCode {
         }
         "serve" => run_serve(&args[1..]),
         "client" => run_client(&args[1..]),
+        "top" => run_top(&args[1..]),
         "xray" => run_xray(&args[1..]),
         _ => usage(),
     }

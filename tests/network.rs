@@ -317,6 +317,63 @@ fn client_shutdown_request_stops_the_server_gracefully() {
 }
 
 #[test]
+fn a_slow_wire_query_is_attributable_end_to_end() {
+    let dir = TempDir::new("attribution");
+    let path = persist_fig1(&dir, "fig1", vec![Strategy::RootPaths]);
+    // Zero slow threshold: every query crosses it, so ordinary wire
+    // traffic lands in both the journal and the trace ring.
+    let catalog = Catalog::new(CatalogOptions {
+        service: ServiceOptions { slow_query_micros: Some(0), ..Default::default() },
+        ..Default::default()
+    });
+    catalog.register("fig1", &path);
+    let (handle, join) = start_server(catalog);
+    let mut client = connect(&handle);
+
+    // The client stamps every request; the server echoes the id back
+    // on the answer's envelope.
+    let wire = client.query("fig1", "//author[fn='jane']", "RP").unwrap();
+    assert!(wire.request_id > 0, "client must stamp a nonzero request id");
+    assert_eq!(wire.request_id, client.last_request_id());
+
+    // The journal attributes the slow query to that id and to a
+    // concrete peer address (alongside the connection's open event).
+    let events = client.events(0, 256).unwrap();
+    assert!(events.iter().any(|e| e.kind == "conn-open"), "journal missing conn-open");
+    let slow = events
+        .iter()
+        .find(|e| {
+            e.kind == "slow-query" && e.detail.contains(&format!("request_id={}", wire.request_id))
+        })
+        .unwrap_or_else(|| panic!("no slow-query for request {}: {events:?}", wire.request_id));
+    assert!(slow.detail.contains("peer=127.0.0.1:"), "{}", slow.detail);
+    assert!(slow.detail.contains("author"), "{}", slow.detail);
+
+    // The captured span tree is retrievable by the same id...
+    let trace = client.trace("fig1", wire.request_id).unwrap();
+    assert!(trace.contains(&format!("request {}", wire.request_id)), "{trace}");
+    assert!(trace.contains("strategy RP"), "{trace}");
+
+    // ...and an id nobody captured is a typed error, not a hang.
+    match client.trace("fig1", u64::MAX) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownTrace),
+        other => panic!("expected UnknownTrace, got {other:?}"),
+    }
+
+    // Explicit sampling works even when nothing is slow: a second
+    // catalog entry would be overkill, so just verify the sampled path
+    // on this one — the trace ring keeps the newest record per id.
+    client.set_sampling(true);
+    let sampled = client.query("fig1", "/book/title", "RP").unwrap();
+    client.set_sampling(false);
+    let trace = client.trace("fig1", sampled.request_id).unwrap();
+    assert!(trace.contains(&format!("request {}", sampled.request_id)), "{trace}");
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
 fn catalog_serves_many_indexes_by_name_over_one_connection() {
     let dir = TempDir::new("multi");
     persist_fig1(&dir, "alpha", vec![Strategy::RootPaths]);

@@ -4,12 +4,15 @@
 //! a fixed query, the service's Prometheus-style metrics text must
 //! expose monotonic counters and well-formed histograms, the slow-query
 //! log must evict at capacity, and traced runs must feed the
-//! calibration log with value-elided shapes.
+//! calibration log with value-elided shapes. Prometheus exposition
+//! conformance rides here too: every family declares `# HELP`/`# TYPE`
+//! before its samples, label values with quotes/backslashes/newlines
+//! are escaped, and counters stay monotonic under concurrent scrapers.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use xtwig::core::engine::{EngineOptions, QueryEngine, Strategy};
 use xtwig::parse_xpath;
-use xtwig::service::{ServiceOptions, TwigService};
+use xtwig::service::{render_metrics, EventJournal, MetricsRegistry, ServiceOptions, TwigService};
 use xtwig::xml::tree::fig1_book_document;
 use xtwig::xml::XmlForest;
 
@@ -258,6 +261,175 @@ fn slow_query_log_evicts_at_capacity() {
     }
     let samples = parse_samples(&service.metrics_text());
     assert_eq!(samples["xtwig_slow_queries_total"], 4.0, "total must count evicted captures too");
+    service.shutdown();
+}
+
+/// Exposition conformance: every sample's family declares `# HELP` and
+/// `# TYPE` (each exactly once, headers before the first sample), every
+/// `TYPE` names a known kind, histogram `_bucket`/`_sum`/`_count`
+/// samples resolve to their base family, and no declared family is
+/// sample-less.
+#[test]
+fn exposition_declares_help_and_type_for_every_family_before_its_samples() {
+    let service = TwigService::build(
+        fig1_book_document(),
+        EngineOptions { pool_pages: 256, ..Default::default() },
+        ServiceOptions { workers: 1, slow_query_micros: Some(0), ..Default::default() },
+    );
+    // Populate the filtered families (per-strategy costs, latency
+    // histograms, shapes, the slow-query counter).
+    for q in ["//title", "/book[title='XML']//author[fn='jane'][ln='doe']"] {
+        let twig = parse_xpath(q).unwrap();
+        service.submit(&twig, Strategy::Auto).unwrap().wait().unwrap();
+    }
+    let text = service.metrics_text();
+
+    let mut help: BTreeMap<String, usize> = BTreeMap::new();
+    let mut kind: BTreeMap<String, (usize, String)> = BTreeMap::new();
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+    for (no, line) in text.lines().enumerate() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (family, text) = rest.split_once(' ').unwrap_or_else(|| panic!("bare: {line}"));
+            assert!(!text.trim().is_empty(), "HELP without text: {line}");
+            assert!(help.insert(family.to_owned(), no).is_none(), "HELP declared twice: {line}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, k) = rest.split_once(' ').unwrap_or_else(|| panic!("bare: {line}"));
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&k),
+                "unknown TYPE kind {k}: {line}"
+            );
+            assert!(
+                kind.insert(family.to_owned(), (no, k.to_owned())).is_none(),
+                "TYPE declared twice: {line}"
+            );
+        } else if !line.is_empty() {
+            let name = line.split(['{', ' ']).next().unwrap_or(line);
+            // Histogram component samples belong to the base family.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let base = name.strip_suffix(suffix)?;
+                    matches!(kind.get(base), Some((_, k)) if k == "histogram").then_some(base)
+                })
+                .unwrap_or(name);
+            let (type_line, _) =
+                kind.get(family).unwrap_or_else(|| panic!("sample without TYPE: {line}"));
+            let help_line =
+                help.get(family).unwrap_or_else(|| panic!("sample without HELP: {line}"));
+            assert!(*type_line < no && *help_line < no, "headers must precede sample: {line}");
+            sampled.insert(family.to_owned());
+        }
+    }
+    assert_eq!(
+        help.keys().collect::<Vec<_>>(),
+        kind.keys().collect::<Vec<_>>(),
+        "HELP and TYPE declarations must pair up"
+    );
+    for family in help.keys() {
+        assert!(sampled.contains(family), "family {family} declared but never sampled");
+    }
+    service.shutdown();
+}
+
+/// Label values pass through `json_escape` on the way into the
+/// exposition: a shape key carrying quotes, backslashes and a newline
+/// must land on ONE sample line with the hostile characters escaped,
+/// and the line must still split as `name{labels} value`.
+#[test]
+fn hostile_label_values_are_escaped_in_the_exposition() {
+    let registry = MetricsRegistry::new(None, 0);
+    let evil = "shape\"with\\hostile\nchars";
+    registry.observe_shape(evil, std::time::Duration::from_micros(5));
+    let journal = EventJournal::new(8);
+
+    // A real snapshot (zeroed counters) from a throwaway service; the
+    // renderer is a free function precisely so this test needs no pool.
+    let service = TwigService::build(
+        fig1_book_document(),
+        EngineOptions { pool_pages: 256, ..Default::default() },
+        ServiceOptions { workers: 1, ..Default::default() },
+    );
+    let snapshot = service.stats();
+    service.shutdown();
+
+    let text = render_metrics(&snapshot, &[], &registry, &journal);
+    let lines: Vec<&str> =
+        text.lines().filter(|l| l.starts_with("xtwig_shape_queries_total{")).collect();
+    assert_eq!(lines.len(), 1, "the newline in the label must be escaped, not emitted: {lines:?}");
+    let line = lines[0];
+    // json_escape turns the quote into `\"`, the backslash into `\\`
+    // and the newline into the two characters `\n`.
+    assert!(
+        line.contains("shape=\"shape\\\"with\\\\hostile\\nchars\""),
+        "hostile characters not escaped: {line}"
+    );
+    // Still one well-formed sample: name{...} value.
+    let (rest, value) = line.rsplit_once(' ').unwrap();
+    assert_eq!(value.parse::<f64>().unwrap(), 1.0);
+    assert!(rest.ends_with('}'), "labels not closed: {line}");
+    // Unescaped interior quotes would break the quote parity of the
+    // label section; escaped ones keep it even.
+    let label_section = &rest["xtwig_shape_queries_total".len()..];
+    let unescaped_quotes = label_section
+        .as_bytes()
+        .iter()
+        .enumerate()
+        .filter(|&(i, &b)| b == b'"' && (i == 0 || label_section.as_bytes()[i - 1] != b'\\'))
+        .count();
+    assert_eq!(unescaped_quotes % 2, 0, "unbalanced quotes: {line}");
+}
+
+/// Eight concurrent scrapers each see their own monotonic view of every
+/// counter while a driver keeps the service busy — the exposition is
+/// assembled from a coherent snapshot, not read piecemeal mid-update.
+#[test]
+fn counters_stay_monotonic_under_concurrent_scrapers() {
+    let service = TwigService::build(
+        fig1_book_document(),
+        EngineOptions { pool_pages: 256, ..Default::default() },
+        ServiceOptions { workers: 2, result_cache_capacity: 0, ..Default::default() },
+    );
+    std::thread::scope(|scope| {
+        let svc = &service;
+        let scrapers: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut prev: BTreeMap<String, f64> = BTreeMap::new();
+                    for _ in 0..20 {
+                        let cur = parse_samples(&svc.metrics_text());
+                        for (name, &before) in &prev {
+                            if name.starts_with("xtwig_queue_depth")
+                                || name.starts_with("xtwig_in_flight")
+                                || name.starts_with("xtwig_generation")
+                            {
+                                continue;
+                            }
+                            let after = cur
+                                .get(name)
+                                .copied()
+                                .unwrap_or_else(|| panic!("{name} vanished mid-scrape"));
+                            assert!(
+                                after >= before,
+                                "{name} went backwards under concurrent scrape: {before} -> {after}"
+                            );
+                        }
+                        prev = cur;
+                    }
+                })
+            })
+            .collect();
+        let driver = scope.spawn(move || {
+            let queries = ["//title", "//section/head", "/book/title"];
+            for round in 0..30 {
+                let twig = parse_xpath(queries[round % queries.len()]).unwrap();
+                svc.submit(&twig, Strategy::RootPaths).unwrap().wait().unwrap();
+            }
+        });
+        driver.join().unwrap();
+        for s in scrapers {
+            s.join().unwrap();
+        }
+    });
     service.shutdown();
 }
 

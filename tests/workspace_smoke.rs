@@ -100,6 +100,7 @@ fn xray_gate_stays_wired() {
         "typed_errors.rs",
         "untraced_purity.rs",
         "safety_comments.rs",
+        "no_blocking_in_handler.rs",
     ] {
         assert!(fixtures.join(fixture).is_file(), "missing xray fixture {fixture}");
     }
